@@ -1,0 +1,78 @@
+// Command mahif-bench regenerates the tables and figures of the
+// paper's evaluation (§13) over the synthetic workload generators. Row
+// counts are scaled for a single machine (flag -rows; the "large"
+// dataset is -large times bigger), so absolute numbers differ from the
+// paper, but the comparisons — who wins, by what factor, where the
+// crossovers fall — are the reproduction target (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mahif-bench -exp fig14        # one experiment
+//	mahif-bench -exp all          # everything (takes a while)
+//	mahif-bench -exp fig22 -rows 50000 -updates 10,20,50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, all")
+	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
+	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	updates := flag.String("updates", "10,20,50,100,200", "history lengths (U) for the sweeps")
+	flag.Parse()
+
+	us, err := parseInts(*updates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mahif-bench:", err)
+		os.Exit(2)
+	}
+	h := &harness{rows: *rows, large: *large, seed: *seed, updates: us}
+
+	experiments := map[string]func(){
+		"fig14": h.fig14, "fig15": h.fig15, "fig16": h.fig16, "fig17": h.fig17,
+		"fig18": h.fig18, "fig19": h.fig19, "fig20": h.fig20, "fig21": h.fig21,
+		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
+		"ablation": h.ablations,
+	}
+	switch *exp {
+	case "all":
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			experiments[n]()
+		}
+	case "":
+		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, all)")
+		os.Exit(2)
+	default:
+		run, ok := experiments[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mahif-bench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		run()
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -updates entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

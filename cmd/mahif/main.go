@@ -1,0 +1,256 @@
+// Command mahif answers a historical what-if query from files: a CSV
+// snapshot of each relation (the state before the history ran), a SQL
+// script with the transactional history, and a modification script
+// describing the hypothetical change. It prints the annotated delta.
+//
+// Usage:
+//
+//	mahif -data orders=orders.csv -history history.sql -whatif changes.txt [-variant R+PS+DS] [-stats]
+//
+// The modification script has one modification per line:
+//
+//	replace <n>: <statement>     # replace the n-th statement (1-based)
+//	insert <n>: <statement>      # insert before the n-th statement
+//	delete <n>                   # remove the n-th statement
+//
+// CSV files need a header row; column types are inferred from the first
+// data row (int, float, bool, then string).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mahif/mahif"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var data dataFlags
+	flag.Var(&data, "data", "relation=file.csv (repeatable)")
+	historyPath := flag.String("history", "", "SQL script with the transactional history")
+	whatifPath := flag.String("whatif", "", "modification script (replace/insert/delete lines)")
+	variant := flag.String("variant", "R+PS+DS", "algorithm variant: N, R, R+PS, R+DS, R+PS+DS")
+	showStats := flag.Bool("stats", false, "print per-phase statistics")
+	flag.Parse()
+
+	if len(data) == 0 || *historyPath == "" || *whatifPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(data, *historyPath, *whatifPath, *variant, *showStats); err != nil {
+		fmt.Fprintln(os.Stderr, "mahif:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data []string, historyPath, whatifPath, variant string, showStats bool) error {
+	db := mahif.NewDatabase()
+	for _, spec := range data {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -data %q (want relation=file.csv)", spec)
+		}
+		rel, err := loadCSV(name, file)
+		if err != nil {
+			return err
+		}
+		db.AddRelation(rel)
+	}
+
+	historySQL, err := os.ReadFile(historyPath)
+	if err != nil {
+		return err
+	}
+	hist, err := mahif.ParseStatements(string(historySQL))
+	if err != nil {
+		return err
+	}
+	vdb := mahif.NewVersioned(db)
+	for _, st := range hist {
+		if err := vdb.Apply(st); err != nil {
+			return fmt.Errorf("executing history: %w", err)
+		}
+	}
+
+	mods, err := loadModifications(whatifPath)
+	if err != nil {
+		return err
+	}
+
+	engine := mahif.NewEngine(vdb)
+	if variant == "N" {
+		delta, stats, err := engine.Naive(mods)
+		if err != nil {
+			return err
+		}
+		fmt.Print(delta)
+		if showStats {
+			fmt.Printf("naive: total=%v copy=%v execute=%v delta=%v\n",
+				stats.Total, stats.Creation, stats.Execute, stats.Delta)
+		}
+		return nil
+	}
+	delta, stats, err := engine.WhatIf(mods, mahif.OptionsFor(mahif.Variant(variant)))
+	if err != nil {
+		return err
+	}
+	fmt.Print(delta)
+	if showStats {
+		fmt.Printf("%s: total=%v time-travel=%v ps=%v ds=%v execute=%v delta=%v reenacted=%d/%d\n",
+			variant, stats.Total, stats.TimeTravel, stats.ProgramSlicing, stats.DataSlicing,
+			stats.Execute, stats.Delta, stats.KeptStatements, stats.TotalStatements)
+	}
+	return nil
+}
+
+func loadCSV(relName, file string) (*mahif.Relation, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("%s: empty CSV", file)
+	}
+	header := rows[0]
+	var cols []mahif.Column
+	if len(rows) == 1 {
+		for _, h := range header {
+			cols = append(cols, mahif.Col(h, mahif.KindString))
+		}
+	} else {
+		for ci, h := range header {
+			cols = append(cols, mahif.Col(h, inferKind(rows[1:], ci)))
+		}
+	}
+	rel := mahif.NewRelation(mahif.NewSchema(relName, cols...))
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("%s: row with %d fields, header has %d", file, len(row), len(header))
+		}
+		t := make(mahif.Tuple, len(row))
+		for ci, cell := range row {
+			t[ci] = parseCell(cell, cols[ci].Type)
+		}
+		rel.Add(t)
+	}
+	return rel, nil
+}
+
+func inferKind(rows [][]string, ci int) mahif.Kind {
+	kind := mahif.KindInt
+	for _, row := range rows {
+		cell := row[ci]
+		if cell == "" {
+			continue
+		}
+		switch kind {
+		case mahif.KindInt:
+			if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+				continue
+			}
+			kind = mahif.KindFloat
+			fallthrough
+		case mahif.KindFloat:
+			if _, err := strconv.ParseFloat(cell, 64); err == nil {
+				continue
+			}
+			kind = mahif.KindBool
+			fallthrough
+		case mahif.KindBool:
+			if cell == "true" || cell == "false" {
+				continue
+			}
+			return mahif.KindString
+		}
+	}
+	return kind
+}
+
+func parseCell(cell string, kind mahif.Kind) mahif.Value {
+	if cell == "" {
+		return mahif.Null()
+	}
+	switch kind {
+	case mahif.KindInt:
+		if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			return mahif.Int(v)
+		}
+	case mahif.KindFloat:
+		if v, err := strconv.ParseFloat(cell, 64); err == nil {
+			return mahif.Float(v)
+		}
+	case mahif.KindBool:
+		if cell == "true" {
+			return mahif.Bool(true)
+		}
+		if cell == "false" {
+			return mahif.Bool(false)
+		}
+	}
+	return mahif.Str(cell)
+}
+
+func loadModifications(path string) ([]mahif.Modification, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mods []mahif.Modification
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		verb, rest, _ := strings.Cut(line, " ")
+		switch strings.ToLower(verb) {
+		case "replace", "insert":
+			numStr, stmt, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: want %q", path, ln+1, verb+" <n>: <statement>")
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(numStr))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%s:%d: bad position %q", path, ln+1, numStr)
+			}
+			parsed, err := mahif.ParseStatement(strings.TrimSpace(stmt))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, ln+1, err)
+			}
+			if strings.ToLower(verb) == "replace" {
+				mods = append(mods, mahif.Replace{Pos: n - 1, Stmt: parsed})
+			} else {
+				mods = append(mods, mahif.InsertStmt{Pos: n - 1, Stmt: parsed})
+			}
+		case "delete":
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("%s:%d: bad position %q", path, ln+1, rest)
+			}
+			mods = append(mods, mahif.DeleteAt(n-1))
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown modification %q", path, ln+1, verb)
+		}
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("%s: no modifications", path)
+	}
+	return mods, nil
+}

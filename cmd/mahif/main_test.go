@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mahif/mahif"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const ordersCSV = `id,customer,country,price,shippingfee
+11,Susan,UK,20,5
+12,Alex,UK,50,5
+13,Jack,US,60,3
+14,Mark,US,30,4
+`
+
+func TestLoadCSVInference(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "orders.csv", ordersCSV)
+	rel, err := loadCSV("orders", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	s := rel.Schema
+	wantKinds := map[string]mahif.Kind{
+		"id": mahif.KindInt, "customer": mahif.KindString,
+		"country": mahif.KindString, "price": mahif.KindInt,
+		"shippingfee": mahif.KindInt,
+	}
+	for col, kind := range wantKinds {
+		idx := s.ColIndex(col)
+		if idx < 0 {
+			t.Fatalf("column %q missing", col)
+		}
+		if s.Columns[idx].Type != kind {
+			t.Errorf("column %q inferred as %v, want %v", col, s.Columns[idx].Type, kind)
+		}
+	}
+}
+
+func TestLoadCSVMixedAndEmptyCells(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "m.csv", "a,b,c,d\n1,1.5,true,\n2,x,false,y\n")
+	rel, err := loadCSV("m", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rel.Schema
+	if s.Columns[0].Type != mahif.KindInt {
+		t.Errorf("a = %v", s.Columns[0].Type)
+	}
+	// 1.5 then x → string.
+	if s.Columns[1].Type != mahif.KindString {
+		t.Errorf("b = %v", s.Columns[1].Type)
+	}
+	if s.Columns[2].Type != mahif.KindBool {
+		t.Errorf("c = %v", s.Columns[2].Type)
+	}
+	// Empty first cell is skipped during inference; NULL at load.
+	if !rel.Tuples[0][3].IsNull() {
+		t.Errorf("empty cell = %v, want NULL", rel.Tuples[0][3])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadCSV("x", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFile(t, dir, "bad.csv", "a,b\n1\n")
+	if _, err := loadCSV("x", bad); err == nil {
+		t.Error("ragged row accepted")
+	}
+	empty := writeFile(t, dir, "empty.csv", "")
+	if _, err := loadCSV("x", empty); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestLoadModifications(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "mods.txt", `
+# comment
+replace 1: UPDATE orders SET shippingfee = 0 WHERE price >= 60
+insert 2: UPDATE orders SET shippingfee = 1 WHERE country = 'US'
+delete 3
+`)
+	mods, err := loadModifications(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 3 {
+		t.Fatalf("mods = %d", len(mods))
+	}
+	if r, ok := mods[0].(mahif.Replace); !ok || r.Pos != 0 {
+		t.Errorf("first mod = %#v", mods[0])
+	}
+	if ins, ok := mods[1].(mahif.InsertStmt); !ok || ins.Pos != 1 {
+		t.Errorf("second mod = %#v", mods[1])
+	}
+	if del, ok := mods[2].(mahif.DeleteStmt); !ok || del.Pos != 2 {
+		t.Errorf("third mod = %#v", mods[2])
+	}
+}
+
+func TestLoadModificationsErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"verb":     "frobnicate 1: UPDATE t SET a = 1",
+		"position": "replace zero: UPDATE t SET a = 1",
+		"colon":    "replace 1 UPDATE t SET a = 1",
+		"sql":      "replace 1: UPDATE SET",
+		"empty":    "# nothing here\n",
+	}
+	for name, content := range cases {
+		path := writeFile(t, dir, name+".txt", content)
+		if _, err := loadModifications(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRunEndToEnd drives the whole CLI path (CSV → history → what-if)
+// for every variant, reproducing the paper's running example.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "orders.csv", ordersCSV)
+	hist := writeFile(t, dir, "history.sql", `
+		UPDATE orders SET shippingfee = 0 WHERE price >= 50;
+		UPDATE orders SET shippingfee = shippingfee + 5 WHERE country = 'UK' AND price <= 100;
+		UPDATE orders SET shippingfee = shippingfee - 2 WHERE price <= 30 AND shippingfee >= 10;
+	`)
+	mods := writeFile(t, dir, "mods.txt",
+		"replace 1: UPDATE orders SET shippingfee = 0 WHERE price >= 60\n")
+
+	for _, variant := range []string{"N", "R", "R+PS", "R+DS", "R+PS+DS"} {
+		if err := run([]string{"orders=" + csv}, hist, mods, variant, true); err != nil {
+			t.Errorf("variant %s: %v", variant, err)
+		}
+	}
+	if err := run([]string{"bad-spec"}, hist, mods, "R", false); err == nil {
+		t.Error("malformed -data accepted")
+	}
+}

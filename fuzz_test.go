@@ -1,0 +1,143 @@
+package mahif_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mahif/mahif"
+)
+
+// TestRandomizedCrossValidation is the repository's highest-level
+// correctness net: random two-relation databases, random histories
+// (updates, deletes, constant inserts, INSERT…SELECT across relations),
+// and random modifications of every kind, answered by every variant and
+// compared against the naive algorithm.
+func TestRandomizedCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		vdb, hist := randomScenario(t, rng)
+		mod := randomModificationFor(rng, hist)
+		engine := mahif.NewEngine(vdb)
+
+		want, _, err := engine.Naive([]mahif.Modification{mod})
+		if err != nil {
+			t.Fatalf("trial %d: naive: %v\nhistory:\n%s\nmod: %s", trial, err, hist, mod)
+		}
+		for _, v := range []mahif.Variant{mahif.VariantR, mahif.VariantRPS, mahif.VariantRDS, mahif.VariantRFull} {
+			got, _, err := engine.WhatIf([]mahif.Modification{mod}, mahif.OptionsFor(v))
+			if err != nil {
+				t.Fatalf("trial %d %s: %v\nhistory:\n%s\nmod: %s", trial, v, err, hist, mod)
+			}
+			for rel, wd := range want {
+				gd := got[rel]
+				if gd == nil {
+					if wd.Empty() {
+						continue
+					}
+					t.Fatalf("trial %d %s: missing delta for %s\nhistory:\n%s\nmod: %s\nwant:\n%s",
+						trial, v, rel, hist, mod, wd)
+				}
+				if !gd.Equal(wd) {
+					t.Fatalf("trial %d %s: delta mismatch for %s\nhistory:\n%s\nmod: %s\nnaive:\n%s\ngot:\n%s",
+						trial, v, rel, hist, mod, wd, gd)
+				}
+			}
+		}
+	}
+}
+
+// randomScenario builds a fresh versioned database with relations r and
+// w (same schema, w initially empty) and applies a random history.
+func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mahif.History) {
+	t.Helper()
+	cols := []mahif.Column{
+		mahif.Col("k", mahif.KindInt),
+		mahif.Col("v", mahif.KindInt),
+		mahif.Col("g", mahif.KindString),
+	}
+	db := mahif.NewDatabase()
+	r := mahif.NewRelation(mahif.NewSchema("r", cols...))
+	groups := []string{"a", "b", "c"}
+	for i := 0; i < 30+rng.Intn(30); i++ {
+		r.Add(mahif.NewTuple(
+			mahif.Int(int64(rng.Intn(50))),
+			mahif.Int(int64(rng.Intn(50))),
+			mahif.Str(groups[rng.Intn(len(groups))]),
+		))
+	}
+	db.AddRelation(r)
+	db.AddRelation(mahif.NewRelation(mahif.NewSchema("w", cols...)))
+	vdb := mahif.NewVersioned(db)
+
+	var hist mahif.History
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		st := randomStatement(rng, i)
+		if err := vdb.Apply(st); err != nil {
+			t.Fatalf("applying %s: %v", st, err)
+		}
+		hist = append(hist, st)
+	}
+	return vdb, hist
+}
+
+func randomCondSQL(rng *rand.Rand) string {
+	col := []string{"k", "v"}[rng.Intn(2)]
+	op := []string{">=", "<", "="}[rng.Intn(3)]
+	base := fmt.Sprintf("%s %s %d", col, op, rng.Intn(50))
+	switch rng.Intn(3) {
+	case 0:
+		return base + fmt.Sprintf(" AND g = '%s'", []string{"a", "b", "c"}[rng.Intn(3)])
+	case 1:
+		return base + fmt.Sprintf(" OR v < %d", rng.Intn(20))
+	}
+	return base
+}
+
+func randomStatement(rng *rand.Rand, i int) mahif.Statement {
+	rel := "r"
+	if rng.Intn(4) == 0 {
+		rel = "w"
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return mahif.MustParseStatement(fmt.Sprintf(
+			`DELETE FROM %s WHERE %s`, rel, randomCondSQL(rng)))
+	case 1:
+		return mahif.MustParseStatement(fmt.Sprintf(
+			`INSERT INTO %s VALUES (%d, %d, 'a'), (%d, %d, 'b')`,
+			rel, 100+i, rng.Intn(50), 200+i, rng.Intn(50)))
+	case 2:
+		// Cross-relation INSERT…SELECT (w fed from r or vice versa).
+		src := "r"
+		if rel == "r" {
+			src = "w"
+		}
+		return mahif.MustParseStatement(fmt.Sprintf(
+			`INSERT INTO %s SELECT k, v, g FROM %s WHERE %s`, rel, src, randomCondSQL(rng)))
+	default:
+		set := fmt.Sprintf("v = v + %d", 1+rng.Intn(5))
+		if rng.Intn(3) == 0 {
+			set = fmt.Sprintf("v = %d, k = k + 1", rng.Intn(30))
+		}
+		return mahif.MustParseStatement(fmt.Sprintf(
+			`UPDATE %s SET %s WHERE %s`, rel, set, randomCondSQL(rng)))
+	}
+}
+
+func randomModificationFor(rng *rand.Rand, hist mahif.History) mahif.Modification {
+	pos := rng.Intn(len(hist))
+	switch rng.Intn(4) {
+	case 0:
+		return mahif.DeleteAt(pos)
+	case 1:
+		return mahif.InsertStmt{Pos: pos, Stmt: randomStatement(rng, 50)}
+	default:
+		return mahif.Replace{Pos: pos, Stmt: randomStatement(rng, 60)}
+	}
+}

@@ -1,0 +1,280 @@
+package mahif_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mahif/mahif"
+)
+
+// buildInventory creates a two-relation database: stock plus an empty
+// audit relation fed by INSERT…SELECT.
+func buildInventory(t *testing.T) *mahif.VersionedDatabase {
+	t.Helper()
+	stockSchema := mahif.NewSchema("stock",
+		mahif.Col("sku", mahif.KindInt),
+		mahif.Col("qty", mahif.KindInt),
+		mahif.Col("price", mahif.KindFloat),
+	)
+	stock := mahif.NewRelation(stockSchema)
+	for i := int64(0); i < 200; i++ {
+		stock.Add(mahif.NewTuple(mahif.Int(i), mahif.Int(i%50), mahif.Float(float64(i%90)+0.5)))
+	}
+	auditSchema := mahif.NewSchema("audit",
+		mahif.Col("sku", mahif.KindInt),
+		mahif.Col("qty", mahif.KindInt),
+		mahif.Col("price", mahif.KindFloat),
+	)
+	db := mahif.NewDatabase()
+	db.AddRelation(stock)
+	db.AddRelation(mahif.NewRelation(auditSchema))
+	return mahif.NewVersioned(db)
+}
+
+func applyAll(t *testing.T, vdb *mahif.VersionedDatabase, stmts ...string) {
+	t.Helper()
+	for _, s := range stmts {
+		if err := vdb.Apply(mahif.MustParseStatement(s)); err != nil {
+			t.Fatalf("applying %q: %v", s, err)
+		}
+	}
+}
+
+// assertAgreesWithNaive runs a modification under every variant and
+// compares each against the naive answer over all relations.
+func assertAgreesWithNaive(t *testing.T, vdb *mahif.VersionedDatabase, mods []mahif.Modification) mahif.DeltaSet {
+	t.Helper()
+	engine := mahif.NewEngine(vdb)
+	want, _, err := engine.Naive(mods)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	for _, v := range []mahif.Variant{mahif.VariantR, mahif.VariantRPS, mahif.VariantRDS, mahif.VariantRFull} {
+		got, _, err := engine.WhatIf(mods, mahif.OptionsFor(v))
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		for rel, wd := range want {
+			gd, ok := got[rel]
+			if !ok {
+				if !wd.Empty() {
+					t.Fatalf("%s: missing delta for %s (naive has %d tuples)", v, rel, wd.Size())
+				}
+				continue
+			}
+			if !gd.Equal(wd) {
+				t.Fatalf("%s: delta for %s differs\nnaive:\n%s\ngot:\n%s", v, rel, wd, gd)
+			}
+		}
+	}
+	return want
+}
+
+// TestMultiRelationInsertSelect: a modification on stock must propagate
+// into the audit relation through INSERT…SELECT, across all variants.
+func TestMultiRelationInsertSelect(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`UPDATE stock SET qty = qty + 10 WHERE price >= 60`,
+		`INSERT INTO audit SELECT * FROM stock WHERE qty >= 55`,
+		`UPDATE audit SET qty = 0 WHERE price < 70`,
+	)
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(0, `UPDATE stock SET qty = qty + 20 WHERE price >= 60`),
+	}
+	want := assertAgreesWithNaive(t, vdb, mods)
+	if want["audit"] == nil || want["audit"].Empty() {
+		t.Fatal("expected the modification to reach the audit relation")
+	}
+}
+
+// TestDeleteStatementModification: a what-if that removes a delete.
+func TestDeleteStatementModification(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`DELETE FROM stock WHERE qty < 5`,
+		`UPDATE stock SET price = price + 1 WHERE qty >= 40`,
+	)
+	d := assertAgreesWithNaive(t, vdb, []mahif.Modification{mahif.DeleteAt(0)})
+	// Without the delete, the removed rows reappear: plus-only delta.
+	if len(d["stock"].Minus) != 0 || len(d["stock"].Plus) == 0 {
+		t.Errorf("expected plus-only delta, got %s", d["stock"])
+	}
+}
+
+// TestInsertStatementModification: a what-if that adds a new statement.
+func TestInsertStatementModification(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`UPDATE stock SET qty = qty + 1 WHERE price >= 50`,
+		`UPDATE stock SET price = price * 2 WHERE qty >= 45`,
+	)
+	mods := []mahif.Modification{
+		mahif.InsertSQL(1, `UPDATE stock SET qty = 0 WHERE price >= 80`),
+	}
+	d := assertAgreesWithNaive(t, vdb, mods)
+	if d["stock"].Empty() {
+		t.Error("inserting a zeroing update must change the state")
+	}
+}
+
+// TestCrossClassReplacement: replacing an update with a delete.
+func TestCrossClassReplacement(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`UPDATE stock SET qty = 0 WHERE price >= 85`,
+		`UPDATE stock SET qty = qty + 1 WHERE qty <= 1`,
+	)
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(0, `DELETE FROM stock WHERE price >= 85`),
+	}
+	d := assertAgreesWithNaive(t, vdb, mods)
+	if len(d["stock"].Minus) == 0 {
+		t.Error("turning the update into a delete must remove rows")
+	}
+}
+
+// TestRelationChangeReplacement: the replacement statement targets a
+// different relation than the original.
+func TestRelationChangeReplacement(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`INSERT INTO audit SELECT * FROM stock WHERE price >= 80`,
+		`UPDATE stock SET qty = 1 WHERE price >= 89`,
+	)
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(1, `UPDATE audit SET qty = 1 WHERE price >= 89`),
+	}
+	d := assertAgreesWithNaive(t, vdb, mods)
+	if d["stock"].Empty() || d["audit"].Empty() {
+		t.Errorf("both relations must change: stock %d, audit %d tuples",
+			d["stock"].Size(), d["audit"].Size())
+	}
+}
+
+// TestModificationOfLaterStatement: the shared prefix before the first
+// modification must be skipped via time travel, not reenacted.
+func TestModificationOfLaterStatement(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`UPDATE stock SET qty = qty + 1 WHERE qty < 10`,
+		`UPDATE stock SET qty = qty + 1 WHERE qty < 20`,
+		`UPDATE stock SET price = 0 WHERE qty >= 45`,
+	)
+	engine := mahif.NewEngine(vdb)
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(2, `UPDATE stock SET price = 0 WHERE qty >= 48`),
+	}
+	d, stats, err := engine.WhatIf(mods, mahif.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalStatements != 1 {
+		t.Errorf("suffix statements = %d, want 1 (prefix handled by time travel)", stats.TotalStatements)
+	}
+	naive, _, err := engine.Naive(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive["stock"].Equal(d["stock"]) {
+		t.Errorf("naive and optimized disagree:\n%s\nvs\n%s", naive["stock"], d["stock"])
+	}
+}
+
+// TestEmptyDelta: a modification that provably changes nothing.
+func TestEmptyDelta(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb, `UPDATE stock SET qty = 7 WHERE price >= 89`)
+	// The replacement has a different condition but selects the same
+	// rows (price is at most 89.5 and prices end in .5).
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(0, `UPDATE stock SET qty = 7 WHERE price > 88.6`),
+	}
+	d := assertAgreesWithNaive(t, vdb, mods)
+	if !d["stock"].Empty() {
+		t.Errorf("expected empty delta, got %s", d["stock"])
+	}
+}
+
+// TestProveEquivalentFacade exercises the public equivalence API.
+func TestProveEquivalentFacade(t *testing.T) {
+	s := mahif.NewSchema("stock",
+		mahif.Col("sku", mahif.KindInt),
+		mahif.Col("qty", mahif.KindInt),
+		mahif.Col("price", mahif.KindFloat),
+	)
+	h1, err := mahif.ParseStatements(`
+		UPDATE stock SET qty = 0 WHERE price >= 50;
+		UPDATE stock SET qty = qty + 1 WHERE price < 40;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := mahif.ParseStatements(`
+		UPDATE stock SET qty = qty + 1 WHERE price < 40;
+		UPDATE stock SET qty = 0 WHERE price >= 50;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mahif.ProveEquivalent(h1, h2, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Definitive || !res.Equivalent {
+		t.Errorf("commuting histories not proven equivalent: %+v", res)
+	}
+}
+
+// TestStatsPlausibility sanity-checks the reported statistics.
+func TestStatsPlausibility(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb,
+		`UPDATE stock SET qty = qty + 1 WHERE price >= 70`,
+		`UPDATE stock SET qty = qty + 2 WHERE price < 20`,
+		`UPDATE stock SET qty = qty + 3 WHERE price >= 70`,
+	)
+	engine := mahif.NewEngine(vdb)
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(0, `UPDATE stock SET qty = qty + 1 WHERE price >= 75`),
+	}
+	_, stats, err := engine.WhatIf(mods, mahif.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalStatements != 3 {
+		t.Errorf("TotalStatements = %d", stats.TotalStatements)
+	}
+	// The price<20 update is independent; the price>=70 one dependent.
+	if stats.KeptStatements != 2 {
+		t.Errorf("KeptStatements = %d, want 2 (slices: %+v)", stats.KeptStatements, stats.Slices)
+	}
+	if stats.Total <= 0 || stats.SolverTests == 0 {
+		t.Errorf("implausible stats: %+v", stats)
+	}
+	naive, nstats, err := engine.Naive(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nstats.Total <= 0 || nstats.Creation <= 0 {
+		t.Errorf("implausible naive stats: %+v", nstats)
+	}
+	_ = naive
+}
+
+// TestDeltaRendering checks the human-readable output format.
+func TestDeltaRendering(t *testing.T) {
+	vdb := buildInventory(t)
+	applyAll(t, vdb, `UPDATE stock SET qty = 99 WHERE sku = 3`)
+	engine := mahif.NewEngine(vdb)
+	d, _, err := engine.WhatIf([]mahif.Modification{
+		mahif.ReplaceSQL(0, `UPDATE stock SET qty = 98 WHERE sku = 3`),
+	}, mahif.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.String()
+	if !strings.Contains(out, "- (3, 99") || !strings.Contains(out, "+ (3, 98") {
+		t.Errorf("rendering missing annotations:\n%s", out)
+	}
+}

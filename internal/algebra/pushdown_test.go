@@ -1,0 +1,216 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+func TestPushCondScan(t *testing.T) {
+	db := testDB()
+	theta := expr.Ge(expr.Column("a"), expr.IntConst(2))
+	got, err := PushCond(theta, &Scan{Rel: "r"}, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.Equal(got, theta) {
+		t.Errorf("push to own scan = %s", got)
+	}
+	got, err = PushCond(theta, &Scan{Rel: "s"}, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.IsTriviallyFalse(got) {
+		t.Errorf("push to foreign scan = %s, want false", got)
+	}
+}
+
+func TestPushCondSelect(t *testing.T) {
+	db := testDB()
+	q := &Select{Cond: expr.Lt(expr.Column("a"), expr.IntConst(10)), In: &Scan{Rel: "r"}}
+	theta := expr.Ge(expr.Column("a"), expr.IntConst(2))
+	got, err := PushCond(theta, q, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expr.AndOf(theta, q.Cond)
+	if !expr.Equal(got, want) {
+		t.Errorf("push through σ = %s, want %s", got, want)
+	}
+}
+
+func TestPushCondProject(t *testing.T) {
+	// Paper's example shape: push a = 5 through Π_{a←a+1}.
+	db := testDB()
+	q := &Project{
+		Exprs: []NamedExpr{
+			{Name: "a", E: expr.Add(expr.Column("a"), expr.IntConst(1))},
+			{Name: "b", E: expr.Column("b")},
+		},
+		In: &Scan{Rel: "r"},
+	}
+	theta := expr.Eq(expr.Column("a"), expr.IntConst(5))
+	got, err := PushCond(theta, q, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expr.Eq(expr.Add(expr.Column("a"), expr.IntConst(1)), expr.IntConst(5))
+	if !expr.Equal(got, want) {
+		t.Errorf("push through Π = %s, want %s", got, want)
+	}
+}
+
+func TestPushCondJoinSplitsConjuncts(t *testing.T) {
+	// §6's example: I_{σ_{A=5}(R ⋈_{A=C} S)}: A=5 pushes to R and (via
+	// the join condition) C=5 pushes to S.
+	db := testDB()
+	q := &Select{
+		Cond: expr.Eq(expr.Column("a"), expr.IntConst(5)),
+		In: &Join{
+			L:    &Scan{Rel: "r"},
+			R:    &Scan{Rel: "s"},
+			Cond: expr.Eq(expr.Column("c"), expr.IntConst(5)),
+		},
+	}
+	gotR, err := PushCond(expr.True, q, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr.IsTriviallyFalse(gotR) || expr.IsTriviallyTrue(gotR) {
+		// a=5 must survive into r's condition.
+		wantPart := expr.Eq(expr.Column("a"), expr.IntConst(5))
+		found := false
+		expr.Walk(gotR, func(n expr.Expr) {
+			if expr.Equal(n, wantPart) {
+				found = true
+			}
+		})
+		if !found {
+			t.Errorf("condition for r lost a=5: %s", gotR)
+		}
+	}
+	gotS, err := PushCond(expr.True, q, "s", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPart := expr.Eq(expr.Column("c"), expr.IntConst(5))
+	found := false
+	expr.Walk(gotS, func(n expr.Expr) {
+		if expr.Equal(n, wantPart) {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("condition for s lost c=5: %s", gotS)
+	}
+}
+
+func TestPushCondUnionRenames(t *testing.T) {
+	// Union branches with different column names: θ over the left
+	// schema must be renamed positionally for the right branch.
+	db := storage.NewDatabase()
+	l := storage.NewRelation(schema.New("l", schema.Col("a", types.KindInt)))
+	l.Add(schema.Tuple{types.Int(1)})
+	r := storage.NewRelation(schema.New("r", schema.Col("z", types.KindInt)))
+	r.Add(schema.Tuple{types.Int(2)})
+	db.AddRelation(l)
+	db.AddRelation(r)
+
+	q := &Union{L: &Scan{Rel: "l"}, R: &Scan{Rel: "r"}}
+	theta := expr.Ge(expr.Column("a"), expr.IntConst(1))
+	got, err := PushCond(theta, q, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expr.Ge(expr.Column("z"), expr.IntConst(1))
+	if !expr.Equal(expr.Simplify(got), want) {
+		t.Errorf("renamed push = %s, want %s", got, want)
+	}
+}
+
+func TestPushCondSingleton(t *testing.T) {
+	db := testDB()
+	s := schema.New("r", schema.Col("a", types.KindInt), schema.Col("b", types.KindInt))
+	q := &Union{L: &Scan{Rel: "r"}, R: &Singleton{Sch: s}}
+	theta := expr.Ge(expr.Column("a"), expr.IntConst(2))
+	got, err := PushCond(theta, q, "r", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.Equal(expr.Simplify(got), theta) {
+		t.Errorf("singleton branch must contribute false: %s", got)
+	}
+}
+
+// TestPushCondSoundness is the semantic property behind data slicing:
+// for random data, every base tuple contributing to a θ-satisfying
+// output also satisfies the pushed condition. (The pushed condition may
+// keep more tuples — it over-approximates — but never fewer.)
+func TestPushCondSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		db := storage.NewDatabase()
+		r := storage.NewRelation(schema.New("r", schema.Col("a", types.KindInt), schema.Col("b", types.KindInt)))
+		for i := 0; i < 30; i++ {
+			r.Add(schema.Tuple{types.Int(int64(rng.Intn(10))), types.Int(int64(rng.Intn(10)))})
+		}
+		db.AddRelation(r)
+
+		// Query: Π_{a←a+1,b}(σ_{b<c1}(r)) ∪ σ_{a>c2}(r)
+		c1 := int64(rng.Intn(10))
+		c2 := int64(rng.Intn(10))
+		q := &Union{
+			L: &Project{
+				Exprs: []NamedExpr{
+					{Name: "a", E: expr.Add(expr.Column("a"), expr.IntConst(1))},
+					{Name: "b", E: expr.Column("b")},
+				},
+				In: &Select{Cond: expr.Lt(expr.Column("b"), expr.IntConst(c1)), In: &Scan{Rel: "r"}},
+			},
+			R: &Select{Cond: expr.Gt(expr.Column("a"), expr.IntConst(c2)), In: &Scan{Rel: "r"}},
+		}
+		theta := expr.Ge(expr.Column("a"), expr.IntConst(int64(rng.Intn(10))))
+		pushed, err := PushCond(theta, q, "r", db)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// For each base tuple: evaluate the query over just that tuple;
+		// if any output satisfies θ, the tuple must satisfy pushed.
+		for _, tup := range r.Tuples {
+			single := storage.NewDatabase()
+			sr := storage.NewRelation(r.Schema)
+			sr.Add(tup)
+			single.AddRelation(sr)
+			out, err := Eval(q, single)
+			if err != nil {
+				t.Fatal(err)
+			}
+			contributes := false
+			for _, o := range out.Tuples {
+				ok, err := expr.Satisfied(theta, out.Schema, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok {
+					contributes = true
+					break
+				}
+			}
+			if contributes {
+				keeps, err := expr.Satisfied(pushed, r.Schema, tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !keeps {
+					t.Fatalf("unsound push-down: tuple %s contributes to θ=%s output but fails %s",
+						tup, theta, pushed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package core is the Mahif engine: it answers historical what-if
+// queries H = (H, D, M) over a versioned database, either naively
+// (Alg. 1: copy the past state, execute the modified history, diff) or
+// by reenactment (Alg. 2) with the program slicing and data slicing
+// optimizations, reporting per-phase timing statistics that mirror the
+// breakdowns of the paper's evaluation (Figs. 15 and 16).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/dataslice"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/progslice"
+	"github.com/mahif/mahif/internal/reenact"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/symbolic"
+)
+
+// Options selects the algorithm variant and tuning knobs.
+type Options struct {
+	// ProgramSlicing enables §7–§9 (implies the insert split of §10).
+	ProgramSlicing bool
+	// DataSlicing enables §6.
+	DataSlicing bool
+	// UseDependency selects the §9 single-modification dependency test
+	// instead of greedy slicing when exactly one statement is modified.
+	UseDependency bool
+	// InsertSplit applies the §10 split even without program slicing.
+	InsertSplit bool
+	// SkipUntainted skips relations whose delta is provably empty.
+	SkipUntainted bool
+	// Compress configures database compression for program slicing.
+	Compress symbolic.CompressOptions
+	// Compile configures the MILP backend.
+	Compile compile.Options
+	// DataSlice configures the push-down analysis.
+	DataSlice dataslice.Options
+}
+
+// DefaultOptions enables every optimization (the paper's R+PS+DS).
+func DefaultOptions() Options {
+	return Options{
+		ProgramSlicing: true,
+		DataSlicing:    true,
+		UseDependency:  true,
+		InsertSplit:    true,
+		SkipUntainted:  true,
+	}
+}
+
+// Variant names an algorithm configuration from the evaluation (§13.3).
+type Variant string
+
+// The compared methods.
+const (
+	VariantNaive Variant = "N"       // naive copy+execute+diff
+	VariantR     Variant = "R"       // reenactment only
+	VariantRPS   Variant = "R+PS"    // reenactment + program slicing
+	VariantRDS   Variant = "R+DS"    // reenactment + data slicing
+	VariantRFull Variant = "R+PS+DS" // both optimizations
+)
+
+// OptionsFor maps an evaluation variant to engine options. The §10
+// insert split exists to enable program slicing, so the variants
+// without PS (R, R+DS) run the plain whole-history reenactment the
+// paper describes.
+func OptionsFor(v Variant) Options {
+	o := DefaultOptions()
+	switch v {
+	case VariantR:
+		o.ProgramSlicing, o.DataSlicing, o.InsertSplit = false, false, false
+	case VariantRPS:
+		o.DataSlicing = false
+	case VariantRDS:
+		o.ProgramSlicing, o.InsertSplit = false, false
+	case VariantRFull, VariantNaive:
+	}
+	return o
+}
+
+// Stats reports where time went while answering a query with Alg. 2.
+type Stats struct {
+	Total          time.Duration
+	TimeTravel     time.Duration // reconstructing D before the first modified statement
+	ProgramSlicing time.Duration
+	DataSlicing    time.Duration
+	Execute        time.Duration // evaluating the reenactment queries
+	Delta          time.Duration
+
+	// Slice quality.
+	TotalStatements int
+	KeptStatements  int
+	SolverTests     int
+	SolverNodes     int
+
+	// Per-relation slicing details.
+	Slices map[string]progslice.Stats
+	// SkippedRelations lists relations pruned by taint analysis.
+	SkippedRelations []string
+}
+
+// NaiveStats is the Alg. 1 breakdown of Fig. 15.
+type NaiveStats struct {
+	Total    time.Duration
+	Creation time.Duration // copying the past database state
+	Execute  time.Duration // running H[M] over the copy
+	Delta    time.Duration
+}
+
+// Engine answers historical what-if queries against one versioned
+// database whose redo log is the transactional history H.
+type Engine struct {
+	vdb *storage.VersionedDatabase
+}
+
+// New builds an engine over a versioned database.
+func New(vdb *storage.VersionedDatabase) *Engine { return &Engine{vdb: vdb} }
+
+// History returns the logged history H as typed statements.
+func (e *Engine) History() (history.History, error) {
+	log := e.vdb.Log()
+	h := make(history.History, len(log))
+	for i, m := range log {
+		st, ok := m.(history.Statement)
+		if !ok {
+			return nil, fmt.Errorf("core: log entry %d (%s) is not a statement", i+1, m)
+		}
+		h[i] = st
+	}
+	return h, nil
+}
+
+// prepare applies M to H, cuts the shared prefix, and reconstructs the
+// database state at the first modified statement.
+func (e *Engine) prepare(mods []history.Modification, st *Stats) (*history.PaddedPair, *storage.Database, error) {
+	h, err := e.History()
+	if err != nil {
+		return nil, nil, err
+	}
+	pair, err := history.ApplyModifications(h, mods)
+	if err != nil {
+		return nil, nil, err
+	}
+	first := pair.FirstModified()
+	t0 := time.Now()
+	// The prefix before the first modification is identical in both
+	// histories; per §4 we time-travel to the state right before it.
+	// Padding only ever occurs at or after modified positions, so the
+	// prefix indexes the log directly.
+	db, err := e.vdb.Version(min(first, e.vdb.NumVersions()))
+	if err != nil {
+		return nil, nil, err
+	}
+	if st != nil {
+		st.TimeTravel = time.Since(t0)
+	}
+	return pair.SuffixFrom(first), db, nil
+}
+
+// Naive answers the query with Alg. 1.
+func (e *Engine) Naive(mods []history.Modification) (delta.Set, *NaiveStats, error) {
+	stats := &NaiveStats{}
+	start := time.Now()
+	suffix, db, err := e.prepare(mods, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Creation: the copy of D. prepare already materialized a private
+	// copy via time travel; the explicit Clone here is the algorithm's
+	// Copy(D) step, kept so the naive method pays the paper's cost.
+	t0 := time.Now()
+	work := db.Clone()
+	stats.Creation = time.Since(t0)
+
+	t0 = time.Now()
+	if err := suffix.Mod.Apply(work); err != nil {
+		return nil, nil, err
+	}
+	stats.Execute = time.Since(t0)
+
+	t0 = time.Now()
+	out := delta.Set{}
+	for rel := range relationUnion(suffix) {
+		cur, err := e.vdb.Current().Relation(rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		modRel, err := work.Relation(rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[rel] = delta.Compute(cur, modRel)
+	}
+	stats.Delta = time.Since(t0)
+	stats.Total = time.Since(start)
+	return out, stats, nil
+}
+
+func relationUnion(pair *history.PaddedPair) map[string]bool {
+	rels := pair.Orig.Relations()
+	for r := range pair.Mod.Relations() {
+		rels[r] = true
+	}
+	return rels
+}
+
+// WhatIf answers the query with Alg. 2 under the given options.
+func (e *Engine) WhatIf(mods []history.Modification, opts Options) (delta.Set, *Stats, error) {
+	stats := &Stats{Slices: map[string]progslice.Stats{}}
+	start := time.Now()
+	suffix, db, err := e.prepare(mods, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.TotalStatements = len(suffix.Orig)
+
+	// Relations to answer for; taint analysis prunes provably-empty
+	// deltas.
+	rels := relationUnion(suffix)
+	tainted := dataslice.TaintedRelations(suffix)
+	targets := make([]string, 0, len(rels))
+	for rel := range rels {
+		if opts.SkipUntainted && !tainted[rel] {
+			stats.SkippedRelations = append(stats.SkippedRelations, rel)
+			continue
+		}
+		targets = append(targets, rel)
+	}
+
+	// Data slicing (§6).
+	filters := &dataslice.Conditions{H: reenact.Filters{}, M: reenact.Filters{}}
+	if opts.DataSlicing {
+		t0 := time.Now()
+		filters, err = dataslice.Compute(suffix, db, opts.DataSlice)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.DataSlicing = time.Since(t0)
+	}
+
+	out := delta.Set{}
+	split := opts.ProgramSlicing || opts.InsertSplit
+	if !split {
+		if err := e.wholeHistoryPath(suffix, db, filters, targets, out, stats); err != nil {
+			return nil, nil, err
+		}
+		stats.Total = time.Since(start)
+		stats.KeptStatements = stats.TotalStatements
+		return out, stats, nil
+	}
+
+	for _, rel := range targets {
+		if err := e.splitPath(suffix, db, rel, filters, opts, out, stats); err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.Total = time.Since(start)
+	return out, stats, nil
+}
+
+// wholeHistoryPath reenacts the full histories per relation (variant R
+// or R+DS without insert split).
+func (e *Engine) wholeHistoryPath(suffix *history.PaddedPair, db *storage.Database, filters *dataslice.Conditions, targets []string, out delta.Set, stats *Stats) error {
+	t0 := time.Now()
+	qsOrig, err := reenact.Queries(suffix.Orig, db, filters.H)
+	if err != nil {
+		return err
+	}
+	qsMod, err := reenact.Queries(suffix.Mod, db, filters.M)
+	if err != nil {
+		return err
+	}
+	for _, rel := range targets {
+		qo, qm := qsOrig[rel], qsMod[rel]
+		if qo == nil || qm == nil {
+			continue
+		}
+		ro, err := evalQuery(qo, db)
+		if err != nil {
+			return err
+		}
+		rm, err := evalQuery(qm, db)
+		if err != nil {
+			return err
+		}
+		stats.Execute += time.Since(t0)
+		t1 := time.Now()
+		out[rel] = delta.Compute(ro, rm)
+		stats.Delta += time.Since(t1)
+		t0 = time.Now()
+	}
+	stats.Execute += time.Since(t0)
+	return nil
+}
+
+// splitPath answers one relation using the §10 split: the insert-free
+// part (optionally program sliced) over the base relation, unioned with
+// the insert branches.
+func (e *Engine) splitPath(suffix *history.PaddedPair, db *storage.Database, rel string, filters *dataslice.Conditions, opts Options, out delta.Set, stats *Stats) error {
+	relPair, _ := suffix.RestrictToRelation(rel)
+	noInsPair, modified := stripInsertPair(relPair)
+
+	keep := allPositions(len(noInsPair.Orig))
+	if opts.ProgramSlicing {
+		if len(modified) == 0 {
+			// Every modification on rel is an insert pair: the
+			// insert-free parts of both histories are identical, so the
+			// base branches cancel and can be dropped entirely.
+			keep = nil
+		} else {
+			relation, err := db.Relation(rel)
+			if err != nil {
+				return err
+			}
+			phiD, err := symbolic.Compress(relation, opts.Compress)
+			if err != nil {
+				return err
+			}
+			in := &progslice.Input{Pair: noInsPair, Schema: relation.Schema, PhiD: phiD, Compile: opts.Compile}
+			var res *progslice.Result
+			if opts.UseDependency {
+				res, err = progslice.Dependency(in)
+			} else {
+				res, err = progslice.Greedy(in)
+			}
+			if err != nil {
+				return err
+			}
+			keep = res.Keep
+			stats.Slices[rel] = res.Stats
+			stats.ProgramSlicing += res.Stats.Duration
+			stats.SolverTests += res.Stats.Tests
+			stats.SolverNodes += res.Stats.SolverNodes
+		}
+	}
+	stats.KeptStatements += len(keep)
+
+	t0 := time.Now()
+	baseOrig, err := reenact.QueryForRelation(noInsPair.Orig.Restrict(keep), rel, db, filters.H)
+	if err != nil {
+		return err
+	}
+	baseMod, err := reenact.QueryForRelation(noInsPair.Mod.Restrict(keep), rel, db, filters.M)
+	if err != nil {
+		return err
+	}
+	brOrig, err := reenact.InsertBranches(suffix.Orig, rel, db)
+	if err != nil {
+		return err
+	}
+	brMod, err := reenact.InsertBranches(suffix.Mod, rel, db)
+	if err != nil {
+		return err
+	}
+	qo, qm := baseOrig, baseMod
+	if brOrig != nil {
+		qo = &algebra.Union{L: qo, R: brOrig}
+	}
+	if brMod != nil {
+		qm = &algebra.Union{L: qm, R: brMod}
+	}
+	ro, err := evalQuery(qo, db)
+	if err != nil {
+		return err
+	}
+	rm, err := evalQuery(qm, db)
+	if err != nil {
+		return err
+	}
+	stats.Execute += time.Since(t0)
+
+	t0 = time.Now()
+	out[rel] = delta.Compute(ro, rm)
+	stats.Delta += time.Since(t0)
+	return nil
+}
+
+func allPositions(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// stripInsertPair removes aligned insert positions from a pair,
+// returning the reduced pair and its modified positions.
+func stripInsertPair(pair *history.PaddedPair) (*history.PaddedPair, []int) {
+	modSet := map[int]bool{}
+	for _, p := range pair.ModifiedPos {
+		modSet[p] = true
+	}
+	out := &history.PaddedPair{}
+	for i := range pair.Orig {
+		if isInsert(pair.Orig[i]) || isInsert(pair.Mod[i]) {
+			continue
+		}
+		out.Orig = append(out.Orig, pair.Orig[i])
+		out.Mod = append(out.Mod, pair.Mod[i])
+		if modSet[i] {
+			out.ModifiedPos = append(out.ModifiedPos, len(out.Orig)-1)
+		}
+	}
+	return out, out.ModifiedPos
+}
+
+func isInsert(s history.Statement) bool {
+	switch s.(type) {
+	case *history.InsertValues, *history.InsertQuery:
+		return true
+	}
+	return false
+}
+
+func evalQuery(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
+	return algebra.Eval(q, db)
+}

@@ -1,0 +1,289 @@
+// Package dataslice implements the data slicing optimization of §6:
+// selection conditions injected at the base scans of the reenactment
+// queries that filter out tuples provably irrelevant for the answer of
+// a historical what-if query.
+//
+// For a modification u ← u' at position p, the base conditions are
+//
+//	update/update:  θ_u ∨ θ_u'           (Eq. 7, both sides)
+//	delete/delete:  θ_u' for H, θ_u for H[M] (simplified Eq. 8)
+//	insert/insert:  none — base tuples pass through inserts unchanged
+//
+// and are pushed down through the p preceding statements per side
+// (Fig. 9): substitution through updates, unchanged through deletes and
+// constant inserts, and through INSERT…SELECT via the relational
+// push-down (θ)[S]↓Q, which spawns conditions for the query's input
+// relations. Conditions from multiple modifications are combined by
+// disjunction (Thm. 2).
+package dataslice
+
+import (
+	"strings"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/reenact"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// Conditions holds per-relation slicing filters for the two histories.
+type Conditions struct {
+	H reenact.Filters // filters for the original history's reenactment
+	M reenact.Filters // filters for the modified history's reenactment
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxCondSize widens a pushed condition to true once its AST
+	// exceeds this many nodes, bounding the push-down cost the paper
+	// discusses at the end of §6. Zero means the default (8192).
+	MaxCondSize int
+}
+
+const defaultMaxCondSize = 8192
+
+// Compute derives the data slicing conditions for an aligned history
+// pair over db.
+func Compute(pair *history.PaddedPair, db *storage.Database, opts Options) (*Conditions, error) {
+	if opts.MaxCondSize == 0 {
+		opts.MaxCondSize = defaultMaxCondSize
+	}
+	hContrib, hWide, err := sideConditions(pair, db, false, opts)
+	if err != nil {
+		return nil, err
+	}
+	mContrib, mWide, err := sideConditions(pair, db, true, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Conditions{H: reenact.Filters{}, M: reenact.Filters{}}
+	wide := func(rel string) bool { return hWide[rel] || mWide[rel] }
+	combine := func(contrib map[string][]expr.Expr, dst reenact.Filters) {
+		for rel, cs := range contrib {
+			if wide(rel) {
+				continue // widened to true: no filter
+			}
+			dst[rel] = expr.Simplify(expr.OrOf(cs...))
+		}
+	}
+	combine(hContrib, out.H)
+	combine(mContrib, out.M)
+
+	// Relations read by an unmodified INSERT…SELECT must be filtered
+	// symmetrically on both sides: their tuples feed inserted tuples via
+	// the query in both reenactments, filtered-out sources produce the
+	// same (missing) inserted tuples on both sides, and those cancel in
+	// the delta. An asymmetric filter (possible for delete/delete
+	// modifications) would break that cancellation. The symmetric union
+	// of both sides' filters is a sound superset.
+	for _, rel := range queryReadRelations(pair, false) {
+		hc, hok := out.H[rel]
+		mc, mok := out.M[rel]
+		switch {
+		case !hok && !mok:
+			continue
+		case !hok || !mok:
+			// One side unfiltered: drop the other side's filter too.
+			delete(out.H, rel)
+			delete(out.M, rel)
+		default:
+			sym := expr.Simplify(expr.OrOf(hc, mc))
+			out.H[rel] = sym
+			out.M[rel] = sym
+		}
+	}
+
+	// Relations read by a *modified* INSERT…SELECT must not be filtered
+	// at all: the query's output exists on one side only, so its
+	// inserted tuples are themselves the delta and every source tuple
+	// the query needs must survive.
+	for _, rel := range queryReadRelations(pair, true) {
+		delete(out.H, rel)
+		delete(out.M, rel)
+	}
+	return out, nil
+}
+
+// sideConditions runs the push-down worklist for one side of the pair.
+// It returns per-relation condition contributions and the set of
+// relations whose conditions were widened to true.
+func sideConditions(pair *history.PaddedPair, db *storage.Database, modified bool, opts Options) (map[string][]expr.Expr, map[string]bool, error) {
+	stmts := pair.Orig
+	if modified {
+		stmts = pair.Mod
+	}
+	contrib := map[string][]expr.Expr{}
+	widened := map[string]bool{}
+
+	type item struct {
+		rel  string
+		cond expr.Expr
+		pos  int // cond talks about relation state after statements [0,pos)
+	}
+	var work []item
+	for _, p := range pair.ModifiedPos {
+		u, uNew := pair.Orig[p], pair.Mod[p]
+		cond := baseCondition(u, uNew, modified)
+		if cond == nil {
+			continue // insert pair: no base condition
+		}
+		work = append(work, item{rel: strings.ToLower(u.Table()), cond: cond, pos: p})
+	}
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		cond := it.cond
+		tooBig := false
+		for j := it.pos - 1; j >= 0 && !tooBig; j-- {
+			st := stmts[j]
+			if !strings.EqualFold(st.Table(), it.rel) {
+				continue
+			}
+			switch x := st.(type) {
+			case *history.Update:
+				rel, err := db.Relation(it.rel)
+				if err != nil {
+					return nil, nil, err
+				}
+				vec, err := x.SetVector(rel.Schema)
+				if err != nil {
+					return nil, nil, err
+				}
+				repl := map[string]expr.Expr{}
+				for i, c := range rel.Schema.Columns {
+					if col, ok := vec[i].(*expr.Col); ok && strings.EqualFold(col.Name, c.Name) {
+						continue // identity assignment: no substitution
+					}
+					repl[strings.ToLower(c.Name)] = expr.IfThenElse(x.Where, vec[i], expr.Column(c.Name))
+				}
+				cond = expr.SubstCols(cond, repl)
+				if expr.Size(cond) > opts.MaxCondSize {
+					tooBig = true
+				}
+			case *history.Delete, *history.InsertValues:
+				// Surviving base tuples keep their values; constant
+				// inserts are handled by the insert-branch split.
+			case *history.InsertQuery:
+				// Tuples may enter it.rel here via the query: spawn
+				// conditions for the query's input relations at state j.
+				for src := range algebra.BaseRelations(x.Query) {
+					pushed, err := algebra.PushCond(cond, x.Query, src, db)
+					if err != nil {
+						return nil, nil, err
+					}
+					pushed = expr.Simplify(pushed)
+					if !expr.IsTriviallyFalse(pushed) {
+						work = append(work, item{rel: src, cond: pushed, pos: j})
+					}
+				}
+			}
+		}
+		if tooBig {
+			widened[it.rel] = true
+			continue
+		}
+		contrib[it.rel] = append(contrib[it.rel], expr.Simplify(cond))
+	}
+	return contrib, widened, nil
+}
+
+// baseCondition builds the slicing condition contributed by one aligned
+// modification pair for the requested side, or nil when the pair does
+// not constrain base tuples (insert pairs).
+func baseCondition(u, uNew history.Statement, modified bool) expr.Expr {
+	switch a := u.(type) {
+	case *history.Update:
+		b, ok := uNew.(*history.Update)
+		if !ok {
+			return expr.True
+		}
+		return expr.Simplify(expr.OrOf(a.Where, b.Where))
+	case *history.Delete:
+		b, ok := uNew.(*history.Delete)
+		if !ok {
+			return expr.True
+		}
+		if modified {
+			return a.Where // θ_u filters the modified history's input
+		}
+		return b.Where // θ_u' filters the original history's input
+	case *history.InsertValues, *history.InsertQuery:
+		return nil
+	}
+	return expr.True
+}
+
+// queryReadRelations lists relations read by INSERT…SELECT statements
+// on either side of the pair, restricted to modified or unmodified
+// statement positions.
+func queryReadRelations(pair *history.PaddedPair, modifiedOnly bool) []string {
+	modified := map[int]bool{}
+	for _, p := range pair.ModifiedPos {
+		modified[p] = true
+	}
+	set := map[string]bool{}
+	scan := func(h history.History) {
+		for pos, st := range h {
+			if modified[pos] != modifiedOnly {
+				continue
+			}
+			if iq, ok := st.(*history.InsertQuery); ok {
+				for rel := range algebra.BaseRelations(iq.Query) {
+					set[rel] = true
+				}
+			}
+		}
+	}
+	scan(pair.Orig)
+	scan(pair.Mod)
+	out := make([]string, 0, len(set))
+	for rel := range set {
+		out = append(out, rel)
+	}
+	return out
+}
+
+// TaintedRelations returns the relations whose final state can differ
+// between the two histories: targets of modified statements, plus any
+// relation receiving an INSERT…SELECT that (transitively) reads a
+// tainted relation after the taint was introduced. Untainted relations
+// have a provably empty delta and can be skipped entirely.
+func TaintedRelations(pair *history.PaddedPair) map[string]bool {
+	tainted := map[string]bool{}
+	firstMod := map[string]int{}
+	for _, p := range pair.ModifiedPos {
+		rel := strings.ToLower(pair.Orig[p].Table())
+		tainted[rel] = true
+		if old, ok := firstMod[rel]; !ok || p < old {
+			firstMod[rel] = p
+		}
+	}
+	// Propagate along insert-query edges in statement order until fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, h := range []history.History{pair.Orig, pair.Mod} {
+			for pos, st := range h {
+				iq, ok := st.(*history.InsertQuery)
+				if !ok {
+					continue
+				}
+				dst := strings.ToLower(iq.Rel)
+				if tainted[dst] {
+					continue
+				}
+				for src := range algebra.BaseRelations(iq.Query) {
+					if tainted[src] && pos >= firstMod[src] {
+						tainted[dst] = true
+						firstMod[dst] = pos
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return tainted
+}

@@ -1,0 +1,303 @@
+package dataslice
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/reenact"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+func ordersDB() *storage.Database {
+	s := schema.New("orders",
+		schema.Col("id", types.KindInt),
+		schema.Col("country", types.KindString),
+		schema.Col("price", types.KindInt),
+		schema.Col("fee", types.KindInt),
+	)
+	r := storage.NewRelation(s)
+	r.Add(
+		schema.Tuple{types.Int(11), types.String_("UK"), types.Int(20), types.Int(5)},
+		schema.Tuple{types.Int(12), types.String_("UK"), types.Int(50), types.Int(5)},
+		schema.Tuple{types.Int(13), types.String_("US"), types.Int(60), types.Int(3)},
+		schema.Tuple{types.Int(14), types.String_("US"), types.Int(30), types.Int(4)},
+	)
+	db := storage.NewDatabase()
+	db.AddRelation(r)
+	return db
+}
+
+func mustPair(t *testing.T, h history.History, mods []history.Modification) *history.PaddedPair {
+	t.Helper()
+	pair, err := history.ApplyModifications(h, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func TestUpdatePairCondition(t *testing.T) {
+	// Eq. 7: both sides filter on θ_u ∨ θ_u'.
+	h, _ := sql.ParseStatements(`UPDATE orders SET fee = 0 WHERE price >= 50`)
+	pair := mustPair(t, h, []history.Modification{history.Replace{
+		Pos:  0,
+		Stmt: sql.MustParseStatement(`UPDATE orders SET fee = 0 WHERE price >= 60`),
+	}})
+	conds, err := Compute(pair, ordersDB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expr.OrOf(
+		expr.Ge(expr.Column("price"), expr.IntConst(50)),
+		expr.Ge(expr.Column("price"), expr.IntConst(60)),
+	)
+	if !expr.Equal(conds.H["orders"], want) {
+		t.Errorf("H filter = %s, want %s", conds.H["orders"], want)
+	}
+	if !expr.Equal(conds.M["orders"], want) {
+		t.Errorf("M filter = %s, want %s", conds.M["orders"], want)
+	}
+}
+
+func TestDeletePairConditions(t *testing.T) {
+	// Simplified Eq. 8: H filters on θ_u', H[M] on θ_u.
+	h, _ := sql.ParseStatements(`DELETE FROM orders WHERE price < 30`)
+	pair := mustPair(t, h, []history.Modification{history.Replace{
+		Pos:  0,
+		Stmt: sql.MustParseStatement(`DELETE FROM orders WHERE price < 40`),
+	}})
+	conds, err := Compute(pair, ordersDB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.Equal(conds.H["orders"], expr.Lt(expr.Column("price"), expr.IntConst(40))) {
+		t.Errorf("H filter = %s, want θ_u'", conds.H["orders"])
+	}
+	if !expr.Equal(conds.M["orders"], expr.Lt(expr.Column("price"), expr.IntConst(30))) {
+		t.Errorf("M filter = %s, want θ_u", conds.M["orders"])
+	}
+}
+
+// TestExample4PushDown reproduces the paper's Example 4: the slicing
+// condition for a modification of u3 is pushed through u2 and u1 by
+// substituting the fee with the conditional update expressions.
+func TestExample4PushDown(t *testing.T) {
+	h, _ := sql.ParseStatements(`
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+		UPDATE orders SET fee = fee + 5 WHERE country = 'UK' AND price <= 100;
+		UPDATE orders SET fee = fee - 2 WHERE price <= 30 AND fee >= 10;
+	`)
+	pair := mustPair(t, h, []history.Modification{history.Replace{
+		Pos:  2,
+		Stmt: sql.MustParseStatement(`UPDATE orders SET fee = fee - 2 WHERE price <= 40 AND fee >= 10`),
+	}})
+	db := ordersDB()
+	conds, err := Compute(pair, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := conds.H["orders"]
+	if filter == nil {
+		t.Fatal("no filter derived")
+	}
+	// Evaluating the pushed condition over Fig. 1 must keep exactly the
+	// tuple with ID 11 (the paper's result).
+	rel, _ := db.Relation("orders")
+	var kept []int64
+	for _, tup := range rel.Tuples {
+		ok, err := expr.Satisfied(filter, rel.Schema, tup)
+		if err != nil {
+			t.Fatalf("evaluating %s: %v", filter, err)
+		}
+		if ok {
+			kept = append(kept, tup[0].AsInt())
+		}
+	}
+	if len(kept) != 1 || kept[0] != 11 {
+		t.Errorf("filter keeps %v, want [11]; filter: %s", kept, filter)
+	}
+}
+
+func TestInsertPairNoBaseCondition(t *testing.T) {
+	h, _ := sql.ParseStatements(`
+		INSERT INTO orders VALUES (15, 'DE', 80, 6);
+		UPDATE orders SET fee = 1 WHERE price > 1000;
+	`)
+	pair := mustPair(t, h, []history.Modification{history.Replace{
+		Pos:  0,
+		Stmt: sql.MustParseStatement(`INSERT INTO orders VALUES (15, 'DE', 90, 6)`),
+	}})
+	conds, err := Compute(pair, ordersDB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert pairs contribute no base filter: base tuples flow
+	// identically through both histories.
+	if _, ok := conds.H["orders"]; ok {
+		t.Errorf("unexpected base filter %s for an insert-only modification", conds.H["orders"])
+	}
+}
+
+func TestTaintedRelations(t *testing.T) {
+	db := ordersDB()
+	arch := storage.NewRelation(schema.New("archive",
+		schema.Col("id", types.KindInt), schema.Col("country", types.KindString),
+		schema.Col("price", types.KindInt), schema.Col("fee", types.KindInt)))
+	db.AddRelation(arch)
+	h, _ := sql.ParseStatements(`
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+		INSERT INTO archive SELECT * FROM orders WHERE fee = 0;
+	`)
+	pair := mustPair(t, h, []history.Modification{history.Replace{
+		Pos:  0,
+		Stmt: sql.MustParseStatement(`UPDATE orders SET fee = 0 WHERE price >= 60`),
+	}})
+	tainted := TaintedRelations(pair)
+	if !tainted["orders"] || !tainted["archive"] {
+		t.Errorf("taint must flow through INSERT…SELECT: %v", tainted)
+	}
+
+	// The reverse order: the archive insert runs before the
+	// modification, so archive stays clean.
+	h2, _ := sql.ParseStatements(`
+		INSERT INTO archive SELECT * FROM orders WHERE fee = 0;
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+	`)
+	pair2 := mustPair(t, h2, []history.Modification{history.Replace{
+		Pos:  1,
+		Stmt: sql.MustParseStatement(`UPDATE orders SET fee = 0 WHERE price >= 60`),
+	}})
+	tainted2 := TaintedRelations(pair2)
+	if tainted2["archive"] {
+		t.Errorf("pre-modification insert must not taint: %v", tainted2)
+	}
+}
+
+// TestFilteredDeltaEquality is the executable Theorem 2: the delta over
+// filtered reenactment inputs equals the unfiltered delta, across
+// random histories and modifications.
+func TestFilteredDeltaEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 120; trial++ {
+		db := randomOrdersDB(rng, 40)
+		h := randomHistory(rng, 1+rng.Intn(5))
+		modPos := rng.Intn(len(h))
+		mod := randomModification(rng, h, modPos)
+		pair, err := history.ApplyModifications(h, []history.Modification{mod})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		plain := computeDelta(t, pair, db, nil, nil)
+		conds, err := Compute(pair, db, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		filtered := computeDelta(t, pair, db, conds.H, conds.M)
+		if !plain.Equal(filtered) {
+			t.Fatalf("trial %d: data slicing changed the delta\nhistory:\n%s\nmod: %s\nfilters: H=%s M=%s\nplain:\n%s\nfiltered:\n%s",
+				trial, h, mod, conds.H["orders"], conds.M["orders"], plain, filtered)
+		}
+	}
+}
+
+func computeDelta(t *testing.T, pair *history.PaddedPair, db *storage.Database, fh, fm reenact.Filters) *delta.Result {
+	t.Helper()
+	qo, err := reenact.QueryForRelation(pair.Orig, "orders", db, fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := reenact.QueryForRelation(pair.Mod, "orders", db, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := algebra.Eval(qo, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := algebra.Eval(qm, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return delta.Compute(ro, rm)
+}
+
+func randomOrdersDB(rng *rand.Rand, n int) *storage.Database {
+	s := schema.New("orders",
+		schema.Col("id", types.KindInt),
+		schema.Col("country", types.KindString),
+		schema.Col("price", types.KindInt),
+		schema.Col("fee", types.KindInt),
+	)
+	countries := []string{"UK", "US", "DE"}
+	r := storage.NewRelation(s)
+	for i := 0; i < n; i++ {
+		r.Add(schema.Tuple{
+			types.Int(int64(i)),
+			types.String_(countries[rng.Intn(len(countries))]),
+			types.Int(int64(rng.Intn(100))),
+			types.Int(int64(rng.Intn(20))),
+		})
+	}
+	db := storage.NewDatabase()
+	db.AddRelation(r)
+	return db
+}
+
+func randomCondition(rng *rand.Rand) expr.Expr {
+	col := []string{"price", "fee"}[rng.Intn(2)]
+	c := int64(rng.Intn(100))
+	if rng.Intn(2) == 0 {
+		return expr.Ge(expr.Column(col), expr.IntConst(c))
+	}
+	return expr.Lt(expr.Column(col), expr.IntConst(c))
+}
+
+func randomHistory(rng *rand.Rand, n int) history.History {
+	var h history.History
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			h = append(h, &history.Delete{Rel: "orders", Where: randomCondition(rng)})
+		case 1:
+			h = append(h, &history.InsertValues{Rel: "orders", Rows: []schema.Tuple{{
+				types.Int(int64(1000 + i)), types.String_("XX"),
+				types.Int(int64(rng.Intn(100))), types.Int(int64(rng.Intn(20))),
+			}}})
+		default:
+			h = append(h, &history.Update{Rel: "orders",
+				Set: []history.SetClause{{
+					Col: "fee",
+					E:   expr.Add(expr.Column("fee"), expr.IntConst(int64(rng.Intn(4)))),
+				}},
+				Where: randomCondition(rng)})
+		}
+	}
+	return h
+}
+
+func randomModification(rng *rand.Rand, h history.History, pos int) history.Modification {
+	switch h[pos].(type) {
+	case *history.Update:
+		return history.Replace{Pos: pos, Stmt: &history.Update{Rel: "orders",
+			Set: []history.SetClause{{
+				Col: "fee",
+				E:   expr.Add(expr.Column("fee"), expr.IntConst(int64(rng.Intn(6)))),
+			}},
+			Where: randomCondition(rng)}}
+	case *history.Delete:
+		return history.Replace{Pos: pos, Stmt: &history.Delete{Rel: "orders", Where: randomCondition(rng)}}
+	default:
+		return history.Replace{Pos: pos, Stmt: &history.InsertValues{Rel: "orders", Rows: []schema.Tuple{{
+			types.Int(int64(2000)), types.String_("YY"),
+			types.Int(int64(rng.Intn(100))), types.Int(int64(rng.Intn(20))),
+		}}}}
+	}
+}

@@ -1,0 +1,132 @@
+// Package delta computes database deltas (§3): the annotated symmetric
+// difference Δ(D, D') containing tuples exclusive to D annotated "−"
+// and tuples exclusive to D' annotated "+". The computation is
+// multiset-aware, which coincides with the paper's set semantics on
+// duplicate-free relations and generalizes it safely otherwise.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// Result is the delta for one relation.
+type Result struct {
+	Relation string
+	Schema   *schema.Schema
+	// Minus are tuples present in the old state (H(D)) but not the new
+	// (H[M](D)); Plus the converse. Multiplicity differences are
+	// reflected by repeated tuples.
+	Minus []schema.Tuple
+	Plus  []schema.Tuple
+}
+
+// Compute returns Δ(oldRel, newRel).
+func Compute(oldRel, newRel *storage.Relation) *Result {
+	out := &Result{Relation: oldRel.Schema.Relation, Schema: oldRel.Schema}
+	oldCounts, oldRepr := oldRel.Counts()
+	newCounts, newRepr := newRel.Counts()
+	for k, n := range oldCounts {
+		if d := n - newCounts[k]; d > 0 {
+			for i := 0; i < d; i++ {
+				out.Minus = append(out.Minus, oldRepr[k])
+			}
+		}
+	}
+	for k, n := range newCounts {
+		if d := n - oldCounts[k]; d > 0 {
+			for i := 0; i < d; i++ {
+				out.Plus = append(out.Plus, newRepr[k])
+			}
+		}
+	}
+	sortTuples(out.Minus)
+	sortTuples(out.Plus)
+	return out
+}
+
+func sortTuples(ts []schema.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+}
+
+// Empty reports whether the delta contains no tuples.
+func (r *Result) Empty() bool { return len(r.Minus) == 0 && len(r.Plus) == 0 }
+
+// Size returns the total number of annotated tuples.
+func (r *Result) Size() int { return len(r.Minus) + len(r.Plus) }
+
+// Equal reports whether two deltas contain the same annotated multisets.
+func (r *Result) Equal(o *Result) bool {
+	return tuplesEqual(r.Minus, o.Minus) && tuplesEqual(r.Plus, o.Plus)
+}
+
+func tuplesEqual(a, b []schema.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the delta with -/+ annotations.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Δ %s (%d tuples)\n", r.Relation, r.Size())
+	for _, t := range r.Minus {
+		fmt.Fprintf(&b, "  - %s\n", t)
+	}
+	for _, t := range r.Plus {
+		fmt.Fprintf(&b, "  + %s\n", t)
+	}
+	return b.String()
+}
+
+// Set is the delta of a whole database, keyed by relation name.
+type Set map[string]*Result
+
+// Empty reports whether every per-relation delta is empty.
+func (s Set) Empty() bool {
+	for _, r := range s {
+		if !r.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total annotated-tuple count across relations.
+func (s Set) Size() int {
+	n := 0
+	for _, r := range s {
+		n += r.Size()
+	}
+	return n
+}
+
+// String renders all non-empty per-relation deltas in name order.
+func (s Set) String() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		if s[n].Empty() {
+			continue
+		}
+		b.WriteString(s[n].String())
+	}
+	if b.Len() == 0 {
+		return "Δ ∅ (histories agree)\n"
+	}
+	return b.String()
+}

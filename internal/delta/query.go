@@ -1,0 +1,58 @@
+package delta
+
+import (
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Annotation column name appended by the delta query.
+const AnnotationColumn = "__delta"
+
+// AsQuery builds the delta as a relational algebra query, the form the
+// paper uses in §4:
+//
+//	Π_{A…,−}(Q_cur − Q_mod) ∪ Π_{A…,+}(Q_mod − Q_cur)
+//
+// The result schema is the input schema plus a trailing string
+// annotation column holding "-" or "+". Compute and AsQuery agree (see
+// the tests); the engine uses Compute for its hash-based efficiency,
+// while AsQuery exists for pushing the whole answer into a single
+// query, e.g. when layering Mahif over an external executor.
+func AsQuery(cur, mod algebra.Query, s *schema.Schema) algebra.Query {
+	minus := annotate(&algebra.Difference{L: cur, R: mod}, s, "-")
+	plus := annotate(&algebra.Difference{L: mod, R: cur}, s, "+")
+	return &algebra.Union{L: minus, R: plus}
+}
+
+func annotate(q algebra.Query, s *schema.Schema, sign string) algebra.Query {
+	exprs := make([]algebra.NamedExpr, 0, s.Arity()+1)
+	for _, c := range s.Columns {
+		exprs = append(exprs, algebra.NamedExpr{Name: c.Name, E: expr.Column(c.Name)})
+	}
+	exprs = append(exprs, algebra.NamedExpr{Name: AnnotationColumn, E: expr.StringConst(sign)})
+	return &algebra.Project{Exprs: exprs, In: q}
+}
+
+// FromAnnotated converts the materialized result of an AsQuery
+// evaluation back into a Result.
+func FromAnnotated(rel *storage.Relation) *Result {
+	out := &Result{Relation: rel.Schema.Relation}
+	n := rel.Schema.Arity() - 1
+	cols := make([]schema.Column, n)
+	copy(cols, rel.Schema.Columns[:n])
+	out.Schema = schema.New(rel.Schema.Relation, cols...)
+	for _, t := range rel.Tuples {
+		bare := t[:n]
+		if t[n].Kind() == types.KindString && t[n].AsString() == "-" {
+			out.Minus = append(out.Minus, bare)
+		} else {
+			out.Plus = append(out.Plus, bare)
+		}
+	}
+	sortTuples(out.Minus)
+	sortTuples(out.Plus)
+	return out
+}

@@ -1,0 +1,93 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+func TestAsQueryMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := schema.New("t", schema.Col("a", types.KindInt), schema.Col("b", types.KindInt))
+	for trial := 0; trial < 100; trial++ {
+		mk := func(name string) *storage.Relation {
+			r := storage.NewRelation(schema.New(name, s.Columns...))
+			for i := 0; i < rng.Intn(15); i++ {
+				r.Add(schema.Tuple{types.Int(int64(rng.Intn(4))), types.Int(int64(rng.Intn(4)))})
+			}
+			return r
+		}
+		db := storage.NewDatabase()
+		cur, mod := mk("cur"), mk("mod")
+		db.AddRelation(cur)
+		db.AddRelation(mod)
+
+		want := Compute(cur, mod)
+		q := AsQuery(&algebra.Scan{Rel: "cur"}, &algebra.Scan{Rel: "mod"}, s)
+		res, err := algebra.Eval(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FromAnnotated(res)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: query delta ≠ computed delta\nquery:\n%s\ncomputed:\n%s", trial, got, want)
+		}
+	}
+}
+
+func TestAsQueryAnnotationSigns(t *testing.T) {
+	s := schema.New("t", schema.Col("a", types.KindInt))
+	db := storage.NewDatabase()
+	cur := storage.NewRelation(schema.New("cur", s.Columns...))
+	cur.Add(schema.Tuple{types.Int(1)})
+	mod := storage.NewRelation(schema.New("mod", s.Columns...))
+	mod.Add(schema.Tuple{types.Int(2)})
+	db.AddRelation(cur)
+	db.AddRelation(mod)
+
+	q := AsQuery(&algebra.Scan{Rel: "cur"}, &algebra.Scan{Rel: "mod"}, s)
+	res, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.ColIndex(AnnotationColumn) != 1 {
+		t.Fatalf("annotation column missing: %s", res.Schema)
+	}
+	for _, tup := range res.Tuples {
+		sign := tup[1].AsString()
+		val := tup[0].AsInt()
+		if (val == 1 && sign != "-") || (val == 2 && sign != "+") {
+			t.Errorf("tuple %s has wrong annotation", tup)
+		}
+	}
+}
+
+// TestAsQueryOverReenactment exercises the §4 form end to end: the
+// delta query evaluated over filtered reenactment queries.
+func TestAsQueryOverReenactment(t *testing.T) {
+	s := schema.New("r", schema.Col("a", types.KindInt))
+	db := storage.NewDatabase()
+	r := storage.NewRelation(s)
+	for i := int64(0); i < 10; i++ {
+		r.Add(schema.Tuple{types.Int(i)})
+	}
+	db.AddRelation(r)
+
+	// cur = σ_{a<8}(r) acting as H(D); mod = σ_{a<6}(r) as H[M](D).
+	cur := &algebra.Select{Cond: expr.Lt(expr.Column("a"), expr.IntConst(8)), In: &algebra.Scan{Rel: "r"}}
+	mod := &algebra.Select{Cond: expr.Lt(expr.Column("a"), expr.IntConst(6)), In: &algebra.Scan{Rel: "r"}}
+	q := AsQuery(cur, mod, s)
+	res, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FromAnnotated(res)
+	if len(got.Minus) != 2 || len(got.Plus) != 0 {
+		t.Fatalf("delta = %s, want −{6,7}", got)
+	}
+}

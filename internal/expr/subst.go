@@ -1,0 +1,129 @@
+package expr
+
+import "strings"
+
+// SubstCols returns e with every attribute reference A replaced by
+// repl[A] (case-insensitive). Attributes without a mapping are kept.
+// This is the substitution e[A⃗ ← e⃗] used when pushing data-slicing
+// conditions through updates (§6) and when binding statement
+// expressions to a symbolic tuple (§8.2).
+func SubstCols(e Expr, repl map[string]Expr) Expr {
+	if len(repl) == 0 {
+		return e
+	}
+	return rewrite(e, func(n Expr) (Expr, bool) {
+		c, ok := n.(*Col)
+		if !ok {
+			return nil, false
+		}
+		r, ok := repl[strings.ToLower(c.Name)]
+		return r, ok
+	})
+}
+
+// SubstVars returns e with every symbolic variable x replaced by
+// repl[x]. Variables without a mapping are kept.
+func SubstVars(e Expr, repl map[string]Expr) Expr {
+	if len(repl) == 0 {
+		return e
+	}
+	return rewrite(e, func(n Expr) (Expr, bool) {
+		v, ok := n.(*Var)
+		if !ok {
+			return nil, false
+		}
+		r, ok := repl[v.Name]
+		return r, ok
+	})
+}
+
+// RenameCols returns e with attribute names mapped through ren
+// (case-insensitive); used for θ[Sch(Q1) ← Sch(Q2)] when pushing
+// conditions through unions.
+func RenameCols(e Expr, ren map[string]string) Expr {
+	if len(ren) == 0 {
+		return e
+	}
+	return rewrite(e, func(n Expr) (Expr, bool) {
+		c, ok := n.(*Col)
+		if !ok {
+			return nil, false
+		}
+		to, ok := ren[strings.ToLower(c.Name)]
+		if !ok {
+			return nil, false
+		}
+		return Column(to), true
+	})
+}
+
+// ColsToVars replaces every attribute reference A with the symbolic
+// variable named by name(A). It converts a statement condition into a
+// symbolic condition over the current VC-table tuple.
+func ColsToVars(e Expr, name func(col string) string) Expr {
+	return rewrite(e, func(n Expr) (Expr, bool) {
+		c, ok := n.(*Col)
+		if !ok {
+			return nil, false
+		}
+		return Variable(name(strings.ToLower(c.Name))), true
+	})
+}
+
+// rewrite applies f bottom-up-ish: if f replaces a node the replacement
+// is taken as-is (not re-visited); otherwise children are rewritten.
+func rewrite(e Expr, f func(Expr) (Expr, bool)) Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := f(e); ok {
+		return r
+	}
+	switch x := e.(type) {
+	case *Const, *Col, *Var:
+		return e
+	case *Arith:
+		l, r := rewrite(x.L, f), rewrite(x.R, f)
+		if l == x.L && r == x.R {
+			return e
+		}
+		return &Arith{Op: x.Op, L: l, R: r}
+	case *Cmp:
+		l, r := rewrite(x.L, f), rewrite(x.R, f)
+		if l == x.L && r == x.R {
+			return e
+		}
+		return &Cmp{Op: x.Op, L: l, R: r}
+	case *And:
+		l, r := rewrite(x.L, f), rewrite(x.R, f)
+		if l == x.L && r == x.R {
+			return e
+		}
+		return &And{L: l, R: r}
+	case *Or:
+		l, r := rewrite(x.L, f), rewrite(x.R, f)
+		if l == x.L && r == x.R {
+			return e
+		}
+		return &Or{L: l, R: r}
+	case *Not:
+		n := rewrite(x.E, f)
+		if n == x.E {
+			return e
+		}
+		return &Not{E: n}
+	case *IsNull:
+		n := rewrite(x.E, f)
+		if n == x.E {
+			return e
+		}
+		return &IsNull{E: n}
+	case *If:
+		c, t, el := rewrite(x.Cond, f), rewrite(x.Then, f), rewrite(x.Else, f)
+		if c == x.Cond && t == x.Then && el == x.Else {
+			return e
+		}
+		return &If{Cond: c, Then: t, Else: el}
+	}
+	return e
+}

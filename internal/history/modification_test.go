@@ -1,0 +1,219 @@
+package history
+
+import (
+	"testing"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+func upd(rel string, n int64) *Update {
+	return &Update{Rel: rel,
+		Set:   []SetClause{{Col: "fee", E: expr.IntConst(n)}},
+		Where: expr.Ge(expr.Column("price"), expr.IntConst(n))}
+}
+
+func TestApplyModificationsReplace(t *testing.T) {
+	h := History{upd("t", 1), upd("t", 2), upd("t", 3)}
+	pair, err := ApplyModifications(h, []Modification{Replace{Pos: 1, Stmt: upd("t", 99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair.Orig) != 3 || len(pair.Mod) != 3 {
+		t.Fatalf("padded lengths %d/%d", len(pair.Orig), len(pair.Mod))
+	}
+	if len(pair.ModifiedPos) != 1 || pair.ModifiedPos[0] != 1 {
+		t.Errorf("modified positions = %v", pair.ModifiedPos)
+	}
+	if pair.Mod[1].(*Update).Set[0].E.String() != "99" {
+		t.Errorf("replacement not applied: %s", pair.Mod[1])
+	}
+	if pair.Orig[1].(*Update).Set[0].E.String() != "2" {
+		t.Errorf("original mutated: %s", pair.Orig[1])
+	}
+}
+
+func TestApplyModificationsInsert(t *testing.T) {
+	h := History{upd("t", 1), upd("t", 2)}
+	pair, err := ApplyModifications(h, []Modification{InsertStmt{Pos: 1, Stmt: upd("t", 99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair.Orig) != 3 {
+		t.Fatalf("padded length %d, want 3", len(pair.Orig))
+	}
+	if !pair.Orig[1].IsNoOp() {
+		t.Errorf("original side must have a no-op at the insert position, got %s", pair.Orig[1])
+	}
+	if pair.Mod[1].(*Update).Set[0].E.String() != "99" {
+		t.Errorf("inserted statement = %s", pair.Mod[1])
+	}
+	// Surrounding statements aligned.
+	if pair.Orig[0] != pair.Mod[0] || pair.Orig[2] != pair.Mod[2] {
+		t.Error("unmodified positions must alias the same statement")
+	}
+}
+
+func TestApplyModificationsDelete(t *testing.T) {
+	h := History{upd("t", 1), upd("t", 2)}
+	pair, err := ApplyModifications(h, []Modification{DeleteStmt{Pos: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Mod[0].IsNoOp() {
+		t.Errorf("deleted statement must become a no-op, got %s", pair.Mod[0])
+	}
+	if pair.Orig[0].IsNoOp() {
+		t.Error("original side must keep the statement")
+	}
+}
+
+func TestApplyModificationsCrossClass(t *testing.T) {
+	// Replacing an update with a delete = delete + insert (§3).
+	h := History{upd("t", 1), upd("t", 2)}
+	del := &Delete{Rel: "t", Where: expr.Ge(expr.Column("price"), expr.IntConst(5))}
+	pair, err := ApplyModifications(h, []Modification{Replace{Pos: 0, Stmt: del}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair.Orig) != 3 {
+		t.Fatalf("padded length %d, want 3", len(pair.Orig))
+	}
+	if !pair.Mod[0].IsNoOp() {
+		t.Errorf("old update must be no-op'd: %s", pair.Mod[0])
+	}
+	if _, ok := pair.Mod[1].(*Delete); !ok {
+		t.Errorf("new delete must be inserted: %s", pair.Mod[1])
+	}
+	if !pair.Orig[1].IsNoOp() {
+		t.Errorf("original must get a paired no-op: %s", pair.Orig[1])
+	}
+}
+
+func TestApplyModificationsSequence(t *testing.T) {
+	// Positions refer to the evolving history: after inserting at 0,
+	// replacing position 2 targets what was originally position 1.
+	h := History{upd("t", 1), upd("t", 2)}
+	pair, err := ApplyModifications(h, []Modification{
+		InsertStmt{Pos: 0, Stmt: upd("t", 50)},
+		Replace{Pos: 2, Stmt: upd("t", 99)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair.Orig) != 3 {
+		t.Fatalf("length %d", len(pair.Orig))
+	}
+	if got := pair.Mod[2].(*Update).Set[0].E.String(); got != "99" {
+		t.Errorf("position shift wrong: pair.Mod[2] = %s", pair.Mod[2])
+	}
+	if len(pair.ModifiedPos) != 2 {
+		t.Errorf("modified positions = %v", pair.ModifiedPos)
+	}
+}
+
+func TestApplyModificationsErrors(t *testing.T) {
+	h := History{upd("t", 1)}
+	cases := [][]Modification{
+		{Replace{Pos: 5, Stmt: upd("t", 9)}},
+		{DeleteStmt{Pos: -1}},
+		{InsertStmt{Pos: 7, Stmt: upd("t", 9)}},
+		{},
+	}
+	for _, mods := range cases {
+		if _, err := ApplyModifications(h, mods); err == nil {
+			t.Errorf("mods %v: expected error", mods)
+		}
+	}
+}
+
+// TestPaddedSemantics: executing the padded histories must equal
+// executing the unpadded originals — no-ops change nothing.
+func TestPaddedSemantics(t *testing.T) {
+	h := paperHistory()
+	pair, err := ApplyModifications(h, []Modification{
+		InsertStmt{Pos: 1, Stmt: &Update{Rel: "orders",
+			Set:   []SetClause{{Col: "fee", E: expr.Add(expr.Column("fee"), expr.IntConst(1))}},
+			Where: expr.Eq(expr.Column("country"), expr.StringConst("US"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPadded := ordersDB()
+	if err := pair.Orig.Apply(dbPadded); err != nil {
+		t.Fatal(err)
+	}
+	dbPlain := ordersDB()
+	if err := h.Apply(dbPlain); err != nil {
+		t.Fatal(err)
+	}
+	rp, _ := dbPadded.Relation("orders")
+	rq, _ := dbPlain.Relation("orders")
+	if !rp.EqualAsBag(rq) {
+		t.Errorf("padding changed original semantics:\n%s\nvs\n%s", rp, rq)
+	}
+}
+
+func TestSuffixFrom(t *testing.T) {
+	h := History{upd("t", 1), upd("t", 2), upd("t", 3)}
+	pair, err := ApplyModifications(h, []Modification{Replace{Pos: 1, Stmt: upd("t", 99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suf := pair.SuffixFrom(pair.FirstModified())
+	if len(suf.Orig) != 2 {
+		t.Fatalf("suffix length %d", len(suf.Orig))
+	}
+	if suf.ModifiedPos[0] != 0 {
+		t.Errorf("rebased modified position = %d", suf.ModifiedPos[0])
+	}
+}
+
+func TestRestrictToRelation(t *testing.T) {
+	h := History{upd("a", 1), upd("b", 2), upd("a", 3)}
+	pair, err := ApplyModifications(h, []Modification{Replace{Pos: 2, Stmt: upd("a", 99)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, positions := pair.RestrictToRelation("a")
+	if len(sub.Orig) != 2 || len(positions) != 2 {
+		t.Fatalf("restricted to %d statements", len(sub.Orig))
+	}
+	if sub.ModifiedPos[0] != 1 {
+		t.Errorf("re-mapped modified position = %v", sub.ModifiedPos)
+	}
+	if positions[1] != 2 {
+		t.Errorf("position map = %v", positions)
+	}
+}
+
+func TestHistoryHelpers(t *testing.T) {
+	h := History{upd("a", 1), upd("b", 2), upd("a", 3)}
+	if got := h.OnRelation("a"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("OnRelation = %v", got)
+	}
+	rels := h.Relations()
+	if !rels["a"] || !rels["b"] || len(rels) != 2 {
+		t.Errorf("Relations = %v", rels)
+	}
+	r := h.Restrict([]int{0, 2})
+	if len(r) != 2 || r[1] != h[2] {
+		t.Errorf("Restrict = %v", r)
+	}
+	if !h.TupleIndependent() {
+		t.Error("updates-only history must be tuple independent")
+	}
+	h2 := append(h, &InsertQuery{Rel: "a"})
+	if h2.TupleIndependent() {
+		t.Error("history with I_Q must not be tuple independent")
+	}
+}
+
+func TestHistoryApplyErrorWrapping(t *testing.T) {
+	db := storage.NewDatabase()
+	h := History{upd("missing", 1)}
+	err := h.Apply(db)
+	if err == nil {
+		t.Fatal("expected error for missing relation")
+	}
+}

@@ -1,0 +1,319 @@
+package milp
+
+import "math"
+
+// SolveOptions bounds the branch & bound search.
+type SolveOptions struct {
+	// MaxNodes caps explored branch & bound nodes (default 20000).
+	MaxNodes int
+	// MaxIter caps simplex iterations per LP (default 5000).
+	MaxIter int
+	// MaxPropagationRounds caps bound-tightening sweeps per node
+	// (default 64); a negative value disables propagation entirely
+	// (pure LP-based branch & bound, for ablation and debugging).
+	MaxPropagationRounds int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20000
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 5000
+	}
+	if o.MaxPropagationRounds == 0 {
+		o.MaxPropagationRounds = 64
+	}
+	return o
+}
+
+// Solve decides feasibility of the MILP by depth-first branch & bound
+// over the integer variables, with feasibility-based bound tightening
+// (interval constraint propagation) at every node. Big-M indicator
+// encodings — the shape produced by the condition compiler — are
+// resolved almost entirely by propagation, so the LP and branching only
+// handle the residual continuous reasoning. The result is exact
+// (Feasible with a witness, or Infeasible) unless a budget runs out, in
+// which case Status is Limit and callers must fall back conservatively.
+func (m *Model) Solve(opts SolveOptions) *Result {
+	opts = opts.withDefaults()
+	res := &Result{}
+	lo := append([]float64(nil), m.lo...)
+	hi := append([]float64(nil), m.hi...)
+	status, x := m.branch(lo, hi, -1, opts, res)
+	res.Status = status
+	res.X = x
+	return res
+}
+
+// propVisits converts the rounds option into a worklist budget.
+func (m *Model) propVisits(opts SolveOptions) int {
+	return opts.MaxPropagationRounds * (len(m.cons) + 1)
+}
+
+const propTol = 1e-7
+
+// checkEps is the exact-verification tolerance for accepting integral
+// points (see the big-M note in branch).
+const checkEps = 1e-5
+
+// propagate tightens lo/hi in place by interval propagation to
+// fixpoint. seed < 0 propagates every constraint (root node); seed ≥ 0
+// starts from the constraints containing that just-branched variable
+// and follows the dependency cone via a worklist, which keeps interior
+// branch & bound nodes proportional to the affected part of the model.
+// It returns false when some constraint is proven unsatisfiable over
+// the box. visits caps total constraint evaluations as a safety net.
+func (m *Model) propagate(lo, hi []float64, seed int, visits int) bool {
+	occ := m.occurrences()
+	queue := make([]int, 0, 64)
+	inQueue := make([]bool, len(m.cons))
+	push := func(ci int) {
+		if !inQueue[ci] {
+			inQueue[ci] = true
+			queue = append(queue, ci)
+		}
+	}
+	if seed < 0 {
+		for ci := range m.cons {
+			push(ci)
+		}
+	} else {
+		for _, ci := range occ[seed] {
+			push(ci)
+		}
+	}
+	changedVars := make([]int, 0, 16)
+	for len(queue) > 0 && visits > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		inQueue[ci] = false
+		visits--
+
+		con := &m.cons[ci]
+		changedVars = changedVars[:0]
+		if con.Sense == LE || con.Sense == EQ {
+			ok := m.tightenLE(con.Terms, con.RHS, lo, hi, &changedVars)
+			if !ok {
+				return false
+			}
+		}
+		if con.Sense == GE || con.Sense == EQ {
+			ok := m.tightenGE(con.Terms, con.RHS, lo, hi, &changedVars)
+			if !ok {
+				return false
+			}
+		}
+		for _, v := range changedVars {
+			for _, dep := range occ[v] {
+				push(dep)
+			}
+		}
+	}
+	return true
+}
+
+// branchWorthy marks the variables that occur in at least one
+// constraint that some point of the box still violates. Variables
+// outside the set cannot influence feasibility and need no branching.
+func (m *Model) branchWorthy(lo, hi []float64) []bool {
+	worthy := make([]bool, len(lo))
+	for ci := range m.cons {
+		con := &m.cons[ci]
+		minAct, maxAct := 0.0, 0.0
+		for _, t := range con.Terms {
+			if t.Coef > 0 {
+				minAct += t.Coef * lo[t.Var]
+				maxAct += t.Coef * hi[t.Var]
+			} else {
+				minAct += t.Coef * hi[t.Var]
+				maxAct += t.Coef * lo[t.Var]
+			}
+		}
+		vacuous := false
+		switch con.Sense {
+		case LE:
+			vacuous = maxAct <= con.RHS+feasEps
+		case GE:
+			vacuous = minAct >= con.RHS-feasEps
+		case EQ:
+			vacuous = maxAct <= con.RHS+feasEps && minAct >= con.RHS-feasEps
+		}
+		if vacuous {
+			continue
+		}
+		for _, t := range con.Terms {
+			worthy[t.Var] = true
+		}
+	}
+	return worthy
+}
+
+// tightenLE handles Σ aᵢxᵢ ≤ rhs: it prunes using the minimum activity
+// and derives per-variable bound updates, appending tightened variables
+// to changed.
+func (m *Model) tightenLE(terms []Term, rhs float64, lo, hi []float64, changed *[]int) bool {
+	minAct := 0.0
+	for _, t := range terms {
+		if t.Coef > 0 {
+			minAct += t.Coef * lo[t.Var]
+		} else {
+			minAct += t.Coef * hi[t.Var]
+		}
+	}
+	if minAct > rhs+feasEps {
+		return false
+	}
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		var contrib float64
+		if t.Coef > 0 {
+			contrib = t.Coef * lo[t.Var]
+		} else {
+			contrib = t.Coef * hi[t.Var]
+		}
+		slack := rhs - (minAct - contrib)
+		bound := slack / t.Coef
+		if t.Coef > 0 {
+			// x ≤ bound.
+			if m.isInt[t.Var] {
+				bound = math.Floor(bound + propTol)
+			}
+			if bound < hi[t.Var]-propTol {
+				hi[t.Var] = bound
+				*changed = append(*changed, t.Var)
+				if lo[t.Var] > hi[t.Var]+feasEps {
+					return false
+				}
+			}
+		} else {
+			// x ≥ bound.
+			if m.isInt[t.Var] {
+				bound = math.Ceil(bound - propTol)
+			}
+			if bound > lo[t.Var]+propTol {
+				lo[t.Var] = bound
+				*changed = append(*changed, t.Var)
+				if lo[t.Var] > hi[t.Var]+feasEps {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// tightenGE handles Σ aᵢxᵢ ≥ rhs by negating into ≤ form.
+func (m *Model) tightenGE(terms []Term, rhs float64, lo, hi []float64, changed *[]int) bool {
+	neg := make([]Term, len(terms))
+	for i, t := range terms {
+		neg[i] = Term{Var: t.Var, Coef: -t.Coef}
+	}
+	return m.tightenLE(neg, -rhs, lo, hi, changed)
+}
+
+// branch explores one node. The search is propagation-driven: exact
+// interval propagation prunes and fixes variables at every node, and
+// the (dense, comparatively expensive) LP runs only at leaves where all
+// integer variables are fixed, to certify the residual continuous
+// system. Big-M indicator encodings — the shape the condition compiler
+// emits — propagate so strongly that interior LPs would rarely prune
+// anything propagation does not. lo/hi are owned by the caller and may
+// be mutated freely (each recursion copies).
+func (m *Model) branch(lo, hi []float64, seed int, opts SolveOptions, res *Result) (Status, []float64) {
+	res.Nodes++
+	if res.Nodes > opts.MaxNodes {
+		return Limit, nil
+	}
+	if opts.MaxPropagationRounds > 0 {
+		if !m.propagate(lo, hi, seed, m.propVisits(opts)) {
+			return Infeasible, nil
+		}
+	} else {
+		// Propagation disabled (ablation): fall back to LP pruning at
+		// every node so the search still terminates in practice.
+		status, _ := lpFeasible(m, lo, hi, opts.MaxIter)
+		if status != Feasible {
+			return status, nil
+		}
+	}
+
+	// Midpoint heuristic: if the box midpoint (integers snapped)
+	// already satisfies everything, we are done without an LP.
+	cand := make([]float64, len(lo))
+	for i := range cand {
+		cand[i] = (lo[i] + hi[i]) / 2
+		if m.isInt[i] {
+			cand[i] = math.Max(lo[i], math.Min(hi[i], math.Round(cand[i])))
+		}
+	}
+	if m.CheckPoint(cand, feasEps) {
+		return Feasible, cand
+	}
+
+	// Pick the first unfixed integer variable that still matters: a
+	// variable all of whose constraints are already vacuous over the
+	// box (satisfiable for every point in it) is a don't-care — e.g.
+	// the side-selector of a disequality once the equality side is
+	// fixed — and branching on it would only duplicate the subtree.
+	// Creation order follows the compiled expression structure
+	// bottom-up, so comparison indicators — which drive the numeric
+	// bounds — branch first.
+	worthy := m.branchWorthy(lo, hi)
+	pick := -1
+	for i := range lo {
+		if m.isInt[i] && hi[i]-lo[i] > feasEps && worthy[i] {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		// Only don't-care integers remain: certify the continuous
+		// residual exactly (don't-cares join the LP as continuous and
+		// are rounded afterwards — their constraints cannot be violated
+		// inside the box).
+		status, x := lpFeasible(m, lo, hi, opts.MaxIter)
+		if status != Feasible {
+			return status, nil
+		}
+		out := append([]float64(nil), x...)
+		for i := range out {
+			if m.isInt[i] {
+				out[i] = math.Max(lo[i], math.Min(hi[i], math.Round(out[i])))
+			}
+		}
+		if m.CheckPoint(out, checkEps) {
+			return Feasible, out
+		}
+		// The LP claims feasibility but the exact check disagrees:
+		// numerical failure; answer conservatively.
+		return Limit, nil
+	}
+
+	// Branch on the two halves of the domain ({0}/{1} for binaries).
+	mid := math.Floor((lo[pick] + hi[pick]) / 2)
+	type side struct{ lo, hi float64 }
+	sides := []side{{lo[pick], mid}, {mid + 1, hi[pick]}}
+	sawLimit := false
+	for _, s := range sides {
+		if s.lo > s.hi {
+			continue
+		}
+		clo := append([]float64(nil), lo...)
+		chi := append([]float64(nil), hi...)
+		clo[pick], chi[pick] = s.lo, s.hi
+		st, pt := m.branch(clo, chi, pick, opts, res)
+		switch st {
+		case Feasible:
+			return Feasible, pt
+		case Limit:
+			sawLimit = true
+		}
+	}
+	if sawLimit {
+		return Limit, nil
+	}
+	return Infeasible, nil
+}

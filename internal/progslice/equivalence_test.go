@@ -1,0 +1,138 @@
+package progslice
+
+import (
+	"testing"
+
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/sql"
+)
+
+func mustHistory(t *testing.T, src string) history.History {
+	t.Helper()
+	h, err := sql.ParseStatements(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func prove(t *testing.T, h1, h2 history.History, phiD expr.Expr) *EquivalenceResult {
+	t.Helper()
+	res, err := ProveEquivalent(h1, h2, orderSchema(), phiD, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Definitive {
+		t.Fatal("equivalence check hit a solver budget")
+	}
+	return res
+}
+
+func TestEquivalentReorderedDisjointUpdates(t *testing.T) {
+	// Updates over disjoint conditions and attributes commute.
+	h1 := mustHistory(t, `
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+		UPDATE orders SET fee = fee + 1 WHERE price < 20;
+	`)
+	h2 := mustHistory(t, `
+		UPDATE orders SET fee = fee + 1 WHERE price < 20;
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+	`)
+	if res := prove(t, h1, h2, expr.True); !res.Equivalent {
+		t.Errorf("disjoint updates must commute; counterexample %v", res.Counterexample)
+	}
+}
+
+func TestInequivalentReorderedOverlappingUpdates(t *testing.T) {
+	// Overlapping updates do not commute: set-to-0 then +5 ends at 5,
+	// +5 then set-to-0 ends at 0.
+	h1 := mustHistory(t, `
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+		UPDATE orders SET fee = fee + 5 WHERE price >= 50;
+	`)
+	h2 := mustHistory(t, `
+		UPDATE orders SET fee = fee + 5 WHERE price >= 50;
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+	`)
+	res := prove(t, h1, h2, expr.True)
+	if res.Equivalent {
+		t.Fatal("overlapping non-commuting updates reported equivalent")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("expected a counterexample")
+	}
+}
+
+func TestEquivalentMergedDeletes(t *testing.T) {
+	// Two deletes equal one delete with the disjunction.
+	h1 := mustHistory(t, `
+		DELETE FROM orders WHERE price < 10;
+		DELETE FROM orders WHERE fee >= 90;
+	`)
+	h2 := mustHistory(t, `
+		DELETE FROM orders WHERE price < 10 OR fee >= 90;
+	`)
+	if res := prove(t, h1, h2, expr.True); !res.Equivalent {
+		t.Errorf("merged deletes must be equivalent; counterexample %v", res.Counterexample)
+	}
+}
+
+func TestEquivalenceUnderPhiD(t *testing.T) {
+	// fee = fee + 0 differs from fee = 10 in general…
+	h1 := mustHistory(t, `UPDATE orders SET fee = fee + 0 WHERE price >= 0`)
+	h2 := mustHistory(t, `UPDATE orders SET fee = 10 WHERE price >= 0`)
+	res := prove(t, h1, h2, expr.True)
+	if res.Equivalent {
+		t.Fatal("identity vs constant-set must differ without constraints")
+	}
+	// …but is equivalent over databases where fee is always 10.
+	phiD := expr.AndOf(
+		expr.Eq(expr.Variable("x0_fee"), expr.IntConst(10)),
+		expr.Ge(expr.Variable("x0_price"), expr.IntConst(0)),
+	)
+	if res := prove(t, h1, h2, phiD); !res.Equivalent {
+		t.Errorf("with fee pinned at 10 the histories coincide; counterexample %v", res.Counterexample)
+	}
+}
+
+func TestEquivalentDeleteThenUpdateVsFilteredUpdate(t *testing.T) {
+	// Deleting first means the update only sees survivors; updating a
+	// tuple that is deleted afterwards leaves no trace either way.
+	h1 := mustHistory(t, `
+		DELETE FROM orders WHERE price < 30;
+		UPDATE orders SET fee = fee + 1 WHERE price >= 30;
+	`)
+	h2 := mustHistory(t, `
+		UPDATE orders SET fee = fee + 1 WHERE price >= 30;
+		DELETE FROM orders WHERE price < 30;
+	`)
+	if res := prove(t, h1, h2, expr.True); !res.Equivalent {
+		t.Errorf("delete/update over complementary conditions must commute; counterexample %v", res.Counterexample)
+	}
+}
+
+func TestProveEquivalentRejectsInserts(t *testing.T) {
+	h1 := history.History{&history.InsertValues{Rel: "orders"}}
+	if _, err := ProveEquivalent(h1, h1, orderSchema(), expr.True, compile.Options{}); err == nil {
+		t.Error("inserts must be rejected")
+	}
+}
+
+func TestProveEquivalentRejectsForeignRelation(t *testing.T) {
+	h1 := mustHistory(t, `UPDATE other SET fee = 0 WHERE price >= 50`)
+	if _, err := ProveEquivalent(h1, h1, orderSchema(), expr.True, compile.Options{}); err == nil {
+		t.Error("statements on other relations must be rejected")
+	}
+}
+
+func TestEquivalentIdenticalHistory(t *testing.T) {
+	h := mustHistory(t, `
+		UPDATE orders SET fee = 0 WHERE price >= 50;
+		DELETE FROM orders WHERE fee > 100;
+	`)
+	if res := prove(t, h, h, expr.True); !res.Equivalent {
+		t.Error("a history must be equivalent to itself")
+	}
+}

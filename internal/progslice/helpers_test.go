@@ -1,0 +1,15 @@
+package progslice
+
+import (
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// newSingleton builds a database holding exactly one tuple.
+func newSingleton(s *schema.Schema, tuple schema.Tuple) *storage.Database {
+	db := storage.NewDatabase()
+	rel := storage.NewRelation(s)
+	rel.Add(tuple.Clone())
+	db.AddRelation(rel)
+	return db
+}

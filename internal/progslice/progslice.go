@@ -1,0 +1,296 @@
+// Package progslice implements program slicing for historical what-if
+// queries (§7–§9): it determines subsets of the history pair that are
+// provably sufficient for computing the query answer, by symbolically
+// executing the candidate histories over a single-tuple VC-table
+// constrained by the compressed database Φ_D and checking the slicing
+// condition ζ(H, I, Φ_D) with the MILP solver.
+//
+// Two algorithms are provided: the greedy candidate-shrinking algorithm
+// of §8.3.3 (sound for any number of modifications) and the faster
+// dependency-based test of §9 for single modifications (Thm. 5).
+package progslice
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/symbolic"
+)
+
+// Input is a slicing problem for one relation: an aligned history pair
+// containing only tuple-independent statements (updates/deletes; the
+// engine strips inserts via the §10 split beforehand), the relation
+// schema, and the compressed database constraint.
+type Input struct {
+	Pair   *history.PaddedPair
+	Schema *schema.Schema
+	// PhiD is Φ_D over the base variables (symbolic.BaseVar); use
+	// expr.True to slice without compression.
+	PhiD expr.Expr
+	// Compile configures the MILP backend.
+	Compile compile.Options
+}
+
+// Stats reports slicing effort.
+type Stats struct {
+	// Tests is the number of solver checks performed.
+	Tests int
+	// SolverNodes accumulates branch & bound nodes across tests.
+	SolverNodes int
+	// Indefinite counts tests that hit a solver budget (treated as
+	// "keep").
+	Indefinite int
+	// Duration is wall-clock time spent slicing.
+	Duration time.Duration
+	// Kept and Removed count statement positions.
+	Kept, Removed int
+}
+
+// Result is the outcome of slicing: the positions (into Pair) to keep.
+type Result struct {
+	Keep  []int
+	Stats Stats
+}
+
+// zetaNodeBudget bounds the branch & bound effort of one full slicing
+// condition ζ test, and zetaTotalBudget the cumulative effort across a
+// whole greedy run. ζ formulas span four symbolic histories and —
+// lacking conflict learning — can make the solver wander; past a budget
+// the candidate (resp. every remaining candidate) is conservatively
+// kept, making the ζ phase an anytime refinement on top of the
+// dependency slice.
+const (
+	zetaNodeBudget  = 800
+	zetaTotalBudget = 16000
+)
+
+// validate rejects inputs the symbolic machinery cannot handle.
+func (in *Input) validate() error {
+	if len(in.Pair.Orig) != len(in.Pair.Mod) {
+		return fmt.Errorf("progslice: unaligned history pair (%d vs %d)", len(in.Pair.Orig), len(in.Pair.Mod))
+	}
+	for i := range in.Pair.Orig {
+		for _, st := range []history.Statement{in.Pair.Orig[i], in.Pair.Mod[i]} {
+			switch st.(type) {
+			case *history.Update, *history.Delete:
+			default:
+				return fmt.Errorf("progslice: statement %d (%s) is not an update/delete; strip inserts first", i+1, st)
+			}
+		}
+	}
+	if in.PhiD == nil {
+		in.PhiD = expr.True
+	}
+	return nil
+}
+
+// Greedy runs the §8.3.3 test-and-remove loop. It is seeded with the
+// dependency slice of §9 (sound for any number of modifications; see
+// Dependency), which already excludes every statement whose condition
+// provably never fires on modification-affected tuples. The loop then
+// attempts the remaining removals with the full slicing condition ζ
+// (Eq. 18), each check bounded by a solver node budget — ζ can certify
+// removals dependency analysis cannot (e.g. statements whose effect is
+// identical in both histories despite touching affected tuples), and a
+// budget overrun conservatively keeps the statement.
+func Greedy(in *Input) (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	seed, err := Dependency(in)
+	if err != nil {
+		return nil, err
+	}
+	st := seed.Stats
+
+	modified := map[int]bool{}
+	for _, p := range in.Pair.ModifiedPos {
+		modified[p] = true
+	}
+	n := len(in.Pair.Orig)
+	keep := make([]bool, n)
+	for _, p := range seed.Keep {
+		keep[p] = true
+	}
+
+	current := func() []int {
+		var out []int
+		for i, k := range keep {
+			if k {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	zetaIn := *in
+	if zetaIn.Compile.Solve.MaxNodes == 0 {
+		zetaIn.Compile.Solve.MaxNodes = zetaNodeBudget
+	}
+	zetaNodes := 0
+	for i := 0; i < n && zetaNodes < zetaTotalBudget; i++ {
+		if !keep[i] || modified[i] {
+			continue
+		}
+		keep[i] = false
+		before := st.SolverNodes
+		ok, err := isSlice(&zetaIn, current(), &st)
+		if err != nil {
+			return nil, err
+		}
+		zetaNodes += st.SolverNodes - before
+		if !ok {
+			keep[i] = true
+		}
+	}
+
+	res := &Result{Keep: current()}
+	st.Kept = len(res.Keep)
+	st.Removed = n - st.Kept
+	st.Duration = time.Since(start)
+	res.Stats = st
+	return res, nil
+}
+
+func noop(s history.Statement) bool { return s.IsNoOp() }
+
+// isSlice checks ζ(H, I, Φ_D): the negation of Eq. 18 conjoined with
+// all global conditions must be unsatisfiable.
+func isSlice(in *Input, positions []int, st *Stats) (bool, error) {
+	base := symbolic.NewBaseState(in.Schema)
+	full0, err := symbolic.Exec(base, in.Pair.Orig, "h")
+	if err != nil {
+		return false, err
+	}
+	full1, err := symbolic.Exec(base, in.Pair.Mod, "m")
+	if err != nil {
+		return false, err
+	}
+	sl0, err := symbolic.Exec(base, in.Pair.Orig.Restrict(positions), "hs")
+	if err != nil {
+		return false, err
+	}
+	sl1, err := symbolic.Exec(base, in.Pair.Mod.Restrict(positions), "ms")
+	if err != nil {
+		return false, err
+	}
+
+	// ψ per Eq. 18 with Eq. 19 substituted for result equality.
+	fullSame := symbolic.SameResult(full0, full1)
+	sliceSame := symbolic.SameResult(sl0, sl1)
+	cross1 := expr.AndOf(symbolic.SameResult(full0, sl0), symbolic.SameResult(full1, sl1))
+	cross2 := expr.AndOf(symbolic.SameResult(full0, sl1), symbolic.SameResult(full1, sl0))
+	psi := expr.OrOf(
+		expr.AndOf(fullSame, sliceSame),
+		expr.AndOf(expr.Negation(fullSame), expr.OrOf(cross1, cross2)),
+	)
+
+	// ¬ζ = Φ_D ∧ Φ(all states) ∧ ¬ψ, with the global conditions pruned
+	// to the cone of influence of Φ_D ∧ ¬ψ.
+	core := expr.AndOf(in.PhiD, expr.Negation(psi))
+	globals := pruneGlobals(core, full0, full1, sl0, sl1)
+	formula := expr.AndOf(append([]expr.Expr{core}, globals...)...)
+	kinds := symbolic.MergeKinds(full0, full1, sl0, sl1)
+	out, err := compile.Satisfiable(formula, kinds, in.Compile)
+	if err != nil {
+		return false, err
+	}
+	st.Tests++
+	st.SolverNodes += out.Nodes
+	if !out.Definitive {
+		st.Indefinite++
+		return false, nil // cannot prove: keep the statement
+	}
+	return !out.Sat, nil
+}
+
+// Dependency runs the §9 dependency test: statement u_i is kept iff
+// some possible world contains a tuple affected both by a modified
+// statement (original or replacement condition, Def. 7) and by u_i. The
+// check is one satisfiability query per statement over the symbolic
+// execution of the two full histories, so its cost is independent of
+// the database size and linear in the history length.
+//
+// Thm. 5 states the soundness for a single modification; the same
+// argument extends to modification sequences: a tuple unaffected by
+// every modified pair evolves identically in both histories, and an
+// affected tuple never satisfies an independent statement's condition
+// along either chain, so excluding independent statements preserves the
+// delta. The disjunction over all modified positions in `affected`
+// implements exactly that.
+func Dependency(in *Input) (*Result, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	st := Stats{}
+
+	base := symbolic.NewBaseState(in.Schema)
+	orig, err := symbolic.Exec(base, in.Pair.Orig, "h")
+	if err != nil {
+		return nil, err
+	}
+	mod, err := symbolic.Exec(base, in.Pair.Mod, "m")
+	if err != nil {
+		return nil, err
+	}
+	kinds := symbolic.MergeKinds(orig, mod)
+
+	modified := map[int]bool{}
+	// modCond: a tuple is affected by some modified statement pair when
+	// it satisfies the original condition in H or the new condition in
+	// H[M], each over the symbolic state before that position.
+	var modConds []expr.Expr
+	for _, p := range in.Pair.ModifiedPos {
+		modified[p] = true
+		modConds = append(modConds,
+			expr.AndOf(orig.Steps[p].LocalBefore, orig.Steps[p].Theta),
+			expr.AndOf(mod.Steps[p].LocalBefore, mod.Steps[p].Theta),
+		)
+	}
+	affected := expr.OrOf(modConds...)
+
+	n := len(in.Pair.Orig)
+	var keepPos []int
+	for i := 0; i < n; i++ {
+		if modified[i] {
+			keepPos = append(keepPos, i)
+			continue
+		}
+		if noop(in.Pair.Orig[i]) && noop(in.Pair.Mod[i]) {
+			continue
+		}
+		// Dependent iff a world lets a tuple reach u_i (alive) matching
+		// its condition in either history while also being affected by a
+		// modified statement.
+		touched := expr.OrOf(
+			expr.AndOf(orig.Steps[i].LocalBefore, orig.Steps[i].Theta),
+			expr.AndOf(mod.Steps[i].LocalBefore, mod.Steps[i].Theta),
+		)
+		core := expr.AndOf(in.PhiD, affected, touched)
+		globals := pruneGlobals(core, orig, mod)
+		out, err := compile.Satisfiable(expr.AndOf(append([]expr.Expr{core}, globals...)...), kinds, in.Compile)
+		if err != nil {
+			return nil, err
+		}
+		st.Tests++
+		st.SolverNodes += out.Nodes
+		if !out.Definitive {
+			st.Indefinite++
+		}
+		if out.Sat || !out.Definitive {
+			keepPos = append(keepPos, i)
+		}
+	}
+
+	st.Kept = len(keepPos)
+	st.Removed = n - st.Kept
+	st.Duration = time.Since(start)
+	return &Result{Keep: keepPos, Stats: st}, nil
+}

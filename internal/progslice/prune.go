@@ -1,0 +1,74 @@
+package progslice
+
+import (
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/symbolic"
+)
+
+// pruneGlobals performs a cone-of-influence reduction: of all defining
+// equalities x_{A,i} = if θ then e else prev accumulated by the
+// symbolic executions, only those transitively reachable from the
+// variables of the core formula are kept. Update chains for attributes
+// the slicing condition never looks at (the common case: conditions
+// mention selection attributes, updates write payload attributes)
+// disappear entirely, which keeps the MILP small. Non-definition
+// conjuncts are always kept.
+func pruneGlobals(core expr.Expr, states ...*symbolic.State) []expr.Expr {
+	type def struct {
+		conj expr.Expr
+		rhs  expr.Expr
+		used bool
+	}
+	var order []string // definition order, for deterministic output
+	defs := map[string]*def{}
+	var always []expr.Expr
+	for _, st := range states {
+		for _, g := range st.Global {
+			if eq, ok := g.(*expr.Cmp); ok && eq.Op == expr.CmpEq {
+				if v, ok := eq.L.(*expr.Var); ok {
+					if _, dup := defs[v.Name]; !dup {
+						defs[v.Name] = &def{conj: g, rhs: eq.R}
+						order = append(order, v.Name)
+					}
+					continue
+				}
+			}
+			always = append(always, g)
+		}
+	}
+
+	queue := make([]string, 0, len(defs))
+	for v := range expr.Vars(core) {
+		queue = append(queue, v)
+	}
+	for _, g := range always {
+		for v := range expr.Vars(g) {
+			queue = append(queue, v)
+		}
+	}
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		d, ok := defs[v]
+		if !ok || d.used {
+			continue
+		}
+		d.used = true
+		for dep := range expr.Vars(d.rhs) {
+			queue = append(queue, dep)
+		}
+	}
+
+	out := append([]expr.Expr(nil), always...)
+	for _, name := range order {
+		if defs[name].used {
+			out = append(out, defs[name].conj)
+		}
+	}
+	return out
+}

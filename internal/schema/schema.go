@@ -1,0 +1,154 @@
+// Package schema defines relation schemas and tuples. A tuple is an
+// immutable-by-convention slice of values matching its schema's arity.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Schema is an ordered list of named, typed columns for a relation.
+type Schema struct {
+	Relation string
+	Columns  []Column
+}
+
+// New builds a schema for relation name rel from (name, kind) pairs.
+func New(rel string, cols ...Column) *Schema {
+	return &Schema{Relation: rel, Columns: cols}
+}
+
+// Col is a convenience constructor for a Column.
+func Col(name string, t types.Kind) Column { return Column{Name: name, Type: t} }
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// ColIndex returns the position of the named column, or -1.
+// Lookup is case-insensitive, matching SQL identifier semantics.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColNames returns the column names in order.
+func (s *Schema) ColNames() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	return &Schema{Relation: s.Relation, Columns: cols}
+}
+
+// Equal reports whether two schemas have the same column names and types
+// (relation name is ignored, so reenactment output schemas compare equal
+// to their base relation).
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if !strings.EqualFold(s.Columns[i].Name, o.Columns[i].Name) || s.Columns[i].Type != o.Columns[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as R(A int, B string, ...).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Relation)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is one row: a value per schema column.
+type Tuple []types.Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...types.Value) Tuple { return Tuple(vs) }
+
+// Clone returns a copy of the tuple that shares no backing storage.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports value-wise equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the tuple usable as a map
+// key (for delta computation and duplicate detection).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		// Prefix with the kind so 1 (int), 1.0 (float) and '1' (string)
+		// stay distinct, but normalize int/float that compare equal.
+		switch v.Kind() {
+		case types.KindNull:
+			b.WriteString("n:")
+		case types.KindInt, types.KindFloat:
+			fmt.Fprintf(&b, "f:%v", v.AsFloat())
+		case types.KindString:
+			fmt.Fprintf(&b, "s:%s", v.AsString())
+		case types.KindBool:
+			fmt.Fprintf(&b, "b:%v", v.AsBool())
+		}
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

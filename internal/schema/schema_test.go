@@ -1,0 +1,133 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mahif/mahif/internal/types"
+)
+
+func testSchema() *Schema {
+	return New("orders",
+		Col("id", types.KindInt),
+		Col("customer", types.KindString),
+		Col("price", types.KindFloat),
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Arity() != 3 {
+		t.Errorf("arity = %d", s.Arity())
+	}
+	if got := s.ColIndex("price"); got != 2 {
+		t.Errorf("ColIndex(price) = %d", got)
+	}
+	if got := s.ColIndex("PRICE"); got != 2 {
+		t.Errorf("case-insensitive ColIndex = %d", got)
+	}
+	if got := s.ColIndex("missing"); got != -1 {
+		t.Errorf("ColIndex(missing) = %d", got)
+	}
+	names := s.ColNames()
+	if len(names) != 3 || names[0] != "id" || names[2] != "price" {
+		t.Errorf("ColNames = %v", names)
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := testSchema()
+	c := s.Clone()
+	c.Columns[0].Name = "changed"
+	if s.Columns[0].Name != "id" {
+		t.Error("Clone shares column storage")
+	}
+	if !s.Equal(testSchema()) {
+		t.Error("schema no longer equals its spec")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := testSchema()
+	b := testSchema()
+	b.Relation = "other" // relation name is ignored
+	if !a.Equal(b) {
+		t.Error("schemas with same columns must be equal")
+	}
+	c := New("orders", Col("id", types.KindInt))
+	if a.Equal(c) {
+		t.Error("different arity compared equal")
+	}
+	d := New("orders", Col("id", types.KindFloat), Col("customer", types.KindString), Col("price", types.KindFloat))
+	if a.Equal(d) {
+		t.Error("different column type compared equal")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	got := testSchema().String()
+	want := "orders(id int, customer string, price float)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTupleCloneAndEqual(t *testing.T) {
+	a := NewTuple(types.Int(1), types.String_("x"))
+	b := a.Clone()
+	b[0] = types.Int(2)
+	if a[0].AsInt() != 1 {
+		t.Error("Clone shares storage")
+	}
+	if !a.Equal(NewTuple(types.Int(1), types.String_("x"))) {
+		t.Error("Equal failed on identical tuples")
+	}
+	if a.Equal(NewTuple(types.Int(1))) {
+		t.Error("Equal ignored arity")
+	}
+	if a.Equal(b) {
+		t.Error("Equal ignored value change")
+	}
+}
+
+func TestTupleKeyDistinguishesKinds(t *testing.T) {
+	cases := [][2]Tuple{
+		{NewTuple(types.Int(1)), NewTuple(types.String_("1"))},
+		{NewTuple(types.Null()), NewTuple(types.Int(0))},
+		{NewTuple(types.Bool(true)), NewTuple(types.String_("true"))},
+	}
+	for _, c := range cases {
+		if c[0].Key() == c[1].Key() {
+			t.Errorf("keys collide: %s vs %s", c[0], c[1])
+		}
+	}
+	// Int/float that compare equal share a key (delta treats them equal).
+	if NewTuple(types.Int(1)).Key() != NewTuple(types.Float(1)).Key() {
+		t.Error("1 and 1.0 must share a key")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := NewTuple(types.Int(1), types.String_("a"), types.Null()).String()
+	if got != "(1, 'a', NULL)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Key equality coincides with tuple equality for int tuples.
+func TestTupleKeyProperty(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ta := make(Tuple, len(a))
+		for i, v := range a {
+			ta[i] = types.Int(int64(v))
+		}
+		tb := make(Tuple, len(b))
+		for i, v := range b {
+			tb[i] = types.Int(int64(v))
+		}
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package sql is a hand-written lexer and recursive-descent parser for
+// the SQL statement subset the paper supports (§2): UPDATE and DELETE
+// without joins or nested subqueries, INSERT … VALUES, and
+// INSERT … SELECT with select-project-join-union queries, plus the full
+// expression grammar of Fig. 7 (arithmetic, comparisons, boolean
+// connectives, CASE WHEN, IS NULL).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// keywords recognized by the parser (upper-cased).
+var keywords = map[string]bool{
+	"UPDATE": true, "SET": true, "WHERE": true, "DELETE": true, "FROM": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "SELECT": true, "AS": true,
+	"JOIN": true, "ON": true, "UNION": true, "AND": true, "OR": true,
+	"NOT": true, "TRUE": true, "FALSE": true, "NULL": true, "IS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"ALL": true, "BETWEEN": true, "IN": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; SQL statements are short.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments: -- to end of line.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '"'
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	if l.src[l.pos] == '"' {
+		// Quoted identifier.
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		text := l.src[start+1 : l.pos]
+		if l.pos < len(l.src) {
+			l.pos++
+		}
+		l.emit(token{kind: tokIdent, text: text, pos: start})
+		return
+	}
+	for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToUpper(text)] {
+		l.emit(token{kind: tokKeyword, text: strings.ToUpper(text), pos: start})
+		return
+	}
+	l.emit(token{kind: tokIdent, text: text, pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+var twoCharOps = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) && twoCharOps[l.src[l.pos:l.pos+2]] {
+		l.emit(token{kind: tokOp, text: l.src[l.pos : l.pos+2], pos: start})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', ';', '.':
+		l.emit(token{kind: tokOp, text: string(c), pos: start})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at offset %d", l.src[l.pos], start)
+}

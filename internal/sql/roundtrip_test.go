@@ -1,0 +1,111 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// randomRenderableCond builds a random condition over columns a/b/s
+// using only constructs whose String() rendering is parseable SQL.
+func randomRenderableCond(rng *rand.Rand, depth int) expr.Expr {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return expr.Eq(expr.Column("s"), expr.StringConst([]string{"x", "y", "it's"}[rng.Intn(3)]))
+		case 1:
+			return &expr.IsNull{E: expr.Column("a")}
+		default:
+			ops := []expr.CmpOp{expr.CmpEq, expr.CmpNe, expr.CmpLt, expr.CmpLe, expr.CmpGt, expr.CmpGe}
+			lhs := expr.Expr(expr.Column("a"))
+			if rng.Intn(2) == 0 {
+				lhs = expr.Add(lhs, expr.IntConst(int64(rng.Intn(5))))
+			}
+			return &expr.Cmp{Op: ops[rng.Intn(len(ops))], L: lhs, R: expr.IntConst(int64(rng.Intn(20) - 10))}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &expr.And{L: randomRenderableCond(rng, depth-1), R: randomRenderableCond(rng, depth-1)}
+	case 1:
+		return &expr.Or{L: randomRenderableCond(rng, depth-1), R: randomRenderableCond(rng, depth-1)}
+	case 2:
+		return &expr.Not{E: randomRenderableCond(rng, depth-1)}
+	default:
+		return &expr.Cmp{
+			Op: expr.CmpEq,
+			L:  expr.Column("b"),
+			R: expr.IfThenElse(randomRenderableCond(rng, depth-1),
+				expr.IntConst(int64(rng.Intn(10))), expr.Column("b")),
+		}
+	}
+}
+
+// TestConditionRenderParseSemantics: rendering a condition and parsing
+// it back must preserve evaluation over random tuples (the ASTs may
+// differ structurally — e.g. <> vs NOT = — but not semantically).
+func TestConditionRenderParseSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	s := schema.New("t",
+		schema.Col("a", types.KindInt),
+		schema.Col("b", types.KindInt),
+		schema.Col("s", types.KindString),
+	)
+	strVals := []string{"x", "y", "it's", "other"}
+	for trial := 0; trial < 400; trial++ {
+		orig := randomRenderableCond(rng, 3)
+		parsed, err := ParseCondition(orig.String())
+		if err != nil {
+			t.Fatalf("rendering not parseable: %s (%v)", orig.String(), err)
+		}
+		for probe := 0; probe < 10; probe++ {
+			tup := schema.Tuple{
+				types.Int(int64(rng.Intn(20) - 10)),
+				types.Int(int64(rng.Intn(20) - 10)),
+				types.String_(strVals[rng.Intn(len(strVals))]),
+			}
+			env := expr.TupleEnv(s, tup)
+			v1, err1 := expr.Eval(orig, env)
+			v2, err2 := expr.Eval(parsed, env)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch for %s on %s: %v vs %v", orig, tup, err1, err2)
+			}
+			if err1 == nil && !v1.Equal(v2) {
+				t.Fatalf("semantics changed through render/parse:\n  %s = %v\n  %s = %v\n  tuple %s",
+					orig, v1, parsed, v2, tup)
+			}
+		}
+	}
+}
+
+// TestStatementRenderParseSemantics does the same for whole statements
+// executed against a small database.
+func TestStatementRenderParseSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 150; trial++ {
+		cond := randomRenderableCond(rng, 2)
+		var src string
+		switch rng.Intn(3) {
+		case 0:
+			src = "UPDATE t SET b = b + 1 WHERE " + cond.String()
+		case 1:
+			src = "DELETE FROM t WHERE " + cond.String()
+		default:
+			src = "INSERT INTO t VALUES (1, 2, 'q')"
+		}
+		st1, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		st2, err := ParseStatement(st1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", st1.String(), err)
+		}
+		if st1.String() != st2.String() {
+			t.Fatalf("render/parse not stable:\n  %s\n  %s", st1, st2)
+		}
+	}
+}

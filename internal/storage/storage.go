@@ -1,0 +1,181 @@
+// Package storage provides the in-memory relational storage substrate:
+// relations, databases, and a multi-versioned database supporting
+// statement-granularity time travel. The paper's methods assume a DBMS
+// with time travel (Oracle, SQL Server, DB2) to access the state D of
+// the database before the first modified statement; VersionedDatabase
+// plays that role here.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mahif/mahif/internal/schema"
+)
+
+// Relation is a bag of tuples with a schema.
+type Relation struct {
+	Schema *schema.Schema
+	Tuples []schema.Tuple
+}
+
+// NewRelation builds an empty relation with the given schema.
+func NewRelation(s *schema.Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Add appends tuples to the relation. Tuples must match the schema's
+// arity; Add panics otherwise since this indicates a programming error
+// upstream (parsing and statement validation check arity already).
+func (r *Relation) Add(ts ...schema.Tuple) {
+	for _, t := range ts {
+		if len(t) != r.Schema.Arity() {
+			panic(fmt.Sprintf("storage: tuple arity %d does not match schema %s", len(t), r.Schema))
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+}
+
+// Clone returns a deep copy of the relation. Tuples are copied
+// shallowly per-row (values are immutable).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema.Clone()}
+	out.Tuples = make([]schema.Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Counts returns a multiset view of the relation: tuple key → count,
+// plus a representative tuple per key.
+func (r *Relation) Counts() (map[string]int, map[string]schema.Tuple) {
+	counts := make(map[string]int, len(r.Tuples))
+	repr := make(map[string]schema.Tuple, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Key()
+		counts[k]++
+		if _, ok := repr[k]; !ok {
+			repr[k] = t
+		}
+	}
+	return counts, repr
+}
+
+// EqualAsBag reports whether two relations contain the same multiset of
+// tuples.
+func (r *Relation) EqualAsBag(o *Relation) bool {
+	if len(r.Tuples) != len(o.Tuples) {
+		return false
+	}
+	ca, _ := r.Counts()
+	cb, _ := o.Counts()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for k, n := range ca {
+		if cb[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation (sorted by tuple key, for stable output).
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Schema.String())
+	b.WriteByte('\n')
+	rows := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		rows[i] = t.String()
+	}
+	sort.Strings(rows)
+	for _, row := range rows {
+		b.WriteString("  ")
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Database is a set of named relations.
+type Database struct {
+	rels  map[string]*Relation
+	order []string // insertion order, for deterministic iteration
+}
+
+// NewDatabase builds an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: map[string]*Relation{}}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// AddRelation registers a relation under its schema's relation name.
+// An existing relation of the same name is replaced.
+func (d *Database) AddRelation(r *Relation) {
+	k := key(r.Schema.Relation)
+	if _, ok := d.rels[k]; !ok {
+		d.order = append(d.order, k)
+	}
+	d.rels[k] = r
+}
+
+// Relation returns the named relation or an error.
+func (d *Database) Relation(name string) (*Relation, error) {
+	r, ok := d.rels[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no relation %q in database", name)
+	}
+	return r, nil
+}
+
+// SetRelation replaces the tuples of the named relation.
+func (d *Database) SetRelation(name string, r *Relation) {
+	k := key(name)
+	if _, ok := d.rels[k]; !ok {
+		d.order = append(d.order, k)
+	}
+	d.rels[k] = r
+}
+
+// RelationNames returns the relation names in registration order.
+func (d *Database) RelationNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Clone deep-copies the database. This is the "Copy(D)" of the naive
+// algorithm (Alg. 1) and is deliberately an O(data) operation so the
+// naive method pays the copy cost the paper describes.
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, k := range d.order {
+		out.AddRelation(d.rels[k].Clone())
+	}
+	return out
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (d *Database) TotalTuples() int {
+	n := 0
+	for _, r := range d.rels {
+		n += len(r.Tuples)
+	}
+	return n
+}
+
+// String renders all relations.
+func (d *Database) String() string {
+	var b strings.Builder
+	for _, k := range d.order {
+		b.WriteString(d.rels[k].String())
+	}
+	return b.String()
+}

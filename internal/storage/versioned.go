@@ -1,0 +1,110 @@
+package storage
+
+import "fmt"
+
+// Mutator is anything that transforms a database in place — in practice
+// the update/delete/insert statements of package history. Keeping the
+// interface here avoids an import cycle while letting the versioned
+// store replay arbitrary statements.
+type Mutator interface {
+	// Apply executes the mutation against db.
+	Apply(db *Database) error
+	// String renders the mutation (for logs and errors).
+	String() string
+}
+
+// VersionedDatabase is an in-memory stand-in for a DBMS with time
+// travel: it retains the base snapshot D0 (the state before the first
+// statement of the history), a redo log of applied statements, optional
+// periodic checkpoints, and the maintained current state.
+//
+// Version i denotes the state after the first i statements, so
+// Version(0) == D0 and Version(len(log)) == Current().
+type VersionedDatabase struct {
+	base    *Database
+	current *Database
+	log     []Mutator
+
+	// checkpointEvery > 0 stores a full snapshot every that many
+	// statements, trading memory for faster Version() reconstruction.
+	checkpointEvery int
+	checkpoints     map[int]*Database
+}
+
+// NewVersioned starts version tracking from the given initial state.
+// The initial database is snapshotted; the caller must not mutate it
+// afterwards.
+func NewVersioned(initial *Database) *VersionedDatabase {
+	return &VersionedDatabase{
+		base:        initial.Clone(),
+		current:     initial.Clone(),
+		checkpoints: map[int]*Database{},
+	}
+}
+
+// SetCheckpointEvery enables snapshot checkpoints every n statements
+// (0 disables). It affects only future Apply calls.
+func (v *VersionedDatabase) SetCheckpointEvery(n int) { v.checkpointEvery = n }
+
+// Apply executes m against the current state and appends it to the log.
+func (v *VersionedDatabase) Apply(m Mutator) error {
+	if err := m.Apply(v.current); err != nil {
+		return fmt.Errorf("storage: applying %s: %w", m, err)
+	}
+	v.log = append(v.log, m)
+	if v.checkpointEvery > 0 && len(v.log)%v.checkpointEvery == 0 {
+		v.checkpoints[len(v.log)] = v.current.Clone()
+	}
+	return nil
+}
+
+// ApplyAll executes a sequence of mutations.
+func (v *VersionedDatabase) ApplyAll(ms ...Mutator) error {
+	for _, m := range ms {
+		if err := v.Apply(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumVersions returns the number of applied statements.
+func (v *VersionedDatabase) NumVersions() int { return len(v.log) }
+
+// Current returns the live current state (not a copy).
+func (v *VersionedDatabase) Current() *Database { return v.current }
+
+// Base returns the snapshot before any statement ran (not a copy).
+func (v *VersionedDatabase) Base() *Database { return v.base }
+
+// Log returns the applied statements in order.
+func (v *VersionedDatabase) Log() []Mutator {
+	out := make([]Mutator, len(v.log))
+	copy(out, v.log)
+	return out
+}
+
+// Version reconstructs the database state after the first i statements
+// by replaying the redo log from the nearest earlier snapshot. The
+// returned database is a private copy the caller may mutate.
+func (v *VersionedDatabase) Version(i int) (*Database, error) {
+	if i < 0 || i > len(v.log) {
+		return nil, fmt.Errorf("storage: version %d out of range [0,%d]", i, len(v.log))
+	}
+	if i == len(v.log) {
+		return v.current.Clone(), nil
+	}
+	start, db := 0, v.base
+	for at, snap := range v.checkpoints {
+		if at <= i && at > start {
+			start, db = at, snap
+		}
+	}
+	out := db.Clone()
+	for j := start; j < i; j++ {
+		if err := v.log[j].Apply(out); err != nil {
+			return nil, fmt.Errorf("storage: replaying statement %d (%s): %w", j, v.log[j], err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// CompressOptions controls database compression (§8.3.1).
+type CompressOptions struct {
+	// GroupBy selects the grouping attribute; empty picks the first
+	// column.
+	GroupBy string
+	// Groups is the number of groups (default 2, as in Example 7).
+	Groups int
+	// MaxDistinct caps the size of IN-style constraints emitted for
+	// string attributes within a group; attributes with more distinct
+	// values stay unconstrained.
+	MaxDistinct int
+}
+
+func (o CompressOptions) withDefaults(rel *storage.Relation) CompressOptions {
+	if o.Groups <= 0 {
+		o.Groups = 2
+	}
+	if o.MaxDistinct <= 0 {
+		o.MaxDistinct = 8
+	}
+	if o.GroupBy == "" && rel.Schema.Arity() > 0 {
+		o.GroupBy = rel.Schema.Columns[0].Name
+	}
+	return o
+}
+
+// Compress lossily summarizes a relation into the constraint Φ_D over
+// the base variables of a single-tuple VC-table: rows are partitioned
+// into groups on one attribute, and each group contributes a
+// conjunction of per-attribute range constraints (numeric) or IN-sets
+// (strings/bools). The disjunction over groups over-approximates the
+// relation: every tuple of rel satisfies Φ_D.
+//
+// An empty relation compresses to false (no possible base tuple),
+// making every candidate slice trivially valid for base data.
+func Compress(rel *storage.Relation, opts CompressOptions) (expr.Expr, error) {
+	if rel.Len() == 0 {
+		return expr.False, nil
+	}
+	opts = opts.withDefaults(rel)
+	gidx := rel.Schema.ColIndex(opts.GroupBy)
+	if gidx < 0 {
+		return nil, fmt.Errorf("symbolic: group-by attribute %q not in %s", opts.GroupBy, rel.Schema)
+	}
+
+	groups := partition(rel, gidx, opts.Groups)
+	var disjuncts []expr.Expr
+	for _, rows := range groups {
+		if len(rows) == 0 {
+			continue
+		}
+		var conj []expr.Expr
+		for ci, col := range rel.Schema.Columns {
+			c := summarizeColumn(rel, rows, ci, col.Type, opts.MaxDistinct)
+			if c != nil {
+				conj = append(conj, c)
+			}
+		}
+		disjuncts = append(disjuncts, expr.AndOf(conj...))
+	}
+	return expr.Simplify(expr.OrOf(disjuncts...)), nil
+}
+
+// partition splits row indices into at most n groups on column gidx:
+// numeric columns by equal-frequency quantiles, others by value hash.
+func partition(rel *storage.Relation, gidx, n int) [][]int {
+	numeric := true
+	for _, t := range rel.Tuples {
+		if !t[gidx].IsNumeric() {
+			numeric = false
+			break
+		}
+	}
+	if !numeric {
+		buckets := map[string][]int{}
+		for i, t := range rel.Tuples {
+			buckets[t[gidx].String()] = append(buckets[t[gidx].String()], i)
+		}
+		keys := make([]string, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([][]int, min(n, len(keys)))
+		for i, k := range keys {
+			g := i % len(out)
+			out[g] = append(out[g], buckets[k]...)
+		}
+		return out
+	}
+	idx := make([]int, rel.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return rel.Tuples[idx[a]][gidx].AsFloat() < rel.Tuples[idx[b]][gidx].AsFloat()
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([][]int, n)
+	per := (len(idx) + n - 1) / n
+	for i, row := range idx {
+		out[min(i/per, n-1)] = append(out[min(i/per, n-1)], row)
+	}
+	return out
+}
+
+// summarizeColumn builds the range / IN constraint for one attribute
+// within one group, or nil when the attribute cannot be constrained
+// (NULLs present, too many distinct strings).
+func summarizeColumn(rel *storage.Relation, rows []int, ci int, kind types.Kind, maxDistinct int) expr.Expr {
+	v := expr.Variable(BaseVar(rel.Schema.Columns[ci].Name))
+	switch kind {
+	case types.KindInt, types.KindFloat:
+		first := true
+		var lo, hi float64
+		for _, r := range rows {
+			val := rel.Tuples[r][ci]
+			if !val.IsNumeric() {
+				return nil
+			}
+			f := val.AsFloat()
+			if first {
+				lo, hi, first = f, f, false
+				continue
+			}
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		if first {
+			return nil
+		}
+		loC, hiC := numConst(kind, lo), numConst(kind, hi)
+		if lo == hi {
+			return expr.Eq(v, loC)
+		}
+		return expr.AndOf(expr.Ge(v, loC), expr.Le(v, hiC))
+	case types.KindString, types.KindBool:
+		distinct := map[string]types.Value{}
+		for _, r := range rows {
+			val := rel.Tuples[r][ci]
+			if val.IsNull() || val.Kind() != kind {
+				return nil
+			}
+			distinct[val.String()] = val
+			if len(distinct) > maxDistinct {
+				return nil
+			}
+		}
+		keys := make([]string, 0, len(distinct))
+		for k := range distinct {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var alts []expr.Expr
+		for _, k := range keys {
+			alts = append(alts, expr.Eq(v, expr.Constant(distinct[k])))
+		}
+		return expr.OrOf(alts...)
+	}
+	return nil
+}
+
+func numConst(kind types.Kind, f float64) expr.Expr {
+	if kind == types.KindInt && f == float64(int64(f)) {
+		return expr.IntConst(int64(f))
+	}
+	return expr.FloatConst(f)
+}

@@ -1,0 +1,176 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+func fig1Relation() *storage.Relation {
+	r := storage.NewRelation(schema.New("orders",
+		schema.Col("country", types.KindString),
+		schema.Col("price", types.KindInt),
+		schema.Col("fee", types.KindInt),
+	))
+	r.Add(
+		schema.Tuple{types.String_("UK"), types.Int(20), types.Int(5)},
+		schema.Tuple{types.String_("UK"), types.Int(50), types.Int(5)},
+		schema.Tuple{types.String_("US"), types.Int(60), types.Int(3)},
+		schema.Tuple{types.String_("US"), types.Int(30), types.Int(4)},
+	)
+	return r
+}
+
+// satisfies evaluates Φ_D under the assignment derived from a tuple.
+func satisfies(t *testing.T, phi expr.Expr, rel *storage.Relation, tup schema.Tuple) bool {
+	t.Helper()
+	env := map[string]types.Value{}
+	for i, c := range rel.Schema.Columns {
+		env[BaseVar(c.Name)] = tup[i]
+	}
+	v, err := expr.Eval(phi, expr.VarEnv(env))
+	if err != nil {
+		t.Fatalf("eval %s: %v", phi, err)
+	}
+	return v.IsTrue()
+}
+
+// TestCompressExample7 mirrors the paper's Example 7: grouping Fig. 1
+// on Country yields one conjunct per country with tight ranges.
+func TestCompressExample7(t *testing.T) {
+	rel := fig1Relation()
+	phi, err := Compress(rel, CompressOptions{GroupBy: "country", Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every base tuple satisfies Φ_D (the defining property).
+	for _, tup := range rel.Tuples {
+		if !satisfies(t, phi, rel, tup) {
+			t.Errorf("tuple %s violates Φ_D = %s", tup, phi)
+		}
+	}
+	// The paper's non-example: a UK tuple with price 10 (below the UK
+	// group range [20,50]) is excluded.
+	if satisfies(t, phi, rel, schema.Tuple{types.String_("UK"), types.Int(10), types.Int(5)}) {
+		t.Errorf("Φ_D too loose: price 10 admitted: %s", phi)
+	}
+	// An unknown country is excluded.
+	if satisfies(t, phi, rel, schema.Tuple{types.String_("DE"), types.Int(30), types.Int(4)}) {
+		t.Errorf("Φ_D admits unseen country: %s", phi)
+	}
+}
+
+func TestCompressNumericGrouping(t *testing.T) {
+	rel := fig1Relation()
+	phi, err := Compress(rel, CompressOptions{GroupBy: "price", Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range rel.Tuples {
+		if !satisfies(t, phi, rel, tup) {
+			t.Errorf("tuple %s violates Φ_D = %s", tup, phi)
+		}
+	}
+}
+
+func TestCompressEmptyRelation(t *testing.T) {
+	rel := storage.NewRelation(fig1Relation().Schema)
+	phi, err := Compress(rel, CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expr.IsTriviallyFalse(phi) {
+		t.Errorf("empty relation must compress to false, got %s", phi)
+	}
+}
+
+func TestCompressUnknownGroupBy(t *testing.T) {
+	if _, err := Compress(fig1Relation(), CompressOptions{GroupBy: "missing"}); err == nil {
+		t.Error("unknown group-by attribute accepted")
+	}
+}
+
+func TestCompressManyDistinctStringsUnconstrained(t *testing.T) {
+	r := storage.NewRelation(schema.New("t",
+		schema.Col("id", types.KindInt),
+		schema.Col("name", types.KindString),
+	))
+	for i := 0; i < 50; i++ {
+		r.Add(schema.Tuple{types.Int(int64(i)), types.String_(string(rune('a'+i%26)) + string(rune('a'+i/26)))})
+	}
+	phi, err := Compress(r, CompressOptions{GroupBy: "id", Groups: 1, MaxDistinct: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With >8 distinct names, the name column must be unconstrained, so
+	// an arbitrary unseen name is admitted (only id must be in range).
+	if !satisfies(t, phi, r, schema.Tuple{types.Int(10), types.String_("unseen-name")}) {
+		t.Errorf("high-cardinality string column should be unconstrained: %s", phi)
+	}
+}
+
+// TestCompressOverApproximatesProperty is the soundness property of
+// §8.3.1: for random relations and any group count, every tuple of the
+// relation satisfies Φ_D.
+func TestCompressOverApproximatesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		rel := storage.NewRelation(schema.New("t",
+			schema.Col("g", types.KindString),
+			schema.Col("x", types.KindInt),
+			schema.Col("y", types.KindFloat),
+		))
+		n := 1 + rng.Intn(40)
+		groups := []string{"a", "b", "c", "d"}
+		for i := 0; i < n; i++ {
+			rel.Add(schema.Tuple{
+				types.String_(groups[rng.Intn(len(groups))]),
+				types.Int(int64(rng.Intn(1000) - 500)),
+				types.Float(float64(rng.Intn(1000)) / 10),
+			})
+		}
+		for _, g := range []int{1, 2, 3, 7} {
+			phi, err := Compress(rel, CompressOptions{Groups: g})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tup := range rel.Tuples {
+				if !satisfies(t, phi, rel, tup) {
+					t.Fatalf("trial %d groups %d: tuple %s violates Φ_D = %s", trial, g, tup, phi)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressTighterWithMoreGroups: more groups can only shrink (or
+// keep) the admitted region, never grow it; sample random points to
+// check monotonicity.
+func TestCompressTighterWithMoreGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rel := storage.NewRelation(schema.New("t",
+		schema.Col("x", types.KindInt),
+		schema.Col("y", types.KindInt),
+	))
+	for i := 0; i < 100; i++ {
+		rel.Add(schema.Tuple{types.Int(int64(rng.Intn(100))), types.Int(int64(rng.Intn(100)))})
+	}
+	phi1, err := Compress(rel, CompressOptions{GroupBy: "x", Groups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi4, err := Compress(rel, CompressOptions{GroupBy: "x", Groups: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		pt := schema.Tuple{types.Int(int64(rng.Intn(120) - 10)), types.Int(int64(rng.Intn(120) - 10))}
+		if satisfies(t, phi4, rel, pt) && !satisfies(t, phi1, rel, pt) {
+			t.Fatalf("finer compression admits a point the coarser one rejects: %s", pt)
+		}
+	}
+}

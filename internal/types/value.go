@@ -1,0 +1,296 @@
+// Package types defines the universal value domain D used by relations,
+// expressions, and the symbolic machinery: 64-bit integers, floats,
+// strings, booleans, and NULL, with SQL-style comparison and arithmetic.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a single attribute value from the universal domain.
+// The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. The trailing underscore avoids a
+// clash with the fmt.Stringer method on Value.
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// True and False are the boolean constants.
+var (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics unless Kind is KindInt.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64. It panics
+// unless the value is numeric.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	}
+	panic(fmt.Sprintf("types: AsFloat on %s value", v.kind))
+}
+
+// AsString returns the string payload. It panics unless Kind is KindString.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics unless Kind is KindBool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: AsBool on %s value", v.kind))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// IsTrue reports whether v is the boolean true. NULL and non-boolean
+// values are not true.
+func (v Value) IsTrue() bool { return v.kind == KindBool && v.b }
+
+// String renders the value in SQL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		// SQL-escape embedded quotes so renderings stay parseable.
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Equal reports deep equality of two values. NULL equals NULL here;
+// use Compare for SQL three-valued semantics.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Numeric cross-kind equality: 1 == 1.0.
+		if v.IsNumeric() && o.IsNumeric() {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Compare orders two non-NULL values of comparable kinds: numerics
+// numerically, strings lexicographically, bools false<true. It returns
+// -1, 0, or +1 and an error for NULLs or incompatible kinds.
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind == KindNull || o.kind == KindNull {
+		return 0, fmt.Errorf("types: comparison with NULL has no order")
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if v.kind != o.kind {
+		return 0, fmt.Errorf("types: cannot compare %s with %s", v.kind, o.kind)
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1, nil
+		case v.s > o.s:
+			return 1, nil
+		}
+		return 0, nil
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1, nil
+		case v.b && !o.b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("types: cannot compare %s values", v.kind)
+}
+
+// arithmetic ----------------------------------------------------------------
+
+// Op is a binary scalar operator from the expression grammar (Fig. 7).
+type Op uint8
+
+// The arithmetic operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the SQL spelling of the operator.
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith applies op to two values. NULL operands propagate to NULL.
+// Division always produces a float; all other int∘int stay int.
+func Arith(op Op, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), fmt.Errorf("types: arithmetic %s on %s and %s", op, a.kind, b.kind)
+	}
+	if op == OpDiv {
+		d := b.AsFloat()
+		if d == 0 {
+			return Null(), fmt.Errorf("types: division by zero")
+		}
+		return Float(a.AsFloat() / d), nil
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case OpAdd:
+			return Int(a.i + b.i), nil
+		case OpSub:
+			return Int(a.i - b.i), nil
+		case OpMul:
+			return Int(a.i * b.i), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case OpAdd:
+		return Float(x + y), nil
+	case OpSub:
+		return Float(x - y), nil
+	case OpMul:
+		return Float(x * y), nil
+	}
+	return Null(), fmt.Errorf("types: unknown operator")
+}
+
+// Parse converts a raw token to the most specific value kind:
+// int, then float, then bool, then string. The empty string and the
+// literal "NULL" parse to NULL.
+func Parse(s string) Value {
+	if s == "" || s == "NULL" || s == "null" {
+		return Null()
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		return Float(f)
+	}
+	switch s {
+	case "true", "TRUE":
+		return Bool(true)
+	case "false", "FALSE":
+		return Bool(false)
+	}
+	return String_(s)
+}

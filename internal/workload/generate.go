@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Config carries the experiment knobs of §13.2.
+type Config struct {
+	// Updates is U: the number of update statements in the history.
+	Updates int
+	// Mods is M: how many updates the what-if query modifies (≥1).
+	Mods int
+	// DependentPct is D: the percentage of updates whose condition
+	// overlaps the modified updates' conditions (provably dependent).
+	DependentPct int
+	// AffectedPct is T: the percentage of tuples affected by the
+	// modified and dependent updates. Use 0.5 for the paper's "T0"
+	// (<1%).
+	AffectedPct float64
+	// InsertPct (I) and DeletePct (X) replace that percentage of
+	// statements with inserts / deletes.
+	InsertPct, DeletePct int
+	// InsertRows is the batch size of generated INSERT statements
+	// (default 10).
+	InsertRows int
+	// TouchConditionAttrs makes dependent updates also write the
+	// selection attribute, forcing data-slicing push-down substitutions
+	// (an ablation knob; off in the paper-shaped workloads).
+	TouchConditionAttrs bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Updates <= 0 {
+		c.Updates = 10
+	}
+	if c.Mods <= 0 {
+		c.Mods = 1
+	}
+	if c.AffectedPct <= 0 {
+		c.AffectedPct = 10
+	}
+	if c.InsertRows <= 0 {
+		c.InsertRows = 10
+	}
+	return c
+}
+
+// Workload is a generated history plus the hypothetical modifications
+// of the what-if query.
+type Workload struct {
+	Dataset *Dataset
+	History history.History
+	Mods    []history.Modification
+	// DependentPos and IndependentPos classify update positions (for
+	// test assertions about slicing quality).
+	DependentPos, IndependentPos []int
+}
+
+// threshold returns the SelAttr cutoff that makes "attr >= cutoff"
+// affect pct percent of tuples.
+func threshold(pct float64) int64 {
+	cut := int64(float64(SelRange) * (1 - pct/100))
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > SelRange {
+		cut = SelRange
+	}
+	return cut
+}
+
+// payloadBump builds "attr = attr + step" with a type-correct step.
+func payloadBump(ds *Dataset, attr string, step int) history.SetClause {
+	idx := ds.Rel.Schema.ColIndex(attr)
+	var e expr.Expr
+	if ds.Rel.Schema.Columns[idx].Type == types.KindFloat {
+		e = expr.Add(expr.Column(attr), expr.FloatConst(float64(step)+0.5))
+	} else {
+		e = expr.Add(expr.Column(attr), expr.IntConst(int64(step)))
+	}
+	return history.SetClause{Col: attr, E: e}
+}
+
+// Generate builds a history with the paper's workload structure:
+//
+//   - M modified updates whose conditions select the top T% of SelAttr;
+//     the hypothetical replacements raise the threshold so they affect
+//     the top 0.8·T% (the delta is the 0.2·T% band in between).
+//   - D% of the updates are dependent: their conditions select the same
+//     top-T% SelAttr region, so a tuple affected by both a modified and
+//     a dependent update exists (Def. 7 finds them dependent).
+//   - The remaining updates are independent: they select a band of
+//     SelAttr2 while requiring SelAttr below every modified threshold,
+//     so the solver can prove disjointness from θ_u ∨ θ_u'.
+//   - I% / X% of statement slots become inserts / low-selectivity
+//     deletes in the independent region.
+//
+// Modified updates are evenly spaced across the first half of the
+// history so multi-modification push-down costs resemble the paper's.
+func Generate(ds *Dataset, cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mods > cfg.Updates {
+		return nil, fmt.Errorf("workload: M=%d exceeds U=%d", cfg.Mods, cfg.Updates)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	rel := ds.Rel.Schema.Relation
+
+	u := cfg.Updates
+	nDep := cfg.DependentPct * u / 100
+	if nDep > u-cfg.Mods {
+		nDep = u - cfg.Mods
+	}
+	nIns := cfg.InsertPct * u / 100
+	nDel := cfg.DeletePct * u / 100
+
+	cut := threshold(cfg.AffectedPct)          // θ_u:  SelAttr >= cut  (T%)
+	cutNew := threshold(cfg.AffectedPct * 0.8) // θ_u': SelAttr >= cutNew (0.8·T%)
+
+	// Positions of the modified updates: evenly spaced over the first
+	// half so later modifications exercise condition push-down.
+	span := u / 2
+	if span < cfg.Mods {
+		span = cfg.Mods
+	}
+	modPos := make([]int, cfg.Mods)
+	for j := range modPos {
+		modPos[j] = j * span / cfg.Mods
+	}
+	isMod := map[int]bool{}
+	for _, p := range modPos {
+		isMod[p] = true
+	}
+
+	// Choose dependent positions among the rest.
+	rest := make([]int, 0, u)
+	for i := 0; i < u; i++ {
+		if !isMod[i] {
+			rest = append(rest, i)
+		}
+	}
+	r.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	isDep := map[int]bool{}
+	for _, p := range rest[:nDep] {
+		isDep[p] = true
+	}
+
+	w := &Workload{Dataset: ds}
+	sel, sel2 := ds.SelAttr, ds.SelAttr2
+	for i := 0; i < u; i++ {
+		switch {
+		case isMod[i]:
+			j := len(w.Mods)
+			st := &history.Update{
+				Rel:   rel,
+				Set:   []history.SetClause{payloadBump(ds, ds.Payload[j%len(ds.Payload)], j+1)},
+				Where: expr.Ge(expr.Column(sel), expr.IntConst(cut)),
+			}
+			newSt := &history.Update{
+				Rel:   rel,
+				Set:   st.Set,
+				Where: expr.Ge(expr.Column(sel), expr.IntConst(cutNew)),
+			}
+			w.History = append(w.History, st)
+			w.Mods = append(w.Mods, history.Replace{Pos: i, Stmt: newSt})
+		case isDep[i]:
+			set := []history.SetClause{payloadBump(ds, ds.Payload[i%len(ds.Payload)], i%7+1)}
+			if cfg.TouchConditionAttrs {
+				set = append(set, history.SetClause{
+					Col: sel2,
+					E:   expr.Add(expr.Column(sel2), expr.IntConst(1)),
+				})
+			}
+			w.History = append(w.History, &history.Update{
+				Rel:   rel,
+				Set:   set,
+				Where: expr.Ge(expr.Column(sel), expr.IntConst(cut)),
+			})
+			w.DependentPos = append(w.DependentPos, i)
+		default:
+			// Independent: a SelAttr2 band, explicitly below every
+			// modified threshold on SelAttr so disjointness is provable.
+			bandWidth := int64(float64(SelRange) * cfg.AffectedPct / 100)
+			if bandWidth < 1 {
+				bandWidth = 1
+			}
+			lo := int64(r.Intn(SelRange))
+			if lo+bandWidth > SelRange {
+				lo = SelRange - bandWidth
+			}
+			minCut := cut
+			if cutNew < minCut {
+				minCut = cutNew
+			}
+			cond := expr.AndOf(
+				expr.Lt(expr.Column(sel), expr.IntConst(minCut)),
+				expr.Ge(expr.Column(sel2), expr.IntConst(lo)),
+				expr.Lt(expr.Column(sel2), expr.IntConst(lo+bandWidth)),
+			)
+			w.History = append(w.History, &history.Update{
+				Rel:   rel,
+				Set:   []history.SetClause{payloadBump(ds, ds.Payload[i%len(ds.Payload)], i%5+1)},
+				Where: cond,
+			})
+			w.IndependentPos = append(w.IndependentPos, i)
+		}
+	}
+
+	// Replace independent slots with inserts/deletes as requested.
+	replaceable := append([]int(nil), w.IndependentPos...)
+	r.Shuffle(len(replaceable), func(i, j int) { replaceable[i], replaceable[j] = replaceable[j], replaceable[i] })
+	used := 0
+	nextID := ds.Rel.Len() + 1000000
+	for k := 0; k < nIns && used < len(replaceable); k++ {
+		pos := replaceable[used]
+		used++
+		rows := make([]schema.Tuple, cfg.InsertRows)
+		for ri := range rows {
+			rows[ri] = ds.NewRow(r, nextID)
+			nextID++
+		}
+		w.History[pos] = &history.InsertValues{Rel: rel, Rows: rows}
+		w.IndependentPos = remove(w.IndependentPos, pos)
+	}
+	for k := 0; k < nDel && used < len(replaceable); k++ {
+		pos := replaceable[used]
+		used++
+		// Deletes hit a narrow band (≈0.05%) in the independent region
+		// so the data does not drain away over long histories.
+		lo := int64(r.Intn(SelRange / 2))
+		cond := expr.AndOf(
+			expr.Lt(expr.Column(sel), expr.IntConst(min64(cut, cutNew))),
+			expr.Ge(expr.Column(sel2), expr.IntConst(lo)),
+			expr.Lt(expr.Column(sel2), expr.IntConst(lo+5)),
+		)
+		w.History[pos] = &history.Delete{Rel: rel, Where: cond}
+		w.IndependentPos = remove(w.IndependentPos, pos)
+	}
+	return w, nil
+}
+
+func remove(xs []int, v int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Load builds a versioned database from the dataset and executes the
+// workload's history over it, returning the store ready for what-if
+// processing (the history becomes the store's redo log).
+func (w *Workload) Load() (*storage.VersionedDatabase, error) {
+	vdb := storage.NewVersioned(w.Dataset.Database())
+	for _, st := range w.History {
+		if err := vdb.Apply(st); err != nil {
+			return nil, err
+		}
+	}
+	return vdb, nil
+}

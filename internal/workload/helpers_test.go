@@ -1,0 +1,17 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/mahif/mahif/internal/types"
+)
+
+func randFor(name string) *rand.Rand {
+	seed := int64(0)
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+func intVal(v int64) types.Value { return types.Int(v) }

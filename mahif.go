@@ -1,0 +1,199 @@
+// Package mahif is a middleware for answering historical what-if
+// queries, reproducing the system of "Efficient Answering of Historical
+// What-if Queries" (SIGMOD 2022).
+//
+// A historical what-if query asks how the current database state would
+// differ had the transactional history been different: a statement
+// replaced, inserted, or deleted. Mahif answers such queries without
+// copying the database, by reenacting the original and the hypothetical
+// history as queries over the time-travel state before the first
+// modified statement and diffing the two results. Two optimizations —
+// program slicing (proving statements irrelevant with symbolic
+// execution and an MILP solver) and data slicing (filtering tuples that
+// provably cannot appear in the answer) — keep that cheap.
+//
+// # Quick start
+//
+//	db := mahif.NewDatabase()
+//	db.AddRelation(ordersRelation)
+//	vdb := mahif.NewVersioned(db)
+//	vdb.Apply(mahif.MustParseStatement(
+//	    `UPDATE orders SET fee = 0 WHERE price >= 50`))
+//	// ... more history ...
+//	engine := mahif.NewEngine(vdb)
+//	delta, stats, err := engine.WhatIf([]mahif.Modification{
+//	    mahif.ReplaceSQL(0, `UPDATE orders SET fee = 0 WHERE price >= 60`),
+//	}, mahif.DefaultOptions())
+//
+// The result is the symmetric difference between the actual current
+// state and the hypothetical one, annotated − (only in the actual
+// state) and + (only in the hypothetical state).
+package mahif
+
+import (
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/progslice"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Re-exported core types. The implementation lives in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Value is an attribute value (int, float, string, bool, or NULL).
+	Value = types.Value
+	// Kind enumerates value types.
+	Kind = types.Kind
+	// Schema describes a relation's columns.
+	Schema = schema.Schema
+	// Column is one schema column.
+	Column = schema.Column
+	// Tuple is one row.
+	Tuple = schema.Tuple
+	// Relation is a bag of tuples with a schema.
+	Relation = storage.Relation
+	// Database is a set of named relations.
+	Database = storage.Database
+	// VersionedDatabase adds statement-granularity time travel.
+	VersionedDatabase = storage.VersionedDatabase
+	// Statement is one history element (UPDATE/DELETE/INSERT).
+	Statement = history.Statement
+	// History is a sequence of statements.
+	History = history.History
+	// Modification hypothetically alters a history (see Replace,
+	// InsertStmt, DeleteStmt).
+	Modification = history.Modification
+	// Replace substitutes the statement at a position.
+	Replace = history.Replace
+	// InsertStmt inserts a new statement at a position.
+	InsertStmt = history.InsertStmt
+	// DeleteStmt removes the statement at a position.
+	DeleteStmt = history.DeleteStmt
+	// Engine answers historical what-if queries.
+	Engine = core.Engine
+	// Options selects optimizations and tuning knobs.
+	Options = core.Options
+	// Variant names a paper evaluation configuration (N, R, R+PS, …).
+	Variant = core.Variant
+	// Stats is the per-phase breakdown for the reenactment algorithm.
+	Stats = core.Stats
+	// NaiveStats is the breakdown for the naive algorithm.
+	NaiveStats = core.NaiveStats
+	// Delta is the annotated symmetric difference for one relation.
+	Delta = delta.Result
+	// DeltaSet maps relation names to their deltas.
+	DeltaSet = delta.Set
+	// Expr is a scalar expression or condition.
+	Expr = expr.Expr
+)
+
+// Value kind constants.
+const (
+	KindNull   = types.KindNull
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+)
+
+// Evaluation variants of §13.3.
+const (
+	VariantNaive = core.VariantNaive
+	VariantR     = core.VariantR
+	VariantRPS   = core.VariantRPS
+	VariantRDS   = core.VariantRDS
+	VariantRFull = core.VariantRFull
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = types.Int
+	// Float builds a float value.
+	Float = types.Float
+	// Str builds a string value.
+	Str = types.String_
+	// Bool builds a boolean value.
+	Bool = types.Bool
+	// Null builds the NULL value.
+	Null = types.Null
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return storage.NewDatabase() }
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(s *Schema) *Relation { return storage.NewRelation(s) }
+
+// NewSchema builds a schema for relation rel.
+func NewSchema(rel string, cols ...Column) *Schema { return schema.New(rel, cols...) }
+
+// Col builds a schema column.
+func Col(name string, t Kind) Column { return schema.Col(name, t) }
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return schema.NewTuple(vs...) }
+
+// NewVersioned starts time-travel tracking from an initial state.
+func NewVersioned(initial *Database) *VersionedDatabase { return storage.NewVersioned(initial) }
+
+// NewEngine builds a what-if engine over a versioned database whose
+// redo log is the transactional history.
+func NewEngine(vdb *VersionedDatabase) *Engine { return core.New(vdb) }
+
+// DefaultOptions enables all optimizations (R+PS+DS).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// OptionsFor maps an evaluation variant to options.
+func OptionsFor(v Variant) Options { return core.OptionsFor(v) }
+
+// ParseStatement parses one SQL UPDATE/DELETE/INSERT statement.
+func ParseStatement(src string) (Statement, error) { return sql.ParseStatement(src) }
+
+// MustParseStatement is ParseStatement panicking on error.
+func MustParseStatement(src string) Statement { return sql.MustParseStatement(src) }
+
+// ParseStatements parses a ';'-separated script into a history.
+func ParseStatements(src string) (History, error) { return sql.ParseStatements(src) }
+
+// ParseCondition parses a standalone SQL condition.
+func ParseCondition(src string) (Expr, error) { return sql.ParseCondition(src) }
+
+// ReplaceSQL builds a Replace modification from SQL (zero-based
+// position).
+func ReplaceSQL(pos int, src string) Modification {
+	return history.Replace{Pos: pos, Stmt: sql.MustParseStatement(src)}
+}
+
+// InsertSQL builds an InsertStmt modification from SQL (zero-based
+// position).
+func InsertSQL(pos int, src string) Modification {
+	return history.InsertStmt{Pos: pos, Stmt: sql.MustParseStatement(src)}
+}
+
+// DeleteAt builds a DeleteStmt modification (zero-based position).
+func DeleteAt(pos int) Modification { return history.DeleteStmt{Pos: pos} }
+
+// EquivalenceResult reports a history equivalence proof (see
+// ProveEquivalent).
+type EquivalenceResult = progslice.EquivalenceResult
+
+// ProveEquivalent checks whether two histories of updates and deletes
+// over the relation described by s produce the same final state for
+// every possible input — the application of the symbolic evaluation
+// machinery that the paper proposes as future work (§14). A nil
+// constraint checks all databases; pass a condition over variables
+// x0_<column> to restrict the claim (e.g. to the value ranges of an
+// actual instance).
+//
+// The verdict is conservative: Definitive=false means "not proven
+// within budget", never a wrong answer.
+func ProveEquivalent(h1, h2 History, s *Schema, constraint Expr) (*EquivalenceResult, error) {
+	return progslice.ProveEquivalent(h1, h2, s, constraint, compile.Options{})
+}

@@ -1,0 +1,98 @@
+package mahif_test
+
+import (
+	"testing"
+
+	"github.com/mahif/mahif"
+)
+
+// paperExample builds the running example of the paper (Fig. 1–2): the
+// Order relation and the three-update shipping fee history.
+func paperExample(t *testing.T) *mahif.VersionedDatabase {
+	t.Helper()
+	s := mahif.NewSchema("orders",
+		mahif.Col("id", mahif.KindInt),
+		mahif.Col("customer", mahif.KindString),
+		mahif.Col("country", mahif.KindString),
+		mahif.Col("price", mahif.KindInt),
+		mahif.Col("shippingfee", mahif.KindInt),
+	)
+	rel := mahif.NewRelation(s)
+	rel.Add(
+		mahif.NewTuple(mahif.Int(11), mahif.Str("Susan"), mahif.Str("UK"), mahif.Int(20), mahif.Int(5)),
+		mahif.NewTuple(mahif.Int(12), mahif.Str("Alex"), mahif.Str("UK"), mahif.Int(50), mahif.Int(5)),
+		mahif.NewTuple(mahif.Int(13), mahif.Str("Jack"), mahif.Str("US"), mahif.Int(60), mahif.Int(3)),
+		mahif.NewTuple(mahif.Int(14), mahif.Str("Mark"), mahif.Str("US"), mahif.Int(30), mahif.Int(4)),
+	)
+	db := mahif.NewDatabase()
+	db.AddRelation(rel)
+	vdb := mahif.NewVersioned(db)
+	for _, stmt := range []string{
+		`UPDATE orders SET shippingfee = 0 WHERE price >= 50`,
+		`UPDATE orders SET shippingfee = shippingfee + 5 WHERE country = 'UK' AND price <= 100`,
+		`UPDATE orders SET shippingfee = shippingfee - 2 WHERE price <= 30 AND shippingfee >= 10`,
+	} {
+		if err := vdb.Apply(mahif.MustParseStatement(stmt)); err != nil {
+			t.Fatalf("applying %q: %v", stmt, err)
+		}
+	}
+	return vdb
+}
+
+// TestPaperRunningExample reproduces Example 2: replacing u1 with u1'
+// (price threshold 50 → 60) must yield Δ = {−(12,…,5), +(12,…,10)}.
+func TestPaperRunningExample(t *testing.T) {
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(0, `UPDATE orders SET shippingfee = 0 WHERE price >= 60`),
+	}
+
+	for _, variant := range []mahif.Variant{
+		mahif.VariantR, mahif.VariantRPS, mahif.VariantRDS, mahif.VariantRFull,
+	} {
+		t.Run(string(variant), func(t *testing.T) {
+			vdb := paperExample(t)
+			engine := mahif.NewEngine(vdb)
+			d, _, err := engine.WhatIf(mods, mahif.OptionsFor(variant))
+			if err != nil {
+				t.Fatalf("WhatIf: %v", err)
+			}
+			res := d["orders"]
+			if res == nil {
+				t.Fatalf("no delta for orders; got %v", d)
+			}
+			if len(res.Minus) != 1 || len(res.Plus) != 1 {
+				t.Fatalf("want 1 minus / 1 plus tuple, got %d/%d:\n%s",
+					len(res.Minus), len(res.Plus), res)
+			}
+			wantMinus := mahif.NewTuple(mahif.Int(12), mahif.Str("Alex"), mahif.Str("UK"), mahif.Int(50), mahif.Int(5))
+			wantPlus := mahif.NewTuple(mahif.Int(12), mahif.Str("Alex"), mahif.Str("UK"), mahif.Int(50), mahif.Int(10))
+			if !res.Minus[0].Equal(wantMinus) {
+				t.Errorf("minus tuple = %s, want %s", res.Minus[0], wantMinus)
+			}
+			if !res.Plus[0].Equal(wantPlus) {
+				t.Errorf("plus tuple = %s, want %s", res.Plus[0], wantPlus)
+			}
+		})
+	}
+}
+
+// TestNaiveMatchesReenactment checks Alg. 1 and Alg. 2 agree on the
+// running example.
+func TestNaiveMatchesReenactment(t *testing.T) {
+	mods := []mahif.Modification{
+		mahif.ReplaceSQL(0, `UPDATE orders SET shippingfee = 0 WHERE price >= 60`),
+	}
+	vdb := paperExample(t)
+	engine := mahif.NewEngine(vdb)
+	naive, _, err := engine.Naive(mods)
+	if err != nil {
+		t.Fatalf("Naive: %v", err)
+	}
+	fast, _, err := engine.WhatIf(mods, mahif.DefaultOptions())
+	if err != nil {
+		t.Fatalf("WhatIf: %v", err)
+	}
+	if !naive["orders"].Equal(fast["orders"]) {
+		t.Fatalf("naive delta:\n%s\nreenactment delta:\n%s", naive["orders"], fast["orders"])
+	}
+}
