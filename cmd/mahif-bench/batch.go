@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/workload"
+)
+
+// batch sweeps the batch what-if engine: a family of related scenarios
+// answered (a) by the pre-batch sequential per-scenario WhatIf loop,
+// (b) by WhatIfBatch with one worker (sharing only), and (c) by
+// WhatIfBatch over growing worker pools (sharing + parallelism). One
+// row per scenario count.
+func (h *harness) batch() {
+	ds := h.dataset(dsTaxiS)
+	w := h.gen(ds, workload.Config{Updates: 50})
+	vdb, err := w.Load()
+	if err != nil {
+		panic(err)
+	}
+	engine := core.New(vdb)
+	opts := core.DefaultOptions()
+
+	// Warm up (JIT-free, but page-in data and stabilize the allocator).
+	if _, _, err := engine.WhatIf(w.Mods, opts); err != nil {
+		panic(err)
+	}
+
+	workerGrid := []int{1, 2, 4}
+	maxProcs := runtime.GOMAXPROCS(0)
+	if maxProcs > 4 {
+		workerGrid = append(workerGrid, maxProcs)
+	}
+	cols := []string{"seq-loop"}
+	for _, wk := range workerGrid {
+		cols = append(cols, fmt.Sprintf("batch-w%d", wk))
+	}
+	fmt.Printf("\n== Batch sweep: scenarios × workers — %s (U=50) ==\n", dsTaxiS)
+	fmt.Printf("%-10s", "K")
+	for _, c := range cols {
+		fmt.Printf(" %12s", c)
+	}
+	fmt.Println(" (ms)")
+
+	for _, k := range []int{4, 16, 64} {
+		specs := w.ScenarioFamily(k)
+		scenarios := make([]core.Scenario, len(specs))
+		for i, s := range specs {
+			scenarios[i] = core.Scenario{Label: s.Label, Mods: s.Mods}
+		}
+
+		fmt.Printf("%-10d", k)
+		start := time.Now()
+		for _, sc := range scenarios {
+			if _, _, err := engine.WhatIf(sc.Mods, opts); err != nil {
+				panic(err)
+			}
+		}
+		fmt.Printf(" %12s", ms(time.Since(start)))
+
+		for _, wk := range workerGrid {
+			results, bs, err := engine.WhatIfBatch(scenarios, core.BatchOptions{Options: opts, Workers: wk})
+			if err != nil {
+				panic(err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					panic(r.Err)
+				}
+			}
+			fmt.Printf(" %12s", ms(bs.Total))
+		}
+		fmt.Println()
+	}
+
+	// Sharing ablation at a fixed scenario count: what do the shared
+	// snapshot and the solver memo each buy, on top of parallelism?
+	fmt.Printf("\n== Batch sharing ablation — %s (U=50, K=16, workers=%d) ==\n", dsTaxiS, maxProcs)
+	specs := w.ScenarioFamily(16)
+	scenarios := make([]core.Scenario, len(specs))
+	for i, s := range specs {
+		scenarios[i] = core.Scenario{Label: s.Label, Mods: s.Mods}
+	}
+	for _, cfg := range []struct {
+		name string
+		opts core.BatchOptions
+	}{
+		{"none", core.BatchOptions{Options: opts, NoSnapshotSharing: true, NoCompileMemo: true, NoQueryCache: true}},
+		{"no-snapshot", core.BatchOptions{Options: opts, NoSnapshotSharing: true}},
+		{"no-memo", core.BatchOptions{Options: opts, NoCompileMemo: true}},
+		{"no-querycache", core.BatchOptions{Options: opts, NoQueryCache: true}},
+		{"shared", core.BatchOptions{Options: opts}},
+	} {
+		_, bs, err := engine.WhatIfBatch(scenarios, cfg.opts)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-14s %12s   snapshots(hit/miss)=%d/%d memo(hit/miss)=%d/%d queries(hit/miss)=%d/%d\n",
+			cfg.name, ms(bs.Total), bs.SnapshotHits, bs.SnapshotMisses,
+			bs.MemoHits, bs.MemoMisses, bs.QueryHits, bs.QueryMisses)
+	}
+}

@@ -10,6 +10,7 @@
 //	mahif-bench -exp fig14        # one experiment
 //	mahif-bench -exp all          # everything (takes a while)
 //	mahif-bench -exp fig22 -rows 50000 -updates 10,20,50
+//	mahif-bench -exp batch        # batch engine: scenarios × workers sweep
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, all")
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, all")
 	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -40,7 +41,7 @@ func main() {
 		"fig14": h.fig14, "fig15": h.fig15, "fig16": h.fig16, "fig17": h.fig17,
 		"fig18": h.fig18, "fig19": h.fig19, "fig20": h.fig20, "fig21": h.fig21,
 		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
-		"ablation": h.ablations,
+		"ablation": h.ablations, "batch": h.batch,
 	}
 	switch *exp {
 	case "all":
@@ -53,7 +54,7 @@ func main() {
 			experiments[n]()
 		}
 	case "":
-		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, all)")
+		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, batch, all)")
 		os.Exit(2)
 	default:
 		run, ok := experiments[*exp]

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/mahif/mahif"
+)
+
+const scenariosJSON = `[
+  {"label": "fee60", "modifications": [
+    {"op": "replace", "pos": 1, "statement": "UPDATE orders SET shippingfee = 0 WHERE price >= 60"}
+  ]},
+  {"label": "fee40-and-us", "modifications": [
+    {"op": "replace", "pos": 1, "statement": "UPDATE orders SET shippingfee = 0 WHERE price >= 40"},
+    {"op": "insert",  "pos": 2, "statement": "UPDATE orders SET shippingfee = 1 WHERE country = 'US'"}
+  ]},
+  {"label": "drop-third", "modifications": [
+    {"op": "delete", "pos": 3}
+  ]}
+]`
+
+func TestLoadScenarios(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "scenarios.json", scenariosJSON)
+	scenarios, err := loadScenarios(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 3 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	if scenarios[0].Label != "fee60" || len(scenarios[0].Mods) != 1 {
+		t.Errorf("first scenario = %+v", scenarios[0])
+	}
+	if r, ok := scenarios[0].Mods[0].(mahif.Replace); !ok || r.Pos != 0 {
+		t.Errorf("first mod = %#v", scenarios[0].Mods[0])
+	}
+	if ins, ok := scenarios[1].Mods[1].(mahif.InsertStmt); !ok || ins.Pos != 1 {
+		t.Errorf("insert mod = %#v", scenarios[1].Mods[1])
+	}
+	if del, ok := scenarios[2].Mods[0].(mahif.DeleteStmt); !ok || del.Pos != 2 {
+		t.Errorf("delete mod = %#v", scenarios[2].Mods[0])
+	}
+}
+
+func TestLoadScenariosErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"syntax":      `[{"label": "x"`,
+		"empty":       `[]`,
+		"no-mods":     `[{"label": "x", "modifications": []}]`,
+		"bad-op":      `[{"modifications": [{"op": "frob", "pos": 1, "statement": "UPDATE t SET a = 1"}]}]`,
+		"zero-pos":    `[{"modifications": [{"op": "delete", "pos": 0}]}]`,
+		"bad-sql":     `[{"modifications": [{"op": "replace", "pos": 1, "statement": "UPDATE SET"}]}]`,
+		"delete-stmt": `[{"modifications": [{"op": "delete", "pos": 1, "statement": "UPDATE t SET a = 1"}]}]`,
+	}
+	for name, content := range cases {
+		path := writeFile(t, dir, name+".json", content)
+		if _, err := loadScenarios(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRunBatchEndToEnd drives the batch CLI path over the running
+// example: the per-scenario deltas must match single-query runs.
+func TestRunBatchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "orders.csv", ordersCSV)
+	hist := writeFile(t, dir, "history.sql", `
+		UPDATE orders SET shippingfee = 0 WHERE price >= 50;
+		UPDATE orders SET shippingfee = shippingfee + 5 WHERE country = 'UK' AND price <= 100;
+		UPDATE orders SET shippingfee = shippingfee - 2 WHERE price <= 30 AND shippingfee >= 10;
+	`)
+	scenarios := writeFile(t, dir, "scenarios.json", scenariosJSON)
+
+	for _, variant := range []string{"R", "R+PS+DS"} {
+		for _, workers := range []int{0, 1, 2} {
+			if err := runBatch([]string{"orders=" + csv}, hist, scenarios, variant, workers, true); err != nil {
+				t.Errorf("variant %s workers %d: %v", variant, workers, err)
+			}
+		}
+	}
+
+	// A scenario with an out-of-range position must fail the run but
+	// still evaluate its siblings (exit error, no panic).
+	bad := writeFile(t, dir, "bad.json",
+		`[{"label": "ok", "modifications": [{"op": "delete", "pos": 1}]},
+		  {"label": "oob", "modifications": [{"op": "delete", "pos": 99}]}]`)
+	if err := runBatch([]string{"orders=" + csv}, hist, bad, "R+PS+DS", 2, false); err == nil {
+		t.Error("batch with failing scenario reported success")
+	}
+}

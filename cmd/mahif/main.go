@@ -6,12 +6,17 @@
 // Usage:
 //
 //	mahif -data orders=orders.csv -history history.sql -whatif changes.txt [-variant R+PS+DS] [-stats]
+//	mahif batch -data orders=orders.csv -history history.sql -scenarios scenarios.json [-workers N] [-stats]
 //
 // The modification script has one modification per line:
 //
 //	replace <n>: <statement>     # replace the n-th statement (1-based)
 //	insert <n>: <statement>      # insert before the n-th statement
 //	delete <n>                   # remove the n-th statement
+//
+// The batch subcommand evaluates a family of scenarios concurrently
+// over the same history; its -scenarios file is a JSON array (see
+// `mahif batch -h` for the schema).
 //
 // CSV files need a header row; column types are inferred from the first
 // data row (int, float, bool, then string).
@@ -38,6 +43,10 @@ func (d *dataFlags) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		runBatchCmd(os.Args[2:])
+		return
+	}
 	var data dataFlags
 	flag.Var(&data, "data", "relation=file.csv (repeatable)")
 	historyPath := flag.String("history", "", "SQL script with the transactional history")

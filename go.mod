@@ -1,0 +1,3 @@
+module github.com/mahif/mahif
+
+go 1.22

@@ -50,6 +50,11 @@ type Options struct {
 	// NumericBound overrides the default ±1e7 box for numeric
 	// variables.
 	NumericBound float64
+	// Memo, when non-nil, caches satisfiability outcomes across calls
+	// keyed by the program fingerprint (see Memo). Batch what-if
+	// evaluation shares one memo across scenarios so identical slicing
+	// tests are solved once.
+	Memo *Memo
 }
 
 // Outcome is the result of a satisfiability check.
@@ -72,8 +77,25 @@ type Outcome struct {
 // every free variable (variables missing from kinds are treated as
 // floats).
 func Satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
+	simplified := expr.Simplify(cond)
+	if opts.Memo == nil {
+		return satisfiable(simplified, kinds, opts)
+	}
+	key := memoKey(simplified, kinds, opts)
+	if out, ok := opts.Memo.lookup(key); ok {
+		return out, nil
+	}
+	out, err := satisfiable(simplified, kinds, opts)
+	if err == nil {
+		opts.Memo.store(key, out)
+	}
+	return out, err
+}
+
+// satisfiable compiles and solves an already-simplified condition.
+func satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
 	c := newCompiler(kinds, opts)
-	root, err := c.compileBool(expr.Simplify(cond))
+	root, err := c.compileBool(cond)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,148 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Memo is a concurrency-safe cache of satisfiability outcomes. The
+// slicing formulas the engine compiles are deterministic functions of
+// the history suffix and the modification under test, so their
+// canonical fingerprint (rendered condition + variable kinds + solver
+// budget) identifies the compiled program exactly: two what-if
+// scenarios that share a suffix and a modification produce byte-equal
+// fingerprints and reuse one solver run. Batch evaluation threads one
+// Memo through Options.Memo for all scenarios.
+//
+// Cached *Outcome values are shared; callers must treat them (including
+// the Model witness map) as read-only, which every engine call site
+// already does.
+type Memo struct {
+	// A plain mutex: even lookups write (hit/miss accounting), so a
+	// reader/writer split would buy nothing.
+	mu     sync.Mutex
+	m      map[string]*Outcome
+	hits   int64
+	misses int64
+}
+
+// NewMemo builds an empty memo.
+func NewMemo() *Memo { return &Memo{m: map[string]*Outcome{}} }
+
+// Stats reports lookup hits and misses so far.
+func (m *Memo) Stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// Len returns the number of cached outcomes.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+func (m *Memo) lookup(key string) (*Outcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out, ok := m.m[key]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return out, ok
+}
+
+func (m *Memo) store(key string, out *Outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[key] = out
+}
+
+// memoKey fingerprints one satisfiability query. The condition is
+// serialized with explicit node tags (a plain String rendering cannot
+// distinguish a column from a variable of the same name), and the kind
+// map and the solver knobs that can change the verdict are appended.
+func memoKey(cond expr.Expr, kinds map[string]types.Kind, opts Options) string {
+	var b strings.Builder
+	fingerprintExpr(&b, cond)
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteByte('|')
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s:%d;", n, kinds[n])
+	}
+	fmt.Fprintf(&b, "|b=%g|s=%d,%d,%d", opts.NumericBound,
+		opts.Solve.MaxNodes, opts.Solve.MaxIter, opts.Solve.MaxPropagationRounds)
+	return b.String()
+}
+
+func fingerprintExpr(b *strings.Builder, e expr.Expr) {
+	switch x := e.(type) {
+	case *expr.Const:
+		b.WriteString("k(")
+		b.WriteString(x.V.String())
+		b.WriteByte(')')
+	case *expr.Col:
+		b.WriteString("c(")
+		b.WriteString(x.Name)
+		b.WriteByte(')')
+	case *expr.Var:
+		b.WriteString("v(")
+		b.WriteString(x.Name)
+		b.WriteByte(')')
+	case *expr.Arith:
+		fmt.Fprintf(b, "a%d(", x.Op)
+		fingerprintExpr(b, x.L)
+		b.WriteByte(',')
+		fingerprintExpr(b, x.R)
+		b.WriteByte(')')
+	case *expr.Cmp:
+		fmt.Fprintf(b, "p%d(", x.Op)
+		fingerprintExpr(b, x.L)
+		b.WriteByte(',')
+		fingerprintExpr(b, x.R)
+		b.WriteByte(')')
+	case *expr.And:
+		b.WriteString("and(")
+		fingerprintExpr(b, x.L)
+		b.WriteByte(',')
+		fingerprintExpr(b, x.R)
+		b.WriteByte(')')
+	case *expr.Or:
+		b.WriteString("or(")
+		fingerprintExpr(b, x.L)
+		b.WriteByte(',')
+		fingerprintExpr(b, x.R)
+		b.WriteByte(')')
+	case *expr.Not:
+		b.WriteString("not(")
+		fingerprintExpr(b, x.E)
+		b.WriteByte(')')
+	case *expr.IsNull:
+		b.WriteString("isnull(")
+		fingerprintExpr(b, x.E)
+		b.WriteByte(')')
+	case *expr.If:
+		b.WriteString("if(")
+		fingerprintExpr(b, x.Cond)
+		b.WriteByte(',')
+		fingerprintExpr(b, x.Then)
+		b.WriteByte(',')
+		fingerprintExpr(b, x.Else)
+		b.WriteByte(')')
+	default:
+		// Unknown node: render opaquely; worst case is a missed reuse.
+		fmt.Fprintf(b, "?(%s)", e)
+	}
+}

@@ -1,0 +1,115 @@
+package compile
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/types"
+)
+
+func TestMemoReusesOutcome(t *testing.T) {
+	cond := expr.And{
+		L: expr.Ge(expr.Variable("x"), expr.IntConst(3)),
+		R: expr.Lt(expr.Variable("x"), expr.IntConst(10)),
+	}
+	kinds := map[string]types.Kind{"x": types.KindInt}
+	memo := NewMemo()
+	opts := Options{Memo: memo}
+
+	first, err := Satisfiable(&cond, kinds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Sat || !first.Definitive {
+		t.Fatalf("outcome = %+v, want definitive sat", first)
+	}
+	second, err := Satisfiable(&cond, kinds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("memoized call returned a different outcome object")
+	}
+	hits, misses := memo.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats() = %d hits, %d misses, want 1, 1", hits, misses)
+	}
+	if memo.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", memo.Len())
+	}
+}
+
+func TestMemoDistinguishesKindsAndShape(t *testing.T) {
+	memo := NewMemo()
+	cond := expr.Eq(expr.Variable("x"), expr.Variable("y"))
+	asFloat := map[string]types.Kind{"x": types.KindFloat, "y": types.KindFloat}
+	asString := map[string]types.Kind{"x": types.KindString, "y": types.KindString}
+	if _, err := Satisfiable(cond, asFloat, Options{Memo: memo}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Satisfiable(cond, asString, Options{Memo: memo}); err != nil {
+		t.Fatal(err)
+	}
+	if memo.Len() != 2 {
+		t.Errorf("Len() = %d: kind maps were conflated", memo.Len())
+	}
+
+	// A column and a variable of the same name must not share a key.
+	k1 := memoKey(expr.Variable("a"), nil, Options{})
+	k2 := memoKey(&expr.Col{Name: "a"}, nil, Options{})
+	if k1 == k2 {
+		t.Error("fingerprint conflates Var and Col of the same name")
+	}
+}
+
+func TestMemoAgreesWithoutMemo(t *testing.T) {
+	conds := []expr.Expr{
+		expr.Gt(expr.Variable("a"), expr.IntConst(5)),
+		expr.AndOf(
+			expr.Gt(expr.Variable("a"), expr.IntConst(5)),
+			expr.Lt(expr.Variable("a"), expr.IntConst(3)),
+		),
+	}
+	kinds := map[string]types.Kind{"a": types.KindInt}
+	memo := NewMemo()
+	for i, cond := range conds {
+		plain, err := Satisfiable(cond, kinds, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		memoed, err := Satisfiable(cond, kinds, Options{Memo: memo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Sat != memoed.Sat || plain.Definitive != memoed.Definitive {
+			t.Errorf("cond %d: memoized verdict %v/%v differs from plain %v/%v",
+				i, memoed.Sat, memoed.Definitive, plain.Sat, plain.Definitive)
+		}
+	}
+}
+
+// TestMemoConcurrent exercises the memo from many goroutines (for the
+// race detector).
+func TestMemoConcurrent(t *testing.T) {
+	memo := NewMemo()
+	kinds := map[string]types.Kind{"v": types.KindInt}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cond := expr.Ge(expr.Variable("v"), expr.IntConst(int64(i%5)))
+				if _, err := Satisfiable(cond, kinds, Options{Memo: memo}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if memo.Len() != 5 {
+		t.Errorf("Len() = %d, want 5 distinct conditions", memo.Len())
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// evalCache shares materialized reenactment-query results across the
+// scenarios of one batch, keyed by (time-travel version, canonical
+// query rendering). Scenarios in a family share the original history,
+// so their original-side reenactment programs frequently coincide; the
+// first scenario to evaluate such a program pays for it and the rest
+// reuse the result. Cached relations are shared read-only — delta
+// computation and query evaluation never mutate their inputs.
+type evalCache struct {
+	mu           sync.Mutex
+	m            map[string]*evalEntry
+	hits, misses int
+}
+
+// evalEntry evaluates one program exactly once; concurrent workers
+// asking for the same (version, program) block on the Once and share
+// the result instead of each materializing it.
+type evalEntry struct {
+	once sync.Once
+	rel  *storage.Relation
+	err  error
+}
+
+func newEvalCache() *evalCache { return &evalCache{m: map[string]*evalEntry{}} }
+
+// eval answers q over db, reusing a previously materialized result for
+// the same (version, program) when available.
+func (c *evalCache) eval(q algebra.Query, db *storage.Database, ver int) (*storage.Relation, error) {
+	key := fmt.Sprintf("%d|%s", ver, algebra.Fingerprint(q))
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &evalEntry{}
+		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.rel, e.err = algebra.Eval(q, db) })
+	return e.rel, e.err
+}
+
+func (c *evalCache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// batchShared bundles the caches one batch evaluation shares across
+// its workers. All fields are optional.
+type batchShared struct {
+	snaps *storage.SnapshotCache
+	eval  *evalCache
+}
+
+// Scenario is one hypothetical modification set in a batch what-if
+// query. An analyst exploring a family of hypotheticals ("what if the
+// fee threshold had been 55? 60? 65?") submits one scenario per
+// variation over the same history.
+type Scenario struct {
+	// Label identifies the scenario in results and reports (optional).
+	Label string
+	// Mods is the modification sequence M of the what-if query.
+	Mods []history.Modification
+}
+
+// BatchOptions configures WhatIfBatch.
+type BatchOptions struct {
+	// Options are the per-scenario engine options (variant, slicing
+	// knobs). The same options apply to every scenario.
+	Options Options
+	// Workers bounds evaluation parallelism; values ≤ 0 use
+	// runtime.GOMAXPROCS(0). Workers == 1 evaluates sequentially.
+	Workers int
+	// NoSnapshotSharing disables the shared time-travel snapshot and
+	// gives every scenario a private copy of the pre-suffix state, as a
+	// sequential-equivalent baseline for benchmarks.
+	NoSnapshotSharing bool
+	// NoCompileMemo disables the cross-scenario solver memo.
+	NoCompileMemo bool
+	// NoQueryCache disables reuse of materialized reenactment-query
+	// results across scenarios.
+	NoQueryCache bool
+}
+
+// BatchResult is the outcome of one scenario. Err is set per scenario —
+// a failing scenario never aborts its siblings.
+type BatchResult struct {
+	// Scenario is the index into the submitted slice.
+	Scenario int
+	// Label echoes the scenario label.
+	Label string
+	// Delta is the annotated symmetric difference (nil when Err != nil).
+	Delta delta.Set
+	// Stats is the per-scenario phase breakdown (nil when Err != nil).
+	Stats *Stats
+	// Err is the scenario's evaluation error, if any.
+	Err error
+}
+
+// BatchStats aggregates the work sharing achieved across a batch.
+type BatchStats struct {
+	// Total is the wall-clock time for the whole batch.
+	Total time.Duration
+	// Workers is the parallelism actually used.
+	Workers int
+	// Scenarios and Failed count submitted and errored scenarios.
+	Scenarios int
+	Failed    int
+	// SnapshotHits/Misses report shared time-travel reuse: misses are
+	// distinct versions materialized (each exactly once, during the
+	// ascending pre-warm), hits are the per-scenario lookups that
+	// reused one (zero when sharing is disabled).
+	SnapshotHits, SnapshotMisses int
+	// MemoHits/Misses report solver-outcome reuse across scenarios
+	// (zero when the memo is disabled or program slicing is off).
+	MemoHits, MemoMisses int64
+	// QueryHits/Misses report reenactment-result reuse: hits are
+	// evaluations of a compiled algebra program another scenario
+	// already materialized over the same snapshot.
+	QueryHits, QueryMisses int
+}
+
+// WhatIfBatch answers N independent what-if scenarios over the engine's
+// history concurrently. Work shared across scenarios is computed once:
+// the time-travel state before each distinct first-modified position is
+// materialized a single time and shared read-only by all workers (the
+// reenactment path never mutates it; the naive copy step is the
+// copy-on-write boundary and stays per-scenario), and satisfiability
+// tests whose slicing formulas coincide across scenarios are solved
+// once through a shared memo.
+//
+// Results are returned in submission order. Evaluation is not
+// fail-fast: a scenario error is recorded in its BatchResult and the
+// rest of the batch completes. The returned error reports only batch-
+// level misuse (no scenarios).
+func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchResult, *BatchStats, error) {
+	if len(scenarios) == 0 {
+		return nil, nil, fmt.Errorf("core: empty scenario batch")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	shared := &batchShared{}
+	if !opts.NoSnapshotSharing {
+		shared.snaps = storage.NewSnapshotCache(e.vdb)
+	}
+	if !opts.NoQueryCache {
+		shared.eval = newEvalCache()
+	}
+	perScenario := opts.Options
+	var memo *compile.Memo
+	switch {
+	case opts.NoCompileMemo:
+		// Also drop a caller-supplied memo: the option means "no
+		// cross-scenario solver reuse", not just "no fresh memo".
+		perScenario.Compile.Memo = nil
+	case perScenario.Compile.Memo == nil:
+		memo = compile.NewMemo()
+		perScenario.Compile.Memo = memo
+	default:
+		// The caller supplied a memo (e.g. shared across batches): use
+		// it, but leave BatchStats memo counters zero — its cumulative
+		// counts are not attributable to this batch.
+	}
+
+	start := time.Now()
+	// Align every scenario once: the padded pair drives both the
+	// dispatch order and the evaluation (whatIfPair), so the O(|H|)
+	// modification-application work is not repeated per scenario.
+	h, err := e.History()
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]BatchResult, len(scenarios))
+	pairs := make([]*history.PaddedPair, len(scenarios))
+	for i, sc := range scenarios {
+		pairs[i], err = history.ApplyModifications(h, sc.Mods)
+		if err != nil {
+			results[i] = BatchResult{Scenario: i, Label: sc.Label, Err: err}
+		}
+	}
+
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				sc := scenarios[i]
+				d, st, err := e.whatIfPair(pairs[i], perScenario, shared)
+				results[i] = BatchResult{Scenario: i, Label: sc.Label, Delta: d, Stats: st, Err: err}
+			}
+		}()
+	}
+	// Dispatch scenarios by ascending first-modified position, and
+	// materialize each scenario's snapshot before handing it to a
+	// worker: the ascending pre-warm makes every build an incremental
+	// extension of the previous snapshot (deterministic prefix reuse
+	// even when concurrent workers would otherwise race to build
+	// nearby versions from the base). Results keep submission order
+	// regardless; snapshot errors are left for the scenario's own
+	// evaluation to surface.
+	warmed := -1
+	for _, i := range scheduleOrder(pairs) {
+		if shared.snaps != nil {
+			// Ascending dispatch makes consecutive versions the distinct
+			// ones; warm each exactly once.
+			if v := min(pairs[i].FirstModified(), e.vdb.NumVersions()); v != warmed {
+				_, _ = shared.snaps.Snapshot(v)
+				warmed = v
+			}
+		}
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	bs := &BatchStats{
+		Total:     time.Since(start),
+		Workers:   workers,
+		Scenarios: len(scenarios),
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			bs.Failed++
+		}
+	}
+	if shared.snaps != nil {
+		bs.SnapshotHits, bs.SnapshotMisses = shared.snaps.Stats()
+	}
+	if memo != nil {
+		// Report from the batch-owned memo only; a caller-supplied memo
+		// would carry counts from earlier uses.
+		bs.MemoHits, bs.MemoMisses = memo.Stats()
+	}
+	if shared.eval != nil {
+		bs.QueryHits, bs.QueryMisses = shared.eval.stats()
+	}
+	return results, bs, nil
+}
+
+// scheduleOrder returns the indices of successfully aligned pairs
+// sorted by ascending first-modified position (stable for ties, so
+// equal-position scenarios keep submission order). Failed alignments
+// (nil pairs) are excluded; their errors are already recorded.
+func scheduleOrder(pairs []*history.PaddedPair) []int {
+	order := make([]int, 0, len(pairs))
+	pos := make([]int, len(pairs))
+	for i, p := range pairs {
+		if p == nil {
+			continue
+		}
+		order = append(order, i)
+		pos[i] = p.FirstModified()
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pos[order[a]] < pos[order[b]] })
+	return order
+}

@@ -137,36 +137,53 @@ func (e *Engine) History() (history.History, error) {
 
 // prepare applies M to H, cuts the shared prefix, and reconstructs the
 // database state at the first modified statement.
-func (e *Engine) prepare(mods []history.Modification, st *Stats) (*history.PaddedPair, *storage.Database, error) {
+func (e *Engine) prepare(mods []history.Modification, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
 	h, err := e.History()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	pair, err := history.ApplyModifications(h, mods)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
+	return e.snapshotFor(pair, st, snaps)
+}
+
+// snapshotFor cuts the shared prefix of an aligned pair and
+// reconstructs the database state at the first modified statement. With
+// a non-nil snapshot cache the state is a shared read-only snapshot
+// (reenactment never mutates it); otherwise it is a private copy from
+// time travel. The returned version number identifies the snapshot for
+// result caching.
+func (e *Engine) snapshotFor(pair *history.PaddedPair, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
 	first := pair.FirstModified()
 	t0 := time.Now()
 	// The prefix before the first modification is identical in both
 	// histories; per §4 we time-travel to the state right before it.
 	// Padding only ever occurs at or after modified positions, so the
 	// prefix indexes the log directly.
-	db, err := e.vdb.Version(min(first, e.vdb.NumVersions()))
+	ver := min(first, e.vdb.NumVersions())
+	var db *storage.Database
+	var err error
+	if snaps != nil {
+		db, err = snaps.Snapshot(ver)
+	} else {
+		db, err = e.vdb.Version(ver)
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if st != nil {
 		st.TimeTravel = time.Since(t0)
 	}
-	return pair.SuffixFrom(first), db, nil
+	return pair.SuffixFrom(first), db, ver, nil
 }
 
 // Naive answers the query with Alg. 1.
 func (e *Engine) Naive(mods []history.Modification) (delta.Set, *NaiveStats, error) {
 	stats := &NaiveStats{}
 	start := time.Now()
-	suffix, db, err := e.prepare(mods, nil)
+	suffix, db, _, err := e.prepare(mods, nil, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -211,12 +228,38 @@ func relationUnion(pair *history.PaddedPair) map[string]bool {
 
 // WhatIf answers the query with Alg. 2 under the given options.
 func (e *Engine) WhatIf(mods []history.Modification, opts Options) (delta.Set, *Stats, error) {
-	stats := &Stats{Slices: map[string]progslice.Stats{}}
-	start := time.Now()
-	suffix, db, err := e.prepare(mods, stats)
+	return e.whatIf(mods, opts, nil)
+}
+
+// whatIf is WhatIf with optional batch-shared caches (snapshot, query
+// results) used by WhatIfBatch.
+func (e *Engine) whatIf(mods []history.Modification, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
+	h, err := e.History()
 	if err != nil {
 		return nil, nil, err
 	}
+	pair, err := history.ApplyModifications(h, mods)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.whatIfPair(pair, opts, shared)
+}
+
+// whatIfPair answers an already-aligned query pair (WhatIfBatch
+// computes pairs once, for both scheduling and evaluation). The
+// evaluation path only reads db, so a shared snapshot is safe; anything
+// that must mutate state clones first.
+func (e *Engine) whatIfPair(pair *history.PaddedPair, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
+	if shared == nil {
+		shared = &batchShared{}
+	}
+	stats := &Stats{Slices: map[string]progslice.Stats{}}
+	start := time.Now()
+	suffix, db, ver, err := e.snapshotFor(pair, stats, shared.snaps)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev := evaluator{ec: shared.eval, ver: ver}
 	stats.TotalStatements = len(suffix.Orig)
 
 	// Relations to answer for; taint analysis prunes provably-empty
@@ -246,7 +289,7 @@ func (e *Engine) WhatIf(mods []history.Modification, opts Options) (delta.Set, *
 	out := delta.Set{}
 	split := opts.ProgramSlicing || opts.InsertSplit
 	if !split {
-		if err := e.wholeHistoryPath(suffix, db, filters, targets, out, stats); err != nil {
+		if err := e.wholeHistoryPath(suffix, db, filters, targets, out, stats, ev); err != nil {
 			return nil, nil, err
 		}
 		stats.Total = time.Since(start)
@@ -255,7 +298,7 @@ func (e *Engine) WhatIf(mods []history.Modification, opts Options) (delta.Set, *
 	}
 
 	for _, rel := range targets {
-		if err := e.splitPath(suffix, db, rel, filters, opts, out, stats); err != nil {
+		if err := e.splitPath(suffix, db, rel, filters, opts, out, stats, ev); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -265,7 +308,7 @@ func (e *Engine) WhatIf(mods []history.Modification, opts Options) (delta.Set, *
 
 // wholeHistoryPath reenacts the full histories per relation (variant R
 // or R+DS without insert split).
-func (e *Engine) wholeHistoryPath(suffix *history.PaddedPair, db *storage.Database, filters *dataslice.Conditions, targets []string, out delta.Set, stats *Stats) error {
+func (e *Engine) wholeHistoryPath(suffix *history.PaddedPair, db *storage.Database, filters *dataslice.Conditions, targets []string, out delta.Set, stats *Stats, ev evaluator) error {
 	t0 := time.Now()
 	qsOrig, err := reenact.Queries(suffix.Orig, db, filters.H)
 	if err != nil {
@@ -280,11 +323,11 @@ func (e *Engine) wholeHistoryPath(suffix *history.PaddedPair, db *storage.Databa
 		if qo == nil || qm == nil {
 			continue
 		}
-		ro, err := evalQuery(qo, db)
+		ro, err := ev.eval(qo, db)
 		if err != nil {
 			return err
 		}
-		rm, err := evalQuery(qm, db)
+		rm, err := ev.eval(qm, db)
 		if err != nil {
 			return err
 		}
@@ -301,7 +344,7 @@ func (e *Engine) wholeHistoryPath(suffix *history.PaddedPair, db *storage.Databa
 // splitPath answers one relation using the §10 split: the insert-free
 // part (optionally program sliced) over the base relation, unioned with
 // the insert branches.
-func (e *Engine) splitPath(suffix *history.PaddedPair, db *storage.Database, rel string, filters *dataslice.Conditions, opts Options, out delta.Set, stats *Stats) error {
+func (e *Engine) splitPath(suffix *history.PaddedPair, db *storage.Database, rel string, filters *dataslice.Conditions, opts Options, out delta.Set, stats *Stats, ev evaluator) error {
 	relPair, _ := suffix.RestrictToRelation(rel)
 	noInsPair, modified := stripInsertPair(relPair)
 
@@ -364,11 +407,11 @@ func (e *Engine) splitPath(suffix *history.PaddedPair, db *storage.Database, rel
 	if brMod != nil {
 		qm = &algebra.Union{L: qm, R: brMod}
 	}
-	ro, err := evalQuery(qo, db)
+	ro, err := ev.eval(qo, db)
 	if err != nil {
 		return err
 	}
-	rm, err := evalQuery(qm, db)
+	rm, err := ev.eval(qm, db)
 	if err != nil {
 		return err
 	}
@@ -417,6 +460,16 @@ func isInsert(s history.Statement) bool {
 	return false
 }
 
-func evalQuery(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
+// evaluator answers algebra queries, optionally through a batch-shared
+// result cache (see evalCache).
+type evaluator struct {
+	ec  *evalCache
+	ver int
+}
+
+func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
+	if ev.ec != nil {
+		return ev.ec.eval(q, db, ev.ver)
+	}
 	return algebra.Eval(q, db)
 }

@@ -157,6 +157,9 @@ func TestSlicingKeepsDependentUpdates(t *testing.T) {
 // TestGreedyAgreesWithDependency cross-checks the two slicing
 // algorithms end to end.
 func TestGreedyAgreesWithDependency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("greedy slicing cross-check runs hundreds of solver calls")
+	}
 	ds := workload.TPCC(800, 15)
 	w, err := workload.Generate(ds, workload.Config{
 		Updates: 8, Mods: 1, DependentPct: 50, AffectedPct: 15, Seed: 16,

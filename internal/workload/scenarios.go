@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+)
+
+// ScenarioSpec is one derived what-if modification set. It mirrors
+// core.Scenario without importing it (workload sits below core).
+type ScenarioSpec struct {
+	Label string
+	Mods  []history.Modification
+}
+
+// ScenarioFamily derives n related what-if scenarios from the
+// workload's own query, the shape an analyst's exploration takes:
+// mostly variations of the modified update with shifted hypothetical
+// thresholds, interleaved (when the workload has dependent updates)
+// with replacements at dependent positions so the family time-travels
+// to more than one history prefix.
+func (w *Workload) ScenarioFamily(n int) []ScenarioSpec {
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	sel := w.Dataset.SelAttr
+	out := make([]ScenarioSpec, 0, n)
+	for k := 0; len(out) < n; k++ {
+		if k%4 == 3 && len(w.DependentPos) > 0 {
+			pos := w.DependentPos[k%len(w.DependentPos)]
+			orig := w.History[pos].(*history.Update)
+			st := &history.Update{
+				Rel:   orig.Rel,
+				Set:   orig.Set,
+				Where: expr.Ge(expr.Column(sel), expr.IntConst(int64(8800-25*k))),
+			}
+			out = append(out, ScenarioSpec{
+				Label: fmt.Sprintf("dep%d", pos),
+				Mods:  []history.Modification{history.Replace{Pos: pos, Stmt: st}},
+			})
+			continue
+		}
+		cut := int64(9100 - 30*k)
+		st := &history.Update{
+			Rel:   upd.Rel,
+			Set:   upd.Set,
+			Where: expr.Ge(expr.Column(sel), expr.IntConst(cut)),
+		}
+		out = append(out, ScenarioSpec{
+			Label: fmt.Sprintf("cut%d", cut),
+			Mods:  []history.Modification{history.Replace{Pos: base.Pos, Stmt: st}},
+		})
+	}
+	return out
+}

@@ -28,6 +28,28 @@
 // The result is the symmetric difference between the actual current
 // state and the hypothetical one, annotated − (only in the actual
 // state) and + (only in the hypothetical state).
+//
+// # Batch evaluation
+//
+// Analysts rarely ask one hypothetical: they sweep a family of related
+// scenarios over the same history. Engine.WhatIfBatch answers N
+// independent modification sets concurrently over a worker pool,
+// sharing the work that is common to the family — the time-travel
+// state before each distinct first-modified statement is materialized
+// once and used read-only by all workers, and program-slicing solver
+// runs whose formulas coincide across scenarios are answered once from
+// a memo. Results arrive in submission order with per-scenario deltas,
+// stats, and errors (no fail-fast):
+//
+//	results, bstats, err := engine.WhatIfBatch([]mahif.Scenario{
+//	    {Label: "fee55", Mods: []mahif.Modification{mahif.ReplaceSQL(0,
+//	        `UPDATE orders SET fee = 0 WHERE price >= 55`)}},
+//	    {Label: "fee60", Mods: []mahif.Modification{mahif.ReplaceSQL(0,
+//	        `UPDATE orders SET fee = 0 WHERE price >= 60`)}},
+//	}, mahif.BatchOptions{Options: mahif.DefaultOptions()})
+//
+// The same capability is exposed as the `batch` subcommand of
+// cmd/mahif, which reads scenarios from a JSON file.
 package mahif
 
 import (
@@ -85,6 +107,14 @@ type (
 	Stats = core.Stats
 	// NaiveStats is the breakdown for the naive algorithm.
 	NaiveStats = core.NaiveStats
+	// Scenario is one modification set in a batch what-if query.
+	Scenario = core.Scenario
+	// BatchOptions tunes Engine.WhatIfBatch (parallelism, sharing).
+	BatchOptions = core.BatchOptions
+	// BatchResult is the per-scenario outcome of a batch query.
+	BatchResult = core.BatchResult
+	// BatchStats aggregates batch timing and work sharing.
+	BatchStats = core.BatchStats
 	// Delta is the annotated symmetric difference for one relation.
 	Delta = delta.Result
 	// DeltaSet maps relation names to their deltas.
