@@ -11,23 +11,30 @@
 //	mahif-bench -exp all          # everything (takes a while)
 //	mahif-bench -exp fig22 -rows 50000 -updates 10,20,50
 //	mahif-bench -exp batch        # batch engine: scenarios × workers sweep
+//	mahif-bench -exp exec         # interpreter vs compiled executor → BENCH_exec.json
+//	mahif-bench -exp exec -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, all")
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, all")
 	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	updates := flag.String("updates", "10,20,50,100,200", "history lengths (U) for the sweeps")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
+	flag.StringVar(&execOut, "execout", execOut, "output path for the exec experiment's JSON report")
 	flag.Parse()
 
 	us, err := parseInts(*updates)
@@ -41,8 +48,9 @@ func main() {
 		"fig14": h.fig14, "fig15": h.fig15, "fig16": h.fig16, "fig17": h.fig17,
 		"fig18": h.fig18, "fig19": h.fig19, "fig20": h.fig20, "fig21": h.fig21,
 		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
-		"ablation": h.ablations, "batch": h.batch,
+		"ablation": h.ablations, "batch": h.batch, "exec": h.execExp,
 	}
+	var runs []func()
 	switch *exp {
 	case "all":
 		names := make([]string, 0, len(experiments))
@@ -51,10 +59,10 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			experiments[n]()
+			runs = append(runs, experiments[n])
 		}
 	case "":
-		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, batch, all)")
+		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, batch, exec, all)")
 		os.Exit(2)
 	default:
 		run, ok := experiments[*exp]
@@ -62,7 +70,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mahif-bench: unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
+		runs = append(runs, run)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mahif-bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mahif-bench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	for _, run := range runs {
 		run()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mahif-bench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC() // surface live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mahif-bench:", err)
+			os.Exit(2)
+		}
 	}
 }
 

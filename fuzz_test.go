@@ -141,3 +141,86 @@ func randomModificationFor(rng *rand.Rand, hist mahif.History) mahif.Modificatio
 		return mahif.Replace{Pos: pos, Stmt: randomStatement(rng, 60)}
 	}
 }
+
+// differentialTrial answers one random scenario with the compiled
+// executor and the tree-walking interpreter under every variant and
+// requires identical deltas. Deltas are sorted and multiset-aware
+// (delta.Compute sorts by canonical key; Result.Equal compares the
+// annotated multisets position-wise), so this is an exact equivalence
+// check of the two executors end to end — reenactment, slicing,
+// filters, joins, difference, everything.
+func differentialTrial(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	vdb, hist := randomScenario(t, rng)
+	mod := randomModificationFor(rng, hist)
+	engine := mahif.NewEngine(vdb)
+	for _, v := range []mahif.Variant{mahif.VariantR, mahif.VariantRPS, mahif.VariantRDS, mahif.VariantRFull} {
+		optsI := mahif.OptionsFor(v)
+		optsI.Executor = mahif.ExecInterpreter
+		optsC := mahif.OptionsFor(v)
+		optsC.Executor = mahif.ExecCompiled
+
+		want, _, errI := engine.WhatIf([]mahif.Modification{mod}, optsI)
+		got, _, errC := engine.WhatIf([]mahif.Modification{mod}, optsC)
+		if (errI == nil) != (errC == nil) {
+			t.Fatalf("%s: error divergence: interpreter=%v compiled=%v\nhistory:\n%s\nmod: %s",
+				v, errI, errC, hist, mod)
+		}
+		if errI != nil {
+			continue
+		}
+		rels := map[string]bool{}
+		for rel := range want {
+			rels[rel] = true
+		}
+		for rel := range got {
+			rels[rel] = true
+		}
+		for rel := range rels {
+			wd, gd := want[rel], got[rel]
+			switch {
+			case wd == nil && gd == nil:
+			case wd == nil:
+				if !gd.Empty() {
+					t.Fatalf("%s: compiled has extra delta for %s\nhistory:\n%s\nmod: %s\ngot:\n%s",
+						v, rel, hist, mod, gd)
+				}
+			case gd == nil:
+				if !wd.Empty() {
+					t.Fatalf("%s: compiled missing delta for %s\nhistory:\n%s\nmod: %s\nwant:\n%s",
+						v, rel, hist, mod, wd)
+				}
+			case !gd.Equal(wd):
+				t.Fatalf("%s: executor divergence for %s\nhistory:\n%s\nmod: %s\ninterpreter:\n%s\ncompiled:\n%s",
+					v, rel, hist, mod, wd, gd)
+			}
+		}
+	}
+}
+
+// TestDifferentialExecutor cross-validates the compiled executor
+// against the interpreter oracle over random histories and
+// modifications.
+func TestDifferentialExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		differentialTrial(t, rng)
+	}
+}
+
+// FuzzDifferentialExecutor is the native-fuzzing entry point for the
+// same property; the seed corpus runs on every plain `go test`
+// (including -short in CI), and `go test -fuzz=FuzzDifferentialExecutor`
+// explores further.
+func FuzzDifferentialExecutor(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 42, 1234, 987654321} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		differentialTrial(t, rand.New(rand.NewSource(seed)))
+	})
+}

@@ -148,7 +148,7 @@ func OutputSchema(q Query, db *storage.Database) (*schema.Schema, error) {
 		}
 		cols := make([]schema.Column, len(x.Exprs))
 		for i, ne := range x.Exprs {
-			cols[i] = schema.Col(ne.Name, exprKind(ne.E, in))
+			cols[i] = schema.Col(ne.Name, ExprKind(ne.E, in))
 		}
 		return schema.New(in.Relation, cols...), nil
 	case *Union:
@@ -174,8 +174,9 @@ func OutputSchema(q Query, db *storage.Database) (*schema.Schema, error) {
 	return nil, fmt.Errorf("algebra: unknown query node %T", q)
 }
 
-// exprKind gives a best-effort static type for a projection expression.
-func exprKind(e expr.Expr, in *schema.Schema) types.Kind {
+// ExprKind gives a best-effort static type for a projection expression
+// over the input schema (shared with the compiled executor).
+func ExprKind(e expr.Expr, in *schema.Schema) types.Kind {
 	switch x := e.(type) {
 	case *expr.Const:
 		return x.V.Kind()
@@ -187,7 +188,7 @@ func exprKind(e expr.Expr, in *schema.Schema) types.Kind {
 		if x.Op == types.OpDiv {
 			return types.KindFloat
 		}
-		lk, rk := exprKind(x.L, in), exprKind(x.R, in)
+		lk, rk := ExprKind(x.L, in), ExprKind(x.R, in)
 		if lk == types.KindFloat || rk == types.KindFloat {
 			return types.KindFloat
 		}
@@ -195,7 +196,7 @@ func exprKind(e expr.Expr, in *schema.Schema) types.Kind {
 	case *expr.Cmp, *expr.And, *expr.Or, *expr.Not, *expr.IsNull:
 		return types.KindBool
 	case *expr.If:
-		return exprKind(x.Then, in)
+		return ExprKind(x.Then, in)
 	}
 	return types.KindNull
 }
@@ -208,8 +209,15 @@ func Eval(q Query, db *storage.Database) (*storage.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Scans return a shallow copy of the tuple slice: downstream
-		// operators never mutate tuples in place.
+		// INVARIANT (shared-scan aliasing): the returned relation shares
+		// the live store's tuple slice and the tuples themselves. Every
+		// operator — here and in the compiled executor (internal/exec) —
+		// treats tuples as immutable: selections and set operations pass
+		// tuples through by reference, projections build fresh rows. The
+		// batch engine's shared read-only snapshots and its cross-
+		// scenario result cache rely on this invariant; mutation must go
+		// through Relation.Clone (the copy-on-write boundary). See
+		// TestEvalDoesNotMutateSharedTuples.
 		out := &storage.Relation{Schema: r.Schema, Tuples: r.Tuples}
 		return out, nil
 	case *Select:
@@ -278,12 +286,10 @@ func Eval(q Query, db *storage.Database) (*storage.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		remove, _ := r.Counts()
+		remove := r.Index()
 		out := storage.NewRelation(l.Schema)
 		for _, t := range l.Tuples {
-			k := t.Key()
-			if remove[k] > 0 {
-				remove[k]--
+			if remove.Remove(t) {
 				continue
 			}
 			out.Tuples = append(out.Tuples, t)

@@ -10,21 +10,44 @@ import (
 	"github.com/mahif/mahif/internal/algebra"
 	"github.com/mahif/mahif/internal/compile"
 	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/exec"
 	"github.com/mahif/mahif/internal/history"
 	"github.com/mahif/mahif/internal/storage"
 )
 
-// evalCache shares materialized reenactment-query results across the
-// scenarios of one batch, keyed by (time-travel version, canonical
-// query rendering). Scenarios in a family share the original history,
-// so their original-side reenactment programs frequently coincide; the
-// first scenario to evaluate such a program pays for it and the rest
-// reuse the result. Cached relations are shared read-only — delta
-// computation and query evaluation never mutate their inputs.
+// evalCache shares compiled reenactment programs and their
+// materialized results across the scenarios of one batch. Programs are
+// compiled once per query fingerprint (compilation resolves every
+// column reference and fuses the operator pipeline, so it is the unit
+// worth sharing); results are keyed on (time-travel version, compiled
+// program), so two scenarios whose reenactment programs coincide over
+// the same snapshot materialize the relation once. Cached relations
+// are shared read-only — delta computation and query evaluation never
+// mutate their inputs. In interpreter-oracle mode the result key falls
+// back to (version, fingerprint).
 type evalCache struct {
 	mu           sync.Mutex
-	m            map[string]*evalEntry
+	progs        map[string]*progEntry
+	results      map[resultKey]*evalEntry
 	hits, misses int
+}
+
+// progEntry compiles one fingerprint exactly once. prog is nil when
+// the query is outside the compilable subset (the evaluation then runs
+// through the interpreter).
+type progEntry struct {
+	once sync.Once
+	prog *exec.Program
+}
+
+// resultKey identifies one materialized result: the snapshot version
+// plus the program fingerprint. Programs are deduplicated one per
+// fingerprint, so this keys on the compiled program exactly (and
+// degrades gracefully to the query text in interpreter mode or after
+// a failed compilation).
+type resultKey struct {
+	ver int
+	fp  string
 }
 
 // evalEntry evaluates one program exactly once; concurrent workers
@@ -36,23 +59,57 @@ type evalEntry struct {
 	err  error
 }
 
-func newEvalCache() *evalCache { return &evalCache{m: map[string]*evalEntry{}} }
+func newEvalCache() *evalCache {
+	return &evalCache{
+		progs:   map[string]*progEntry{},
+		results: map[resultKey]*evalEntry{},
+	}
+}
+
+// program returns the compile-once program for q (nil when q cannot be
+// compiled).
+func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string) *exec.Program {
+	c.mu.Lock()
+	pe, ok := c.progs[fp]
+	if !ok {
+		pe = &progEntry{}
+		c.progs[fp] = pe
+	}
+	c.mu.Unlock()
+	pe.once.Do(func() {
+		if prog, err := exec.Compile(q, db); err == nil {
+			pe.prog = prog
+		}
+	})
+	return pe.prog
+}
 
 // eval answers q over db, reusing a previously materialized result for
 // the same (version, program) when available.
-func (c *evalCache) eval(q algebra.Query, db *storage.Database, ver int) (*storage.Relation, error) {
-	key := fmt.Sprintf("%d|%s", ver, algebra.Fingerprint(q))
+func (c *evalCache) eval(q algebra.Query, db *storage.Database, ver int, interp bool) (*storage.Relation, error) {
+	fp := algebra.Fingerprint(q)
+	key := resultKey{ver: ver, fp: fp}
+	var prog *exec.Program
+	if !interp {
+		prog = c.program(q, db, fp)
+	}
 	c.mu.Lock()
-	e, ok := c.m[key]
+	e, ok := c.results[key]
 	if !ok {
 		e = &evalEntry{}
-		c.m[key] = e
+		c.results[key] = e
 		c.misses++
 	} else {
 		c.hits++
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.rel, e.err = algebra.Eval(q, db) })
+	e.once.Do(func() {
+		if prog != nil {
+			e.rel, e.err = prog.Run(db)
+			return
+		}
+		e.rel, e.err = algebra.Eval(q, db)
+	})
 	return e.rel, e.err
 }
 

@@ -14,11 +14,29 @@ import (
 	"github.com/mahif/mahif/internal/compile"
 	"github.com/mahif/mahif/internal/dataslice"
 	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/exec"
 	"github.com/mahif/mahif/internal/history"
 	"github.com/mahif/mahif/internal/progslice"
 	"github.com/mahif/mahif/internal/reenact"
 	"github.com/mahif/mahif/internal/storage"
 	"github.com/mahif/mahif/internal/symbolic"
+)
+
+// ExecutorKind selects the backend that evaluates reenactment queries.
+type ExecutorKind string
+
+// The available executors.
+const (
+	// ExecCompiled runs queries through the compiled pipelined executor
+	// (internal/exec): expressions lowered to closures over column
+	// ordinals, fused σ/Π chains, hash joins and hash-based bag
+	// difference. This is the default (the zero value selects it too).
+	ExecCompiled ExecutorKind = "compiled"
+	// ExecInterpreter runs queries through the tree-walking interpreter
+	// (algebra.Eval). It is kept as the reference oracle: the
+	// differential tests require it to agree with ExecCompiled on every
+	// history.
+	ExecInterpreter ExecutorKind = "interpreter"
 )
 
 // Options selects the algorithm variant and tuning knobs.
@@ -40,6 +58,11 @@ type Options struct {
 	Compile compile.Options
 	// DataSlice configures the push-down analysis.
 	DataSlice dataslice.Options
+	// Executor picks the query evaluation backend; the zero value means
+	// ExecCompiled. Queries the compiler cannot handle (e.g. symbolic
+	// variables) transparently fall back to the interpreter, so the
+	// choice never changes observable results — only speed.
+	Executor ExecutorKind
 }
 
 // DefaultOptions enables every optimization (the paper's R+PS+DS).
@@ -50,6 +73,7 @@ func DefaultOptions() Options {
 		UseDependency:  true,
 		InsertSplit:    true,
 		SkipUntainted:  true,
+		Executor:       ExecCompiled,
 	}
 }
 
@@ -259,7 +283,7 @@ func (e *Engine) whatIfPair(pair *history.PaddedPair, opts Options, shared *batc
 	if err != nil {
 		return nil, nil, err
 	}
-	ev := evaluator{ec: shared.eval, ver: ver}
+	ev := evaluator{ec: shared.eval, ver: ver, interp: opts.Executor == ExecInterpreter}
 	stats.TotalStatements = len(suffix.Orig)
 
 	// Relations to answer for; taint analysis prunes provably-empty
@@ -461,15 +485,27 @@ func isInsert(s history.Statement) bool {
 }
 
 // evaluator answers algebra queries, optionally through a batch-shared
-// result cache (see evalCache).
+// compiled-program + result cache (see evalCache). The default backend
+// is the compiled pipelined executor; interp selects the tree-walking
+// interpreter oracle instead.
 type evaluator struct {
-	ec  *evalCache
-	ver int
+	ec     *evalCache
+	ver    int
+	interp bool
 }
 
 func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
 	if ev.ec != nil {
-		return ev.ec.eval(q, db, ev.ver)
+		return ev.ec.eval(q, db, ev.ver, ev.interp)
 	}
-	return algebra.Eval(q, db)
+	if ev.interp {
+		return algebra.Eval(q, db)
+	}
+	prog, err := exec.Compile(q, db)
+	if err != nil {
+		// Outside the compilable subset: the interpreter is the
+		// reference semantics, so this can only be slower, never wrong.
+		return algebra.Eval(q, db)
+	}
+	return prog.Run(db)
 }

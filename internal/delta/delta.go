@@ -25,32 +25,46 @@ type Result struct {
 	Plus  []schema.Tuple
 }
 
-// Compute returns Δ(oldRel, newRel).
+// Compute returns Δ(oldRel, newRel). The multiset arithmetic runs over
+// the hash-based tuple indexes (no per-tuple string keys); only the
+// surviving delta tuples pay for a canonical key, to sort the output.
 func Compute(oldRel, newRel *storage.Relation) *Result {
 	out := &Result{Relation: oldRel.Schema.Relation, Schema: oldRel.Schema}
-	oldCounts, oldRepr := oldRel.Counts()
-	newCounts, newRepr := newRel.Counts()
-	for k, n := range oldCounts {
-		if d := n - newCounts[k]; d > 0 {
-			for i := 0; i < d; i++ {
-				out.Minus = append(out.Minus, oldRepr[k])
-			}
+	oldIx, newIx := oldRel.Index(), newRel.Index()
+	oldIx.Range(func(t schema.Tuple, n int) {
+		for d := n - newIx.Count(t); d > 0; d-- {
+			out.Minus = append(out.Minus, t)
 		}
-	}
-	for k, n := range newCounts {
-		if d := n - oldCounts[k]; d > 0 {
-			for i := 0; i < d; i++ {
-				out.Plus = append(out.Plus, newRepr[k])
-			}
+	})
+	newIx.Range(func(t schema.Tuple, n int) {
+		for d := n - oldIx.Count(t); d > 0; d-- {
+			out.Plus = append(out.Plus, t)
 		}
-	}
+	})
 	sortTuples(out.Minus)
 	sortTuples(out.Plus)
 	return out
 }
 
 func sortTuples(ts []schema.Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+	keys := make([]string, len(ts))
+	for i, t := range ts {
+		keys[i] = t.Key()
+	}
+	sort.Sort(&byKey{ts: ts, keys: keys})
+}
+
+// byKey sorts tuples by their canonical key, computing each key once.
+type byKey struct {
+	ts   []schema.Tuple
+	keys []string
+}
+
+func (s *byKey) Len() int           { return len(s.ts) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.ts[i], s.ts[j] = s.ts[j], s.ts[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // Empty reports whether the delta contains no tuples.

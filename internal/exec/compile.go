@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// compileNode lowers one algebra node and returns it with its output
+// schema. Schemas are threaded bottom-up so compilation is one pass
+// over the tree (no per-node recursive OutputSchema recomputation).
+func compileNode(q algebra.Query, db *storage.Database) (node, *schema.Schema, error) {
+	switch x := q.(type) {
+	case *algebra.Scan:
+		r, err := db.Relation(x.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &scanNode{rel: x.Rel, arity: r.Schema.Arity()}, r.Schema, nil
+
+	case *algebra.Select:
+		in, s, err := compileNode(x.In, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := compilePred(x.Cond, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &filterNode{in: in, pred: pred}, s, nil
+
+	case *algebra.Project:
+		in, s, err := compileNode(x.In, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		fns := make([]scalarFn, len(x.Exprs))
+		src := make([]int, len(x.Exprs))
+		passthrough := len(x.Exprs) == s.Arity()
+		cols := make([]schema.Column, len(x.Exprs))
+		for i, ne := range x.Exprs {
+			cols[i] = schema.Col(ne.Name, algebra.ExprKind(ne.E, s))
+			src[i] = -1
+			if col, ok := ne.E.(*expr.Col); ok {
+				if j := s.ColIndex(col.Name); j >= 0 {
+					// Identity column: a straight copy, no closure.
+					src[i] = j
+					passthrough = passthrough && j == i
+					continue
+				}
+			}
+			passthrough = false
+			fn, err := compileScalar(ne.E, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			fns[i] = fn
+		}
+		out := schema.New(s.Relation, cols...)
+		if passthrough {
+			// Π copies every column in place: a pure rename, so the
+			// node disappears from the pipeline entirely.
+			return in, out, nil
+		}
+		return &projectNode{in: in, fns: fns, src: src}, out, nil
+
+	case *algebra.Union:
+		l, ls, err := compileNode(x.L, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rs, err := compileNode(x.R, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ls.Arity() != rs.Arity() {
+			return nil, nil, fmt.Errorf("exec: union arity mismatch %d vs %d", ls.Arity(), rs.Arity())
+		}
+		return &unionNode{l: l, r: r}, ls, nil
+
+	case *algebra.Difference:
+		l, ls, err := compileNode(x.L, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := compileNode(x.R, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &diffNode{l: l, r: r}, ls, nil
+
+	case *algebra.Join:
+		return compileJoin(x, db)
+
+	case *algebra.Singleton:
+		return &singletonNode{tuples: x.Tuples}, x.Sch, nil
+	}
+	return nil, nil, fmt.Errorf("exec: unknown query node %T", q)
+}
+
+// compileJoin picks a hash join when the condition contains at least
+// one cross-side column equality, a nested loop otherwise.
+func compileJoin(x *algebra.Join, db *storage.Database) (node, *schema.Schema, error) {
+	l, ls, err := compileNode(x.L, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rs, err := compileNode(x.R, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]schema.Column, 0, ls.Arity()+rs.Arity())
+	cols = append(cols, ls.Columns...)
+	cols = append(cols, rs.Columns...)
+	joined := schema.New(ls.Relation, cols...)
+
+	lKeys, rKeys, residual := splitEquiJoin(x.Cond, ls, rs)
+	if len(lKeys) == 0 || residual != nil {
+		// Not a pure equi-join: run the full condition per pair. With a
+		// residual conjunct a hash join would skip NULL-key pairs that
+		// the interpreter still evaluates (and whose residual may
+		// error), so only the all-keys shape takes the hash path.
+		pred, err := compilePred(x.Cond, joined)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &nlJoinNode{l: l, r: r, pred: pred, lArity: ls.Arity(), rArity: rs.Arity()}, joined, nil
+	}
+	return &hashJoinNode{
+		l: l, r: r,
+		lKeys: lKeys, rKeys: rKeys,
+		lArity: ls.Arity(), rArity: rs.Arity(),
+	}, joined, nil
+}
+
+// splitEquiJoin scans the conjuncts of a join condition for cross-side
+// column equalities (L.a = R.b in either spelling). It returns the key
+// ordinals per side and the conjunction of the remaining conjuncts
+// (nil when every conjunct became a key). Columns whose names resolve
+// on both sides are left in the residual — the algebra requires
+// distinct names across join inputs, but ambiguity must not silently
+// pick a side.
+func splitEquiJoin(cond expr.Expr, ls, rs *schema.Schema) (lKeys, rKeys []int, residual expr.Expr) {
+	var rest []expr.Expr
+	for _, c := range conjuncts(cond) {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok || cmp.Op != expr.CmpEq {
+			rest = append(rest, c)
+			continue
+		}
+		a, aok := cmp.L.(*expr.Col)
+		b, bok := cmp.R.(*expr.Col)
+		if !aok || !bok {
+			rest = append(rest, c)
+			continue
+		}
+		aL, aR := ls.ColIndex(a.Name), rs.ColIndex(a.Name)
+		bL, bR := ls.ColIndex(b.Name), rs.ColIndex(b.Name)
+		switch {
+		case aL >= 0 && aR < 0 && bR >= 0 && bL < 0:
+			lKeys = append(lKeys, aL)
+			rKeys = append(rKeys, bR)
+		case aR >= 0 && aL < 0 && bL >= 0 && bR < 0:
+			lKeys = append(lKeys, bL)
+			rKeys = append(rKeys, aR)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	if len(rest) == 0 {
+		return lKeys, rKeys, nil
+	}
+	return lKeys, rKeys, expr.AndOf(rest...)
+}
+
+// conjuncts flattens a conjunction tree into its leaves.
+func conjuncts(e expr.Expr) []expr.Expr {
+	if and, ok := e.(*expr.And); ok {
+		return append(conjuncts(and.L), conjuncts(and.R)...)
+	}
+	return []expr.Expr{e}
+}

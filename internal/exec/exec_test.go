@@ -1,0 +1,351 @@
+package exec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/exec"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/reenact"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// testDB builds two relations r(k,v,g) and s2(k2,w) with a few NULLs
+// and duplicates, the shapes the multiset and join paths must handle.
+func testDB() *storage.Database {
+	db := storage.NewDatabase()
+	r := storage.NewRelation(schema.New("r",
+		schema.Col("k", types.KindInt),
+		schema.Col("v", types.KindInt),
+		schema.Col("g", types.KindString),
+	))
+	r.Add(
+		schema.NewTuple(types.Int(1), types.Int(10), types.String_("a")),
+		schema.NewTuple(types.Int(2), types.Int(20), types.String_("b")),
+		schema.NewTuple(types.Int(2), types.Int(20), types.String_("b")), // duplicate
+		schema.NewTuple(types.Int(3), types.Null(), types.String_("a")),
+		schema.NewTuple(types.Null(), types.Int(40), types.String_("c")),
+		schema.NewTuple(types.Int(5), types.Int(50), types.String_("c")),
+	)
+	db.AddRelation(r)
+	s2 := storage.NewRelation(schema.New("s2",
+		schema.Col("k2", types.KindInt),
+		schema.Col("w", types.KindFloat),
+	))
+	s2.Add(
+		schema.NewTuple(types.Int(1), types.Float(1.5)),
+		schema.NewTuple(types.Int(2), types.Float(2.5)),
+		schema.NewTuple(types.Int(2), types.Float(2.75)),
+		schema.NewTuple(types.Null(), types.Float(9.9)),
+	)
+	db.AddRelation(s2)
+	return db
+}
+
+func mustCond(t testing.TB, src string) expr.Expr {
+	t.Helper()
+	c, err := sql.ParseCondition(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// testQueries is the battery of plan shapes: fused σ/Π chains, unions
+// with singletons, differences, equi- and theta-joins, and nested
+// combinations.
+func testQueries(t testing.TB, db *storage.Database) map[string]algebra.Query {
+	t.Helper()
+	rSch, _ := algebra.OutputSchema(&algebra.Scan{Rel: "r"}, db)
+	scanR := func() algebra.Query { return &algebra.Scan{Rel: "r"} }
+	scanS := func() algebra.Query { return &algebra.Scan{Rel: "s2"} }
+
+	// A reenactment-shaped chain: Π(σ(Π(Π(scan)))) — one generalized
+	// projection per UPDATE, a negated selection per DELETE.
+	chain := algebra.Query(scanR())
+	for i := 0; i < 4; i++ {
+		cond := mustCond(t, fmt.Sprintf("v >= %d", 10*i))
+		exprs := algebra.IdentityProjection(rSch)
+		exprs[1].E = expr.IfThenElse(cond, expr.Add(expr.Column("v"), expr.IntConst(int64(i+1))), expr.Column("v"))
+		chain = &algebra.Project{Exprs: exprs, In: chain}
+		if i == 2 {
+			chain = &algebra.Select{Cond: expr.Negation(mustCond(t, "k = 2 AND g = 'b'")), In: chain}
+		}
+	}
+
+	sing := &algebra.Singleton{Sch: rSch, Tuples: []schema.Tuple{
+		schema.NewTuple(types.Int(100), types.Int(1), types.String_("z")),
+		schema.NewTuple(types.Int(2), types.Int(20), types.String_("b")),
+	}}
+
+	return map[string]algebra.Query{
+		"scan":          scanR(),
+		"select":        &algebra.Select{Cond: mustCond(t, "v > 15 OR g = 'a'"), In: scanR()},
+		"select-null":   &algebra.Select{Cond: mustCond(t, "k IS NULL OR NOT (v < 30)"), In: scanR()},
+		"project":       &algebra.Project{Exprs: []algebra.NamedExpr{{Name: "k", E: expr.Column("k")}, {Name: "x", E: expr.Mul(expr.Column("v"), expr.IntConst(2))}}, In: scanR()},
+		"fused-chain":   chain,
+		"union":         &algebra.Union{L: scanR(), R: sing},
+		"difference":    &algebra.Difference{L: &algebra.Union{L: scanR(), R: sing}, R: scanR()},
+		"diff-dups":     &algebra.Difference{L: scanR(), R: sing},
+		"equi-join":     &algebra.Join{L: scanR(), R: scanS(), Cond: mustCond(t, "k = k2")},
+		"equi-residual": &algebra.Join{L: scanR(), R: scanS(), Cond: mustCond(t, "k = k2 AND w > 2")},
+		"theta-join":    &algebra.Join{L: scanR(), R: scanS(), Cond: mustCond(t, "k < k2")},
+		"join-of-chain": &algebra.Join{L: chain, R: scanS(), Cond: mustCond(t, "k = k2")},
+		"nested": &algebra.Difference{
+			L: &algebra.Select{Cond: mustCond(t, "v >= 10"), In: &algebra.Union{L: scanR(), R: sing}},
+			R: &algebra.Select{Cond: mustCond(t, "g = 'b'"), In: scanR()},
+		},
+	}
+}
+
+// TestCompiledMatchesInterpreter requires the compiled executor to
+// produce the interpreter's exact output — same tuples, same order —
+// on every plan shape.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	db := testDB()
+	for name, q := range testQueries(t, db) {
+		t.Run(name, func(t *testing.T) {
+			want, err := algebra.Eval(q, db)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			got, err := exec.Eval(q, db)
+			if err != nil {
+				t.Fatalf("compiled: %v", err)
+			}
+			if !got.Schema.Equal(want.Schema) {
+				t.Fatalf("schema %s, want %s", got.Schema, want.Schema)
+			}
+			if len(got.Tuples) != len(want.Tuples) {
+				t.Fatalf("%d tuples, want %d\ngot:\n%s\nwant:\n%s", len(got.Tuples), len(want.Tuples), got, want)
+			}
+			for i := range want.Tuples {
+				if !got.Tuples[i].Equal(want.Tuples[i]) {
+					t.Fatalf("tuple %d = %s, want %s", i, got.Tuples[i], want.Tuples[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReenactmentChainEquivalence runs a full reenactment query built
+// from a parsed history — the production shape — through both
+// executors.
+func TestReenactmentChainEquivalence(t *testing.T) {
+	db := testDB()
+	var h history.History
+	for _, src := range []string{
+		`UPDATE r SET v = v + 1 WHERE k >= 2`,
+		`INSERT INTO r VALUES (7, 70, 'd'), (8, 80, 'd')`,
+		`DELETE FROM r WHERE g = 'c'`,
+		`UPDATE r SET v = 0, k = k + 1 WHERE v > 50`,
+		`INSERT INTO r SELECT k2, 0, 'q' FROM s2 WHERE w > 2`,
+		`UPDATE r SET v = v * 2 WHERE g = 'd' OR v IS NULL`,
+	} {
+		h = append(h, sql.MustParseStatement(src))
+	}
+	qs, err := reenact.Queries(h, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs["r"]
+	want, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualAsBag(got) {
+		t.Fatalf("reenactment mismatch\ninterpreter:\n%s\ncompiled:\n%s", want, got)
+	}
+	if len(want.Tuples) != len(got.Tuples) {
+		t.Fatalf("cardinality mismatch %d vs %d", len(want.Tuples), len(got.Tuples))
+	}
+}
+
+// TestProgramReuseAndConcurrency compiles once and runs the program
+// many times concurrently: results must be identical (Run keeps all
+// scratch state per run).
+func TestProgramReuseAndConcurrency(t *testing.T) {
+	db := testDB()
+	for name, q := range testQueries(t, db) {
+		prog, err := exec.Compile(q, db)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		want, err := prog.Run(db)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := prog.Run(db)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !got.EqualAsBag(want) {
+					errs[i] = fmt.Errorf("concurrent run diverged")
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestRunDoesNotMutateSharedTuples guards the scan aliasing invariant:
+// compiled plans share base-relation tuples and must never write to
+// them (the batch engine's shared snapshots depend on it).
+func TestRunDoesNotMutateSharedTuples(t *testing.T) {
+	db := testDB()
+	before := map[string][]schema.Tuple{}
+	for _, name := range db.RelationNames() {
+		r, _ := db.Relation(name)
+		for _, tp := range r.Tuples {
+			before[name] = append(before[name], tp.Clone())
+		}
+	}
+	for name, q := range testQueries(t, db) {
+		if _, err := exec.Eval(q, db); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, name := range db.RelationNames() {
+		r, _ := db.Relation(name)
+		for i, tp := range r.Tuples {
+			if !tp.Equal(before[name][i]) {
+				t.Fatalf("relation %s tuple %d mutated: %s, was %s", name, i, tp, before[name][i])
+			}
+		}
+	}
+}
+
+// TestCompileRejectsSymbolic ensures the fallback path triggers for
+// expressions outside the executable subset.
+func TestCompileRejectsSymbolic(t *testing.T) {
+	db := testDB()
+	q := &algebra.Select{Cond: expr.Eq(expr.Variable("x0"), expr.IntConst(1)), In: &algebra.Scan{Rel: "r"}}
+	if _, err := exec.Compile(q, db); err == nil {
+		t.Fatal("expected compile error for symbolic variable")
+	}
+	q2 := &algebra.Select{Cond: expr.Eq(expr.Column("nope"), expr.IntConst(1)), In: &algebra.Scan{Rel: "r"}}
+	if _, err := exec.Compile(q2, db); err == nil {
+		t.Fatal("expected compile error for unknown column")
+	}
+}
+
+// TestJoinLargeIntKeys pins the = operator's numeric widening: 2^53
+// and 2^53+1 are distinct int64s but identical float64s, and the
+// interpreter's equality (Compare, via AsFloat) joins them. The hash
+// join's key equality must widen the same way.
+func TestJoinLargeIntKeys(t *testing.T) {
+	db := storage.NewDatabase()
+	a := storage.NewRelation(schema.New("a", schema.Col("x", types.KindInt)))
+	a.Add(schema.NewTuple(types.Int(1 << 53)))
+	db.AddRelation(a)
+	b := storage.NewRelation(schema.New("b", schema.Col("y", types.KindInt)))
+	b.Add(schema.NewTuple(types.Int(1<<53 + 1)))
+	db.AddRelation(b)
+	q := &algebra.Join{L: &algebra.Scan{Rel: "a"}, R: &algebra.Scan{Rel: "b"},
+		Cond: expr.Eq(expr.Column("x"), expr.Column("y"))}
+	want, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("compiled joined %d rows, interpreter %d", len(got.Tuples), len(want.Tuples))
+	}
+}
+
+// TestJoinResidualErrorParity pins why residual conjuncts force the
+// nested-loop path: the interpreter evaluates the whole condition on
+// NULL-key pairs too (a NULL equality does not short-circuit its AND),
+// so an erroring residual must error in both executors.
+func TestJoinResidualErrorParity(t *testing.T) {
+	db := testDB() // r has a NULL k row; v is int
+	q := &algebra.Join{L: &algebra.Scan{Rel: "r"}, R: &algebra.Scan{Rel: "s2"},
+		Cond: expr.AndOf(
+			expr.Eq(expr.Column("k"), expr.Column("k2")),
+			expr.Gt(expr.Column("v"), expr.StringConst("x")), // int > string: type error
+		)}
+	_, errI := algebra.Eval(q, db)
+	_, errC := exec.Eval(q, db)
+	if (errI == nil) != (errC == nil) {
+		t.Fatalf("error divergence: interpreter=%v compiled=%v", errI, errC)
+	}
+	if errI == nil {
+		t.Fatal("expected a type error from both executors")
+	}
+}
+
+// TestRandomizedPlans cross-validates the executors over randomly
+// generated plans.
+func TestRandomizedPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := testDB()
+	rSch, _ := algebra.OutputSchema(&algebra.Scan{Rel: "r"}, db)
+	var build func(depth int) algebra.Query
+	build = func(depth int) algebra.Query {
+		if depth <= 0 {
+			return &algebra.Scan{Rel: "r"}
+		}
+		switch rng.Intn(5) {
+		case 0:
+			cond := mustCond(t, fmt.Sprintf("v %s %d", []string{">", "<=", "="}[rng.Intn(3)], rng.Intn(60)))
+			return &algebra.Select{Cond: cond, In: build(depth - 1)}
+		case 1:
+			exprs := algebra.IdentityProjection(rSch)
+			exprs[rng.Intn(2)].E = expr.IfThenElse(
+				mustCond(t, fmt.Sprintf("k >= %d", rng.Intn(5))),
+				expr.Add(expr.Column("v"), expr.IntConst(int64(rng.Intn(9)))),
+				expr.Column("v"))
+			return &algebra.Project{Exprs: exprs, In: build(depth - 1)}
+		case 2:
+			return &algebra.Union{L: build(depth - 1), R: build(depth - 1)}
+		case 3:
+			return &algebra.Difference{L: build(depth - 1), R: build(depth - 1)}
+		default:
+			return &algebra.Select{Cond: mustCond(t, "g = 'a' OR g = 'b'"), In: build(depth - 1)}
+		}
+	}
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for i := 0; i < trials; i++ {
+		q := build(2 + rng.Intn(3))
+		want, errW := algebra.Eval(q, db)
+		got, errG := exec.Eval(q, db)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: error divergence: interpreter=%v compiled=%v\n%s", i, errW, errG, q)
+		}
+		if errW != nil {
+			continue
+		}
+		if !want.EqualAsBag(got) {
+			t.Fatalf("trial %d: mismatch on %s\ninterpreter:\n%s\ncompiled:\n%s", i, q, want, got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// hashJoinNode is an equi-join: the right branch materializes into a
+// hash table on its key columns, the left probes it streaming. Key
+// hashing and equality follow the typed-value semantics of the
+// comparison operator (numerics compare across int/float; NULL keys
+// never join, matching SQL's NULL = NULL → unknown). It is only used
+// when EVERY conjunct of the join condition is a key equality: with a
+// residual conjunct the interpreter still evaluates the whole
+// condition per pair (a NULL key does not short-circuit its AND), so
+// errors the residual raises on NULL-key pairs would be silently
+// skipped here; those conditions take the nested-loop path, which is
+// interpreter-exact.
+type hashJoinNode struct {
+	l, r           node
+	lKeys, rKeys   []int
+	lArity, rArity int
+}
+
+func (n *hashJoinNode) run(ctx *runCtx, emit emitFn) error {
+	// Build side: right branch, keyed by the typed hash of its key
+	// columns. Tuples are retained, so unowned scratch rows are cloned.
+	table := map[uint64][]schema.Tuple{}
+	err := n.r.run(ctx, func(t schema.Tuple, owned bool) error {
+		h, ok := hashKeys(t, n.rKeys)
+		if !ok {
+			return nil // NULL key: can never satisfy the equality
+		}
+		if !owned {
+			t = t.Clone()
+		}
+		table[h] = append(table[h], t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Probe side: stream the left branch; matches preserve right-branch
+	// order within a bucket, so the output order matches the
+	// interpreter's nested loop.
+	buf := make(schema.Tuple, n.lArity+n.rArity)
+	return n.l.run(ctx, func(lt schema.Tuple, _ bool) error {
+		h, ok := hashKeys(lt, n.lKeys)
+		if !ok {
+			return nil
+		}
+		for _, rt := range table[h] {
+			if !keysEqual(lt, rt, n.lKeys, n.rKeys) {
+				continue // hash collision between distinct keys
+			}
+			copy(buf[:n.lArity], lt)
+			copy(buf[n.lArity:], rt)
+			if err := emit(buf, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// hashKeys hashes the key columns of t; ok is false when any key is
+// NULL (the tuple cannot join).
+func hashKeys(t schema.Tuple, keys []int) (h uint64, ok bool) {
+	h = schema.HashSeed
+	for _, i := range keys {
+		if t[i].IsNull() {
+			return 0, false
+		}
+		h = schema.HashValue(h, t[i])
+	}
+	return h, true
+}
+
+// keysEqual verifies key equality value-wise (guards against hash
+// collisions), mirroring the = operator on non-NULL values exactly:
+// numeric pairs compare widened to float64 (EvalCmp routes them
+// through Compare, so Int(2^53) equals Int(2^53+1) there — exact int
+// equality would diverge), equal non-numeric kinds by payload,
+// mismatched kinds are unequal. −0.0 equals +0.0 and the tuple hash
+// canonicalizes it; NaN cannot reach here (types.Parse and types.Arith
+// keep it out of the value domain).
+func keysEqual(lt, rt schema.Tuple, lKeys, rKeys []int) bool {
+	for i := range lKeys {
+		if !joinKeyEqual(lt[lKeys[i]], rt[rKeys[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+func joinKeyEqual(a, b types.Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		return a.AsFloat() == b.AsFloat()
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	return a.Equal(b)
+}
+
+// nlJoinNode is the nested-loop fallback for non-equi join conditions:
+// the right branch materializes once, the left streams against it with
+// the full compiled condition.
+type nlJoinNode struct {
+	l, r           node
+	pred           predFn
+	lArity, rArity int
+}
+
+func (n *nlJoinNode) run(ctx *runCtx, emit emitFn) error {
+	var right []schema.Tuple
+	err := n.r.run(ctx, func(t schema.Tuple, owned bool) error {
+		if !owned {
+			t = t.Clone()
+		}
+		right = append(right, t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	buf := make(schema.Tuple, n.lArity+n.rArity)
+	return n.l.run(ctx, func(lt schema.Tuple, _ bool) error {
+		copy(buf[:n.lArity], lt)
+		for _, rt := range right {
+			copy(buf[n.lArity:], rt)
+			ok, err := n.pred(buf)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := emit(buf, false); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -76,7 +76,7 @@ func Eval(e Expr, env *Env) (types.Value, error) {
 		if err != nil {
 			return types.Null(), err
 		}
-		return evalCmp(x.Op, l, r)
+		return EvalCmp(x.Op, l, r)
 	case *And:
 		return evalAndOr(x.L, x.R, env, true)
 	case *Or:
@@ -112,7 +112,11 @@ func Eval(e Expr, env *Env) (types.Value, error) {
 	return types.Null(), fmt.Errorf("expr: cannot evaluate %T", e)
 }
 
-func evalCmp(op CmpOp, l, r types.Value) (types.Value, error) {
+// EvalCmp applies a comparison operator to two values under SQL
+// three-valued semantics (NULL operands yield NULL). It is exported so
+// the compiled executor (internal/exec) shares the interpreter's
+// comparison semantics exactly.
+func EvalCmp(op CmpOp, l, r types.Value) (types.Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return types.Null(), nil
 	}
@@ -127,7 +131,7 @@ func evalCmp(op CmpOp, l, r types.Value) (types.Value, error) {
 		}
 		return types.Bool(l.Equal(r)), nil
 	case CmpNe:
-		v, err := evalCmp(CmpEq, l, r)
+		v, err := EvalCmp(CmpEq, l, r)
 		if err != nil || v.IsNull() {
 			return v, err
 		}

@@ -46,7 +46,7 @@ func Simplify(e Expr) Expr {
 		l, r := Simplify(x.L), Simplify(x.R)
 		if lc, ok := l.(*Const); ok {
 			if rc, ok := r.(*Const); ok {
-				if v, err := evalCmp(x.Op, lc.V, rc.V); err == nil && !v.IsNull() {
+				if v, err := EvalCmp(x.Op, lc.V, rc.V); err == nil && !v.IsNull() {
 					return Constant(v)
 				}
 			}

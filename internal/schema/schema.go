@@ -4,6 +4,7 @@ package schema
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/mahif/mahif/internal/types"
@@ -19,11 +20,29 @@ type Column struct {
 type Schema struct {
 	Relation string
 	Columns  []Column
+
+	// byName maps lowercase column name → ordinal. Built once by New
+	// and Clone so ColIndex is a map lookup instead of a case-folding
+	// linear scan; nil for schemas built as raw struct literals, which
+	// fall back to the scan.
+	byName map[string]int
 }
 
 // New builds a schema for relation name rel from (name, kind) pairs.
 func New(rel string, cols ...Column) *Schema {
-	return &Schema{Relation: rel, Columns: cols}
+	s := &Schema{Relation: rel, Columns: cols}
+	s.buildIndex()
+	return s
+}
+
+func (s *Schema) buildIndex() {
+	s.byName = make(map[string]int, len(s.Columns))
+	for i, c := range s.Columns {
+		name := strings.ToLower(c.Name)
+		if _, ok := s.byName[name]; !ok {
+			s.byName[name] = i
+		}
+	}
 }
 
 // Col is a convenience constructor for a Column.
@@ -35,6 +54,12 @@ func (s *Schema) Arity() int { return len(s.Columns) }
 // ColIndex returns the position of the named column, or -1.
 // Lookup is case-insensitive, matching SQL identifier semantics.
 func (s *Schema) ColIndex(name string) int {
+	if s.byName != nil {
+		if i, ok := s.byName[strings.ToLower(name)]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, c := range s.Columns {
 		if strings.EqualFold(c.Name, name) {
 			return i
@@ -56,7 +81,7 @@ func (s *Schema) ColNames() []string {
 func (s *Schema) Clone() *Schema {
 	cols := make([]Column, len(s.Columns))
 	copy(cols, s.Columns)
-	return &Schema{Relation: s.Relation, Columns: cols}
+	return New(s.Relation, cols...)
 }
 
 // Equal reports whether two schemas have the same column names and types
@@ -137,6 +162,76 @@ func (t Tuple) Key() string {
 		}
 	}
 	return b.String()
+}
+
+// FNV-1a parameters (hash/fnv is avoided on this hot path: it would
+// force a byte-slice conversion per value).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// HashSeed is the FNV-1a offset basis, the starting accumulator for
+// HashValue chains.
+const HashSeed uint64 = fnvOffset64
+
+// HashValue folds one typed value into an FNV-1a accumulator. Values
+// that compare equal under types.Value.Equal hash equally (numerics are
+// normalized to their float64 bit pattern, so 1 and 1.0 collide; kinds
+// are tagged so 1, '1' and true stay distinct). The compiled executor
+// uses it for join keys; Tuple.Hash chains it across a row.
+func HashValue(h uint64, v types.Value) uint64 {
+	switch v.Kind() {
+	case types.KindNull:
+		h = fnvByte(h, 'n')
+	case types.KindInt, types.KindFloat:
+		h = fnvByte(h, 'f')
+		f := v.AsFloat()
+		if f == 0 {
+			f = 0 // canonicalize -0.0: it compares equal to +0.0
+		}
+		h = fnvUint64(h, math.Float64bits(f))
+	case types.KindString:
+		h = fnvByte(h, 's')
+		h = fnvString(h, v.AsString())
+	case types.KindBool:
+		h = fnvByte(h, 'b')
+		if v.AsBool() {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	return h
+}
+
+// Hash returns an FNV-1a hash of the tuple over typed values. Its
+// equivalence classes match Key(): tuples with equal keys hash equally.
+// It is the index key for the hash-based multiset operations
+// (difference, delta, bag equality), replacing the fmt-built string
+// keys on those hot paths.
+func (t Tuple) Hash() uint64 {
+	h := HashSeed
+	for _, v := range t {
+		h = HashValue(h, v)
+	}
+	return h
 }
 
 // String renders the tuple as (v1, v2, ...).

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"github.com/mahif/mahif/internal/schema"
+)
+
+// TupleIndex is a hash-based multiset of tuples: the typed FNV hash of
+// each tuple (schema.Tuple.Hash) buckets entries, and value-level
+// equality (schema.Tuple.Equal) resolves collisions. It replaces the
+// string-keyed maps built from schema.Tuple.Key on the multiset hot
+// paths — bag difference, delta computation, and bag equality — which
+// paid an fmt.Fprintf-built string per tuple per operation.
+type TupleIndex struct {
+	buckets map[uint64][]indexEntry
+	size    int // total multiplicity across entries
+}
+
+type indexEntry struct {
+	tuple schema.Tuple
+	count int
+}
+
+// NewTupleIndex returns an empty index with capacity for about n
+// distinct tuples.
+func NewTupleIndex(n int) *TupleIndex {
+	return &TupleIndex{buckets: make(map[uint64][]indexEntry, n)}
+}
+
+// IndexOf builds the multiset index of a relation.
+func IndexOf(r *Relation) *TupleIndex {
+	ix := NewTupleIndex(len(r.Tuples))
+	for _, t := range r.Tuples {
+		ix.Add(t)
+	}
+	return ix
+}
+
+// Add increments the multiplicity of t, registering it if absent.
+func (ix *TupleIndex) Add(t schema.Tuple) {
+	h := t.Hash()
+	bucket := ix.buckets[h]
+	for i := range bucket {
+		if bucket[i].tuple.Equal(t) {
+			bucket[i].count++
+			ix.size++
+			return
+		}
+	}
+	ix.buckets[h] = append(bucket, indexEntry{tuple: t, count: 1})
+	ix.size++
+}
+
+// Remove decrements the multiplicity of t if it is present with a
+// positive count and reports whether it did.
+func (ix *TupleIndex) Remove(t schema.Tuple) bool {
+	bucket := ix.buckets[t.Hash()]
+	for i := range bucket {
+		if bucket[i].count > 0 && bucket[i].tuple.Equal(t) {
+			bucket[i].count--
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the multiplicity of t.
+func (ix *TupleIndex) Count(t schema.Tuple) int {
+	bucket := ix.buckets[t.Hash()]
+	for i := range bucket {
+		if bucket[i].tuple.Equal(t) {
+			return bucket[i].count
+		}
+	}
+	return 0
+}
+
+// Len returns the total multiplicity (number of tuples counting
+// duplicates).
+func (ix *TupleIndex) Len() int { return ix.size }
+
+// Distinct returns the number of distinct tuples.
+func (ix *TupleIndex) Distinct() int {
+	n := 0
+	for _, bucket := range ix.buckets {
+		n += len(bucket)
+	}
+	return n
+}
+
+// Range visits every distinct tuple with its current multiplicity, in
+// unspecified order. Entries whose count dropped to zero via Remove are
+// skipped.
+func (ix *TupleIndex) Range(visit func(t schema.Tuple, count int)) {
+	for _, bucket := range ix.buckets {
+		for i := range bucket {
+			if bucket[i].count > 0 {
+				visit(bucket[i].tuple, bucket[i].count)
+			}
+		}
+	}
+}
+
+// EqualMultiset reports whether two indexes contain the same multiset.
+func (ix *TupleIndex) EqualMultiset(o *TupleIndex) bool {
+	if ix.size != o.size {
+		return false
+	}
+	equal := true
+	ix.Range(func(t schema.Tuple, count int) {
+		if !equal || o.Count(t) != count {
+			equal = false
+		}
+	})
+	return equal
+}

@@ -51,18 +51,25 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
-// Counts returns a multiset view of the relation: tuple key → count,
-// plus a representative tuple per key.
+// Index builds the hash-based multiset index of the relation (the fast
+// path for bag difference, delta computation, and bag equality).
+func (r *Relation) Index() *TupleIndex { return IndexOf(r) }
+
+// Counts returns a string-keyed multiset view of the relation: tuple
+// key → count, plus a representative tuple per key. It is a
+// compatibility view built from the hash index; hot paths use Index
+// directly and skip the string keys.
 func (r *Relation) Counts() (map[string]int, map[string]schema.Tuple) {
-	counts := make(map[string]int, len(r.Tuples))
-	repr := make(map[string]schema.Tuple, len(r.Tuples))
-	for _, t := range r.Tuples {
+	ix := r.Index()
+	counts := make(map[string]int, ix.Distinct())
+	repr := make(map[string]schema.Tuple, ix.Distinct())
+	ix.Range(func(t schema.Tuple, count int) {
 		k := t.Key()
-		counts[k]++
+		counts[k] += count
 		if _, ok := repr[k]; !ok {
 			repr[k] = t
 		}
-	}
+	})
 	return counts, repr
 }
 
@@ -72,17 +79,7 @@ func (r *Relation) EqualAsBag(o *Relation) bool {
 	if len(r.Tuples) != len(o.Tuples) {
 		return false
 	}
-	ca, _ := r.Counts()
-	cb, _ := o.Counts()
-	if len(ca) != len(cb) {
-		return false
-	}
-	for k, n := range ca {
-		if cb[k] != n {
-			return false
-		}
-	}
-	return true
+	return r.Index().EqualMultiset(o.Index())
 }
 
 // String renders the relation (sorted by tuple key, for stable output).

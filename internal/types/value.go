@@ -237,6 +237,11 @@ func (op Op) String() string {
 
 // Arith applies op to two values. NULL operands propagate to NULL.
 // Division always produces a float; all other int∘int stay int.
+// Float results that leave the finite domain (NaN, ±Inf — e.g. from
+// overflow or Inf/Inf) are errors: Parse never admits them, and
+// keeping them out of the value domain is what lets comparison,
+// hashing, and equality agree everywhere (Compare has no consistent
+// order for NaN).
 func Arith(op Op, a, b Value) (Value, error) {
 	if a.IsNull() || b.IsNull() {
 		return Null(), nil
@@ -249,7 +254,7 @@ func Arith(op Op, a, b Value) (Value, error) {
 		if d == 0 {
 			return Null(), fmt.Errorf("types: division by zero")
 		}
-		return Float(a.AsFloat() / d), nil
+		return finiteFloat(a.AsFloat() / d)
 	}
 	if a.kind == KindInt && b.kind == KindInt {
 		switch op {
@@ -264,13 +269,20 @@ func Arith(op Op, a, b Value) (Value, error) {
 	x, y := a.AsFloat(), b.AsFloat()
 	switch op {
 	case OpAdd:
-		return Float(x + y), nil
+		return finiteFloat(x + y)
 	case OpSub:
-		return Float(x - y), nil
+		return finiteFloat(x - y)
 	case OpMul:
-		return Float(x * y), nil
+		return finiteFloat(x * y)
 	}
 	return Null(), fmt.Errorf("types: unknown operator")
+}
+
+func finiteFloat(f float64) (Value, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return Null(), fmt.Errorf("types: arithmetic result %v outside the finite float domain", f)
+	}
+	return Float(f), nil
 }
 
 // Parse converts a raw token to the most specific value kind:

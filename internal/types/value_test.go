@@ -269,3 +269,21 @@ func TestCompareAntisymmetricProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestArithFiniteDomain pins the closure of the value domain: float
+// results outside the finite range (overflow to ±Inf, NaN from
+// Inf-producing chains) are errors, never values. Parse already
+// rejects such literals; together they guarantee comparison, hashing,
+// and equality agree on every representable float.
+func TestArithFiniteDomain(t *testing.T) {
+	huge := Float(1.7e308)
+	if _, err := Arith(OpMul, huge, Float(10)); err == nil {
+		t.Error("float overflow produced a value, want error")
+	}
+	if _, err := Arith(OpAdd, huge, huge); err == nil {
+		t.Error("float overflow via addition produced a value, want error")
+	}
+	if v, err := Arith(OpMul, huge, Float(0)); err != nil || v.AsFloat() != 0 {
+		t.Errorf("finite product rejected: %v, %v", v, err)
+	}
+}

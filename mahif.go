@@ -101,6 +101,8 @@ type (
 	Engine = core.Engine
 	// Options selects optimizations and tuning knobs.
 	Options = core.Options
+	// ExecutorKind selects the query evaluation backend.
+	ExecutorKind = core.ExecutorKind
 	// Variant names a paper evaluation configuration (N, R, R+PS, …).
 	Variant = core.Variant
 	// Stats is the per-phase breakdown for the reenactment algorithm.
@@ -130,6 +132,13 @@ const (
 	KindFloat  = types.KindFloat
 	KindString = types.KindString
 	KindBool   = types.KindBool
+)
+
+// Query evaluation backends: the compiled pipelined executor (the
+// default) and the tree-walking interpreter kept as reference oracle.
+const (
+	ExecCompiled    = core.ExecCompiled
+	ExecInterpreter = core.ExecInterpreter
 )
 
 // Evaluation variants of §13.3.
