@@ -13,6 +13,7 @@
 //	mahif-bench -exp batch        # batch engine: scenarios × workers sweep
 //	mahif-bench -exp exec         # interpreter vs compiled executor → BENCH_exec.json
 //	mahif-bench -exp exec -cpuprofile cpu.out -memprofile mem.out
+//	mahif-bench -exp serve        # mahifd HTTP service load test → BENCH_serve.json
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, all")
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, all")
 	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -35,6 +36,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.StringVar(&execOut, "execout", execOut, "output path for the exec experiment's JSON report")
+	flag.StringVar(&serveOut, "serveout", serveOut, "output path for the serve experiment's JSON report")
 	flag.Parse()
 
 	us, err := parseInts(*updates)
@@ -49,6 +51,7 @@ func main() {
 		"fig18": h.fig18, "fig19": h.fig19, "fig20": h.fig20, "fig21": h.fig21,
 		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
 		"ablation": h.ablations, "batch": h.batch, "exec": h.execExp,
+		"serve": h.serveExp,
 	}
 	var runs []func()
 	switch *exp {
@@ -62,7 +65,7 @@ func main() {
 			runs = append(runs, experiments[n])
 		}
 	case "":
-		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, batch, exec, all)")
+		fmt.Fprintln(os.Stderr, "mahif-bench: -exp required (fig14–fig25, ablation, batch, exec, serve, all)")
 		os.Exit(2)
 	default:
 		run, ok := experiments[*exp]

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/service"
+	"github.com/mahif/mahif/internal/workload"
+)
+
+// serveOut is the output path of the serve experiment (flag -serveout).
+var serveOut = "BENCH_serve.json"
+
+// serveResult is one concurrency level of the load sweep.
+type serveResult struct {
+	Clients  int   `json:"clients"`
+	Requests int   `json:"requests"`
+	Errors   int   `json:"errors"`
+	P50Us    int64 `json:"p50_us"`
+	P95Us    int64 `json:"p95_us"`
+	P99Us    int64 `json:"p99_us"`
+	MaxUs    int64 `json:"max_us"`
+	// ThroughputRps is completed requests per second of wall time.
+	ThroughputRps float64 `json:"throughput_rps"`
+}
+
+// serveReport is the BENCH_serve.json document.
+type serveReport struct {
+	Description string        `json:"description"`
+	Rows        int           `json:"rows"`
+	Updates     int           `json:"updates"`
+	Scenarios   int           `json:"distinct_scenarios"`
+	Seed        int64         `json:"seed"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Results     []serveResult `json:"results"`
+	// Session reports the cache effectiveness accumulated across the
+	// whole sweep (the service answers everything through one session).
+	Session struct {
+		Calls          int   `json:"calls"`
+		SnapshotHits   int   `json:"snapshot_hits"`
+		SnapshotMisses int   `json:"snapshot_misses"`
+		MemoHits       int64 `json:"memo_hits"`
+		MemoMisses     int64 `json:"memo_misses"`
+		QueryHits      int   `json:"query_hits"`
+		QueryMisses    int   `json:"query_misses"`
+	} `json:"session"`
+}
+
+// wireBody renders a scenario's modifications as a /v1/whatif request
+// body (statement renderings round-trip through the SQL parser, which
+// the sql package's own round-trip tests pin).
+func wireBody(mods []history.Modification) []byte {
+	req := service.WhatIfRequest{}
+	for _, m := range mods {
+		switch x := m.(type) {
+		case history.Replace:
+			req.Modifications = append(req.Modifications,
+				service.Modification{Op: "replace", Pos: x.Pos + 1, Statement: x.Stmt.String()})
+		case history.InsertStmt:
+			req.Modifications = append(req.Modifications,
+				service.Modification{Op: "insert", Pos: x.Pos + 1, Statement: x.Stmt.String()})
+		case history.DeleteStmt:
+			req.Modifications = append(req.Modifications,
+				service.Modification{Op: "delete", Pos: x.Pos + 1})
+		}
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// serveExp benchmarks the HTTP service end to end: a mahifd handler
+// over a real loopback listener, a family of related what-if scenarios
+// as the request mix (the shape of one analyst iterating thresholds),
+// and a sweep of client concurrency levels. Reports p50/p95/p99
+// latency and throughput per level, plus the session-cache hit rates
+// that the request mix achieved, to BENCH_serve.json.
+func (h *harness) serveExp() {
+	const updates = 50
+	ds := workload.Taxi(h.rows, h.seed)
+	w := h.gen(ds, workload.Config{Updates: updates})
+	vdb, err := w.Load()
+	if err != nil {
+		panic(err)
+	}
+	engine := core.New(vdb)
+	srv := service.New(engine, service.Options{Sessions: 1, Timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := w.ScenarioFamily(32)
+	bodies := make([][]byte, len(specs))
+	for i, sp := range specs {
+		bodies[i] = wireBody(sp.Mods)
+	}
+
+	report := &serveReport{
+		Description: "mahifd /v1/whatif over loopback HTTP: latency percentiles by client concurrency, warm session caches (Taxi workload, threshold-sweep request family)",
+		Rows:        h.rows,
+		Updates:     updates,
+		Scenarios:   len(specs),
+		Seed:        h.seed,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+
+	// Warm-up: one pass over the distinct scenarios, so the sweep
+	// measures the steady state a long-lived service reaches.
+	client := ts.Client()
+	for _, b := range bodies {
+		if _, err := doWhatIf(client, ts.URL, b); err != nil {
+			panic(err)
+		}
+	}
+
+	header("Serve: /v1/whatif latency — Taxi", "reqs", "errors", "p50", "p95", "p99", "req/s")
+	perClient := 60
+	for _, clients := range []int{1, 4, runtime.GOMAXPROCS(0) * 2} {
+		total := clients * perClient
+		lats := make([]time.Duration, total)
+		errs := 0
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					body := bodies[(c*perClient+i)%len(bodies)]
+					t0 := time.Now()
+					_, err := doWhatIf(client, ts.URL, body)
+					lat := time.Since(t0)
+					mu.Lock()
+					lats[c*perClient+i] = lat
+					if err != nil {
+						errs++
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		res := serveResult{
+			Clients:       clients,
+			Requests:      total,
+			Errors:        errs,
+			P50Us:         pct(0.50).Microseconds(),
+			P95Us:         pct(0.95).Microseconds(),
+			P99Us:         pct(0.99).Microseconds(),
+			MaxUs:         lats[len(lats)-1].Microseconds(),
+			ThroughputRps: float64(total-errs) / wall.Seconds(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-10d %12d %12d %12s %12s %12s %12.0f\n",
+			clients, total, errs, ms(pct(0.50)), ms(pct(0.95)), ms(pct(0.99)), res.ThroughputRps)
+	}
+
+	st := srv.SessionStats()[0]
+	report.Session.Calls = st.Calls
+	report.Session.SnapshotHits, report.Session.SnapshotMisses = st.SnapshotHits, st.SnapshotMisses
+	report.Session.MemoHits, report.Session.MemoMisses = st.MemoHits, st.MemoMisses
+	report.Session.QueryHits, report.Session.QueryMisses = st.QueryHits, st.QueryMisses
+
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(serveOut, append(raw, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwrote %s (session: calls=%d snapshots %d/%d, memo %d/%d, queries %d/%d)\n",
+		serveOut, st.Calls, st.SnapshotHits, st.SnapshotMisses,
+		st.MemoHits, st.MemoMisses, st.QueryHits, st.QueryMisses)
+}
+
+// doWhatIf posts one what-if request and drains the response.
+func doWhatIf(client *http.Client, base string, body []byte) (int, error) {
+	resp, err := client.Post(base+"/v1/whatif", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, buf.String())
+	}
+	return resp.StatusCode, nil
+}

@@ -5,25 +5,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/mahif/mahif"
+	"github.com/mahif/mahif/internal/service"
 )
-
-// jsonScenario is one entry of the -scenarios file.
-type jsonScenario struct {
-	Label         string             `json:"label"`
-	Modifications []jsonModification `json:"modifications"`
-}
-
-// jsonModification mirrors the modification script syntax of the single
-// what-if mode: positions are 1-based; "statement" is required for
-// replace and insert, forbidden for delete.
-type jsonModification struct {
-	Op        string `json:"op"`
-	Pos       int    `json:"pos"`
-	Statement string `json:"statement,omitempty"`
-}
 
 // runBatchCmd is the `mahif batch` subcommand: evaluate a family of
 // what-if scenarios from a JSON file concurrently over one history.
@@ -66,39 +51,14 @@ Positions are 1-based, matching the single-query modification script.`)
 }
 
 func runBatch(data []string, historyPath, scenariosPath, variant string, workers int, showStats bool) error {
-	db := mahif.NewDatabase()
-	for _, spec := range data {
-		name, file, ok := strings.Cut(spec, "=")
-		if !ok {
-			return fmt.Errorf("bad -data %q (want relation=file.csv)", spec)
-		}
-		rel, err := loadCSV(name, file)
-		if err != nil {
-			return err
-		}
-		db.AddRelation(rel)
-	}
-	historySQL, err := os.ReadFile(historyPath)
+	engine, err := service.LoadEngine(data, historyPath)
 	if err != nil {
 		return err
 	}
-	hist, err := mahif.ParseStatements(string(historySQL))
-	if err != nil {
-		return err
-	}
-	vdb := mahif.NewVersioned(db)
-	for _, st := range hist {
-		if err := vdb.Apply(st); err != nil {
-			return fmt.Errorf("executing history: %w", err)
-		}
-	}
-
 	scenarios, err := loadScenarios(scenariosPath)
 	if err != nil {
 		return err
 	}
-
-	engine := mahif.NewEngine(vdb)
 	results, bstats, err := engine.WhatIfBatch(scenarios, mahif.BatchOptions{
 		Options: mahif.OptionsFor(mahif.Variant(variant)),
 		Workers: workers,
@@ -135,56 +95,20 @@ func runBatch(data []string, historyPath, scenariosPath, variant string, workers
 	return nil
 }
 
+// loadScenarios reads the -scenarios file: a JSON array in the same
+// wire format the mahifd batch endpoint accepts (internal/service).
 func loadScenarios(path string) ([]mahif.Scenario, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var parsed []jsonScenario
+	var parsed []service.Scenario
 	if err := json.Unmarshal(raw, &parsed); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(parsed) == 0 {
-		return nil, fmt.Errorf("%s: no scenarios", path)
-	}
-	out := make([]mahif.Scenario, len(parsed))
-	for i, js := range parsed {
-		if len(js.Modifications) == 0 {
-			return nil, fmt.Errorf("%s: scenario %d (%q) has no modifications", path, i+1, js.Label)
-		}
-		sc := mahif.Scenario{Label: js.Label}
-		for j, jm := range js.Modifications {
-			mod, err := parseJSONModification(jm)
-			if err != nil {
-				return nil, fmt.Errorf("%s: scenario %d (%q) modification %d: %w", path, i+1, js.Label, j+1, err)
-			}
-			sc.Mods = append(sc.Mods, mod)
-		}
-		out[i] = sc
+	out, err := service.DecodeScenarios(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return out, nil
-}
-
-func parseJSONModification(jm jsonModification) (mahif.Modification, error) {
-	if jm.Pos < 1 {
-		return nil, fmt.Errorf("bad position %d (positions are 1-based)", jm.Pos)
-	}
-	op := strings.ToLower(jm.Op)
-	if op == "delete" {
-		if jm.Statement != "" {
-			return nil, fmt.Errorf("delete takes no statement")
-		}
-		return mahif.DeleteAt(jm.Pos - 1), nil
-	}
-	st, err := mahif.ParseStatement(jm.Statement)
-	if err != nil {
-		return nil, err
-	}
-	switch op {
-	case "replace":
-		return mahif.Replace{Pos: jm.Pos - 1, Stmt: st}, nil
-	case "insert":
-		return mahif.InsertStmt{Pos: jm.Pos - 1, Stmt: st}, nil
-	}
-	return nil, fmt.Errorf("unknown op %q (want replace, insert, delete)", jm.Op)
 }

@@ -23,7 +23,6 @@
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +30,7 @@ import (
 	"strings"
 
 	"github.com/mahif/mahif"
+	"github.com/mahif/mahif/internal/service"
 )
 
 type dataFlags []string
@@ -66,40 +66,14 @@ func main() {
 }
 
 func run(data []string, historyPath, whatifPath, variant string, showStats bool) error {
-	db := mahif.NewDatabase()
-	for _, spec := range data {
-		name, file, ok := strings.Cut(spec, "=")
-		if !ok {
-			return fmt.Errorf("bad -data %q (want relation=file.csv)", spec)
-		}
-		rel, err := loadCSV(name, file)
-		if err != nil {
-			return err
-		}
-		db.AddRelation(rel)
-	}
-
-	historySQL, err := os.ReadFile(historyPath)
+	engine, err := service.LoadEngine(data, historyPath)
 	if err != nil {
 		return err
 	}
-	hist, err := mahif.ParseStatements(string(historySQL))
-	if err != nil {
-		return err
-	}
-	vdb := mahif.NewVersioned(db)
-	for _, st := range hist {
-		if err := vdb.Apply(st); err != nil {
-			return fmt.Errorf("executing history: %w", err)
-		}
-	}
-
 	mods, err := loadModifications(whatifPath)
 	if err != nil {
 		return err
 	}
-
-	engine := mahif.NewEngine(vdb)
 	if variant == "N" {
 		delta, stats, err := engine.Naive(mods)
 		if err != nil {
@@ -123,98 +97,6 @@ func run(data []string, historyPath, whatifPath, variant string, showStats bool)
 			stats.Execute, stats.Delta, stats.KeptStatements, stats.TotalStatements)
 	}
 	return nil
-}
-
-func loadCSV(relName, file string) (*mahif.Relation, error) {
-	f, err := os.Open(file)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	rows, err := csv.NewReader(f).ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", file, err)
-	}
-	if len(rows) < 1 {
-		return nil, fmt.Errorf("%s: empty CSV", file)
-	}
-	header := rows[0]
-	var cols []mahif.Column
-	if len(rows) == 1 {
-		for _, h := range header {
-			cols = append(cols, mahif.Col(h, mahif.KindString))
-		}
-	} else {
-		for ci, h := range header {
-			cols = append(cols, mahif.Col(h, inferKind(rows[1:], ci)))
-		}
-	}
-	rel := mahif.NewRelation(mahif.NewSchema(relName, cols...))
-	for _, row := range rows[1:] {
-		if len(row) != len(header) {
-			return nil, fmt.Errorf("%s: row with %d fields, header has %d", file, len(row), len(header))
-		}
-		t := make(mahif.Tuple, len(row))
-		for ci, cell := range row {
-			t[ci] = parseCell(cell, cols[ci].Type)
-		}
-		rel.Add(t)
-	}
-	return rel, nil
-}
-
-func inferKind(rows [][]string, ci int) mahif.Kind {
-	kind := mahif.KindInt
-	for _, row := range rows {
-		cell := row[ci]
-		if cell == "" {
-			continue
-		}
-		switch kind {
-		case mahif.KindInt:
-			if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
-				continue
-			}
-			kind = mahif.KindFloat
-			fallthrough
-		case mahif.KindFloat:
-			if _, err := strconv.ParseFloat(cell, 64); err == nil {
-				continue
-			}
-			kind = mahif.KindBool
-			fallthrough
-		case mahif.KindBool:
-			if cell == "true" || cell == "false" {
-				continue
-			}
-			return mahif.KindString
-		}
-	}
-	return kind
-}
-
-func parseCell(cell string, kind mahif.Kind) mahif.Value {
-	if cell == "" {
-		return mahif.Null()
-	}
-	switch kind {
-	case mahif.KindInt:
-		if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
-			return mahif.Int(v)
-		}
-	case mahif.KindFloat:
-		if v, err := strconv.ParseFloat(cell, 64); err == nil {
-			return mahif.Float(v)
-		}
-	case mahif.KindBool:
-		if cell == "true" {
-			return mahif.Bool(true)
-		}
-		if cell == "false" {
-			return mahif.Bool(false)
-		}
-	}
-	return mahif.Str(cell)
 }
 
 func loadModifications(path string) ([]mahif.Modification, error) {

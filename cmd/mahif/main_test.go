@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/mahif/mahif"
+	"github.com/mahif/mahif/internal/service"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -27,7 +28,7 @@ const ordersCSV = `id,customer,country,price,shippingfee
 func TestLoadCSVInference(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFile(t, dir, "orders.csv", ordersCSV)
-	rel, err := loadCSV("orders", path)
+	rel, err := service.LoadCSV("orders", path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestLoadCSVInference(t *testing.T) {
 func TestLoadCSVMixedAndEmptyCells(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFile(t, dir, "m.csv", "a,b,c,d\n1,1.5,true,\n2,x,false,y\n")
-	rel, err := loadCSV("m", path)
+	rel, err := service.LoadCSV("m", path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,15 +78,15 @@ func TestLoadCSVMixedAndEmptyCells(t *testing.T) {
 
 func TestLoadCSVErrors(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := loadCSV("x", filepath.Join(dir, "missing.csv")); err == nil {
+	if _, err := service.LoadCSV("x", filepath.Join(dir, "missing.csv")); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeFile(t, dir, "bad.csv", "a,b\n1\n")
-	if _, err := loadCSV("x", bad); err == nil {
+	if _, err := service.LoadCSV("x", bad); err == nil {
 		t.Error("ragged row accepted")
 	}
 	empty := writeFile(t, dir, "empty.csv", "")
-	if _, err := loadCSV("x", empty); err == nil {
+	if _, err := service.LoadCSV("x", empty); err == nil {
 		t.Error("empty file accepted")
 	}
 }

@@ -1,0 +1,125 @@
+// Command mahifd serves historical what-if queries over HTTP: it loads
+// CSV snapshots and a SQL history like cmd/mahif, then answers queries
+// through a pool of long-lived engine sessions, so consecutive
+// requests over the same history reuse time-travel snapshots, solver
+// memos, and compiled reenactment programs.
+//
+// Usage:
+//
+//	mahifd -addr :8080 -data orders=orders.csv -history history.sql \
+//	       [-sessions 1] [-timeout 30s]
+//
+// API (v1; see internal/service for the wire types):
+//
+//	POST /v1/whatif   {"modifications": [{"op": "replace", "pos": 1,
+//	                   "statement": "UPDATE orders SET fee = 0 WHERE price >= 60"}],
+//	                   "variant": "R+PS+DS", "stats": true, "timeout_ms": 500}
+//	POST /v1/batch    {"scenarios": [{"label": "fee60", "modifications": [...]}],
+//	                   "workers": 4, "stats": true}
+//	GET  /v1/history  the loaded transactional history
+//	GET  /healthz     liveness
+//
+// Every request is evaluated under a deadline (the smaller of -timeout
+// and the request's timeout_ms); a request that exceeds it gets a 504
+// and, thanks to the engine's context plumbing, stops consuming CPU
+// within milliseconds. SIGINT/SIGTERM drain in-flight requests before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/mahif/mahif/internal/service"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var data dataFlags
+	flag.Var(&data, "data", "relation=file.csv (repeatable)")
+	historyPath := flag.String("history", "", "SQL script with the transactional history")
+	addr := flag.String("addr", ":8080", "listen address")
+	sessions := flag.Int("sessions", 1, "session pool size")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation budget")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	if len(data) == 0 || *historyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(data, *historyPath, *addr, *sessions, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "mahifd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data []string, historyPath, addr string, sessions int, timeout, drain time.Duration) error {
+	engine, err := service.LoadEngine(data, historyPath)
+	if err != nil {
+		return err
+	}
+	h, err := engine.History()
+	if err != nil {
+		return err
+	}
+	srv := service.New(engine, service.Options{Sessions: sessions, Timeout: timeout})
+
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+		// Read/write limits shield the evaluation budget from slow
+		// clients; WriteTimeout leaves headroom over the evaluation
+		// deadline so a just-in-time result still gets written.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      timeout + 10*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mahifd: serving %d-statement history on %s (sessions=%d, timeout=%v)",
+			len(h), addr, sessions, timeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("mahifd: shutting down, draining for up to %v", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	for i, st := range srv.SessionStats() {
+		log.Printf("mahifd: session %d: calls=%d snapshots(hit/miss)=%d/%d memo(hit/miss)=%d/%d queries(hit/miss)=%d/%d",
+			i, st.Calls, st.SnapshotHits, st.SnapshotMisses, st.MemoHits, st.MemoMisses, st.QueryHits, st.QueryMisses)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package mahif_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mahif/mahif"
+)
+
+// TestModificationPositionErrors pins the typed sentinel errors for
+// invalid modification positions, as returned from both WhatIf and
+// Naive, for every modification kind at -1, len, and len+1. Insert at
+// len is legal (append), so it is exercised as the success case.
+func TestModificationPositionErrors(t *testing.T) {
+	vdb := paperExample(t) // 3-statement history
+	engine := mahif.NewEngine(vdb)
+	n := vdb.NumVersions()
+	if n != 3 {
+		t.Fatalf("example history has %d statements, want 3", n)
+	}
+	stmt := `UPDATE orders SET shippingfee = 0 WHERE price >= 60`
+
+	cases := []struct {
+		name string
+		mod  mahif.Modification
+		ok   bool
+	}{
+		{"replace -1", mahif.ReplaceSQL(-1, stmt), false},
+		{"replace len", mahif.ReplaceSQL(n, stmt), false},
+		{"replace len+1", mahif.ReplaceSQL(n+1, stmt), false},
+		{"insert -1", mahif.InsertSQL(-1, stmt), false},
+		{"insert len", mahif.InsertSQL(n, stmt), true}, // append is legal
+		{"insert len+1", mahif.InsertSQL(n+1, stmt), false},
+		{"delete -1", mahif.DeleteAt(-1), false},
+		{"delete len", mahif.DeleteAt(n), false},
+		{"delete len+1", mahif.DeleteAt(n + 1), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := engine.WhatIf([]mahif.Modification{c.mod}, mahif.DefaultOptions())
+			if c.ok {
+				if err != nil {
+					t.Fatalf("WhatIf: unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, mahif.ErrPosOutOfRange) {
+				t.Errorf("WhatIf error = %v, want ErrPosOutOfRange", err)
+			}
+			if _, _, nerr := engine.Naive([]mahif.Modification{c.mod}); !errors.Is(nerr, mahif.ErrPosOutOfRange) {
+				t.Errorf("Naive error = %v, want ErrPosOutOfRange", nerr)
+			}
+		})
+	}
+}
+
+// TestEmptyHistoryErrors: replacing or deleting in an empty history is
+// ErrEmptyHistory (and also out of range only in the degenerate
+// sense); inserting into an empty history is legal.
+func TestEmptyHistoryErrors(t *testing.T) {
+	db := mahif.NewDatabase()
+	rel := mahif.NewRelation(mahif.NewSchema("orders",
+		mahif.Col("id", mahif.KindInt),
+		mahif.Col("price", mahif.KindFloat),
+		mahif.Col("fee", mahif.KindFloat),
+	))
+	rel.Add(mahif.NewTuple(mahif.Int(1), mahif.Float(55), mahif.Float(5)))
+	db.AddRelation(rel)
+	engine := mahif.NewEngine(mahif.NewVersioned(db))
+
+	stmt := `UPDATE orders SET fee = 0 WHERE price >= 60`
+	for _, c := range []struct {
+		name string
+		mod  mahif.Modification
+	}{
+		{"replace", mahif.ReplaceSQL(0, stmt)},
+		{"delete", mahif.DeleteAt(0)},
+	} {
+		if _, _, err := engine.WhatIf([]mahif.Modification{c.mod}, mahif.DefaultOptions()); !errors.Is(err, mahif.ErrEmptyHistory) {
+			t.Errorf("%s on empty history: WhatIf error = %v, want ErrEmptyHistory", c.name, err)
+		}
+		if _, _, err := engine.Naive([]mahif.Modification{c.mod}); !errors.Is(err, mahif.ErrEmptyHistory) {
+			t.Errorf("%s on empty history: Naive error = %v, want ErrEmptyHistory", c.name, err)
+		}
+	}
+
+	// Insert into an empty history is a valid what-if query.
+	if _, _, err := engine.WhatIf([]mahif.Modification{mahif.InsertSQL(0, stmt)}, mahif.DefaultOptions()); err != nil {
+		t.Errorf("insert into empty history: %v", err)
+	}
+}

@@ -24,9 +24,9 @@ func testDB() *storage.Database {
 	db.AddRelation(r)
 	s := storage.NewRelation(schema.New("s", schema.Col("c", types.KindInt), schema.Col("d", types.KindString)))
 	s.Add(
-		schema.Tuple{types.Int(2), types.String_("x")},
-		schema.Tuple{types.Int(3), types.String_("y")},
-		schema.Tuple{types.Int(4), types.String_("z")},
+		schema.Tuple{types.Int(2), types.String("x")},
+		schema.Tuple{types.Int(3), types.String("y")},
+		schema.Tuple{types.Int(4), types.String("z")},
 	)
 	db.AddRelation(s)
 	return db

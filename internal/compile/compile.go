@@ -24,6 +24,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,15 +78,23 @@ type Outcome struct {
 // every free variable (variables missing from kinds are treated as
 // floats).
 func Satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
+	return SatisfiableCtx(context.Background(), cond, kinds, opts)
+}
+
+// SatisfiableCtx is Satisfiable under a context. Cancellation is
+// observed at every branch & bound node of the solver, so a cancelled
+// check returns ctx.Err() within one node's work. Cancelled outcomes
+// are never memoized.
+func SatisfiableCtx(ctx context.Context, cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
 	simplified := expr.Simplify(cond)
 	if opts.Memo == nil {
-		return satisfiable(simplified, kinds, opts)
+		return satisfiable(ctx, simplified, kinds, opts)
 	}
 	key := memoKey(simplified, kinds, opts)
 	if out, ok := opts.Memo.lookup(key); ok {
 		return out, nil
 	}
-	out, err := satisfiable(simplified, kinds, opts)
+	out, err := satisfiable(ctx, simplified, kinds, opts)
 	if err == nil {
 		opts.Memo.store(key, out)
 	}
@@ -93,7 +102,7 @@ func Satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Ou
 }
 
 // satisfiable compiles and solves an already-simplified condition.
-func satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
+func satisfiable(ctx context.Context, cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
 	c := newCompiler(kinds, opts)
 	root, err := c.compileBool(cond)
 	if err != nil {
@@ -102,7 +111,10 @@ func satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Ou
 	if err := c.model.AddConstraint([]milp.Term{{Var: root, Coef: 1}}, milp.EQ, 1); err != nil {
 		return nil, err
 	}
-	res := c.model.Solve(opts.Solve)
+	res := c.model.SolveCtx(ctx, opts.Solve)
+	if res.Status == milp.Canceled {
+		return nil, ctx.Err()
+	}
 	out := &Outcome{
 		Nodes: res.Nodes,
 		Vars:  c.model.NumVars(),
@@ -284,10 +296,10 @@ func (c *compiler) extract(x []float64) map[string]types.Value {
 			out[name] = types.Bool(math.Round(val) == 1)
 		case types.KindString:
 			if s, ok := rev[math.Round(val)]; ok {
-				out[name] = types.String_(s)
+				out[name] = types.String(s)
 				continue
 			}
-			out[name] = types.String_(fmt.Sprintf("<unseen-%d>", int(math.Round(val))))
+			out[name] = types.String(fmt.Sprintf("<unseen-%d>", int(math.Round(val))))
 		case types.KindInt:
 			// Attribute variables are relaxed to reals (see the package
 			// comment); report the exact relaxation value unless it is

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -50,11 +52,13 @@ type resultKey struct {
 	fp  string
 }
 
-// evalEntry evaluates one program exactly once; concurrent workers
-// asking for the same (version, program) block on the Once and share
-// the result instead of each materializing it.
+// evalEntry evaluates one program exactly once: the worker that
+// creates the entry materializes and closes done; concurrent workers
+// asking for the same (version, program) wait on done — or give up
+// when their own context dies — and share the result instead of each
+// materializing it.
 type evalEntry struct {
-	once sync.Once
+	done chan struct{}
 	rel  *storage.Relation
 	err  error
 }
@@ -85,32 +89,66 @@ func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string) *e
 }
 
 // eval answers q over db, reusing a previously materialized result for
-// the same (version, program) when available.
-func (c *evalCache) eval(q algebra.Query, db *storage.Database, ver int, interp bool) (*storage.Relation, error) {
+// the same (version, program) when available. A result whose
+// materialization was cut short by ctx cancellation is evicted rather
+// than cached, so long-lived caches (sessions) stay consistent; a
+// caller that joined a cancelled materialization retries under its own
+// context instead of inheriting the foreign failure.
+func (c *evalCache) eval(ctx context.Context, q algebra.Query, db *storage.Database, ver int, interp bool) (*storage.Relation, error) {
 	fp := algebra.Fingerprint(q)
 	key := resultKey{ver: ver, fp: fp}
 	var prog *exec.Program
 	if !interp {
 		prog = c.program(q, db, fp)
 	}
-	c.mu.Lock()
-	e, ok := c.results[key]
-	if !ok {
-		e = &evalEntry{}
-		c.results[key] = e
-		c.misses++
-	} else {
-		c.hits++
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		if prog != nil {
-			e.rel, e.err = prog.Run(db)
-			return
+	for {
+		c.mu.Lock()
+		e, ok := c.results[key]
+		if !ok {
+			e = &evalEntry{done: make(chan struct{})}
+			c.results[key] = e
 		}
-		e.rel, e.err = algebra.Eval(q, db)
-	})
-	return e.rel, e.err
+		c.mu.Unlock()
+		if !ok {
+			// We created the entry: we materialize, under our context.
+			switch {
+			case prog != nil:
+				e.rel, e.err = prog.RunCtx(ctx, db)
+			case ctx.Err() != nil:
+				e.err = ctx.Err() // interpreter oracle is not ctx-aware; don't start dead
+			default:
+				e.rel, e.err = algebra.Eval(q, db)
+			}
+			if e.err == nil {
+				c.mu.Lock()
+				c.misses++
+				c.mu.Unlock()
+			}
+			close(e.done)
+		} else {
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err() // our deadline; don't wait out the build
+			}
+		}
+		if e.err == nil || (!errors.Is(e.err, context.Canceled) && !errors.Is(e.err, context.DeadlineExceeded)) {
+			if ok && e.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+			}
+			return e.rel, e.err
+		}
+		c.mu.Lock()
+		if c.results[key] == e {
+			delete(c.results, key)
+		}
+		c.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return nil, err // our own context died
+		}
+	}
 }
 
 func (c *evalCache) stats() (hits, misses int) {
@@ -119,11 +157,15 @@ func (c *evalCache) stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
-// batchShared bundles the caches one batch evaluation shares across
-// its workers. All fields are optional.
+// batchShared bundles the caches one batch evaluation — or one
+// long-lived Session — shares across evaluations. All fields are
+// optional; memo is carried here only so sessions can hand their
+// solver memo to batches (per-scenario options reference it via
+// Options.Compile.Memo).
 type batchShared struct {
 	snaps *storage.SnapshotCache
 	eval  *evalCache
+	memo  *compile.Memo
 }
 
 // Scenario is one hypothetical modification set in a batch what-if
@@ -208,6 +250,23 @@ type BatchStats struct {
 // rest of the batch completes. The returned error reports only batch-
 // level misuse (no scenarios).
 func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchResult, *BatchStats, error) {
+	return e.WhatIfBatchCtx(context.Background(), scenarios, opts)
+}
+
+// WhatIfBatchCtx is WhatIfBatch under a context. Cancellation stops the
+// whole batch promptly: in-flight scenarios observe ctx inside their
+// solver and executor loops, not-yet-evaluated scenarios record
+// ctx.Err() without starting, and the call returns ctx.Err() alongside
+// the partial results.
+func (e *Engine) WhatIfBatchCtx(ctx context.Context, scenarios []Scenario, opts BatchOptions) ([]BatchResult, *BatchStats, error) {
+	return e.whatIfBatch(ctx, scenarios, opts, nil)
+}
+
+// whatIfBatch is WhatIfBatchCtx with optional session-owned caches: a
+// non-nil session shares its snapshot/program/memo caches with the
+// batch (subject to the batch's No* toggles) so the batch both reuses
+// and feeds the session's cross-call state.
+func (e *Engine) whatIfBatch(ctx context.Context, scenarios []Scenario, opts BatchOptions, sess *Session) ([]BatchResult, *BatchStats, error) {
 	if len(scenarios) == 0 {
 		return nil, nil, fmt.Errorf("core: empty scenario batch")
 	}
@@ -220,11 +279,23 @@ func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchRe
 	}
 
 	shared := &batchShared{}
+	var sessShared *batchShared
+	if sess != nil {
+		sessShared = sess.shared()
+	}
 	if !opts.NoSnapshotSharing {
-		shared.snaps = storage.NewSnapshotCache(e.vdb)
+		if sessShared != nil {
+			shared.snaps = sessShared.snaps
+		} else {
+			shared.snaps = storage.NewSnapshotCache(e.vdb)
+		}
 	}
 	if !opts.NoQueryCache {
-		shared.eval = newEvalCache()
+		if sessShared != nil {
+			shared.eval = sessShared.eval
+		} else {
+			shared.eval = newEvalCache()
+		}
 	}
 	perScenario := opts.Options
 	var memo *compile.Memo
@@ -234,12 +305,32 @@ func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchRe
 		// cross-scenario solver reuse", not just "no fresh memo".
 		perScenario.Compile.Memo = nil
 	case perScenario.Compile.Memo == nil:
-		memo = compile.NewMemo()
+		if sessShared != nil {
+			memo = sessShared.memo
+		} else {
+			memo = compile.NewMemo()
+		}
 		perScenario.Compile.Memo = memo
 	default:
 		// The caller supplied a memo (e.g. shared across batches): use
 		// it, but leave BatchStats memo counters zero — its cumulative
 		// counts are not attributable to this batch.
+	}
+	// Attribute this batch's cache traffic to its stats by snapshotting
+	// baselines: long-lived session caches carry counts from earlier
+	// calls. The baseline-and-subtract is approximate when other calls
+	// share the session concurrently with the batch (their traffic in
+	// the window lands in this batch's counters).
+	var snapHits0, snapMiss0, evalHits0, evalMiss0 int
+	var memoHits0, memoMiss0 int64
+	if shared.snaps != nil {
+		snapHits0, snapMiss0 = shared.snaps.Stats()
+	}
+	if shared.eval != nil {
+		evalHits0, evalMiss0 = shared.eval.stats()
+	}
+	if memo != nil {
+		memoHits0, memoMiss0 = memo.Stats()
 	}
 
 	start := time.Now()
@@ -267,7 +358,13 @@ func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchRe
 			defer wg.Done()
 			for i := range idxCh {
 				sc := scenarios[i]
-				d, st, err := e.whatIfPair(pairs[i], perScenario, shared)
+				if err := ctx.Err(); err != nil {
+					// The batch is dead: record the cancellation without
+					// starting the evaluation.
+					results[i] = BatchResult{Scenario: i, Label: sc.Label, Err: err}
+					continue
+				}
+				d, st, err := e.whatIfPair(ctx, pairs[i], perScenario, shared)
 				results[i] = BatchResult{Scenario: i, Label: sc.Label, Delta: d, Stats: st, Err: err}
 			}
 		}()
@@ -282,11 +379,11 @@ func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchRe
 	// evaluation to surface.
 	warmed := -1
 	for _, i := range scheduleOrder(pairs) {
-		if shared.snaps != nil {
+		if shared.snaps != nil && ctx.Err() == nil {
 			// Ascending dispatch makes consecutive versions the distinct
 			// ones; warm each exactly once.
 			if v := min(pairs[i].FirstModified(), e.vdb.NumVersions()); v != warmed {
-				_, _ = shared.snaps.Snapshot(v)
+				_, _ = shared.snaps.SnapshotCtx(ctx, v)
 				warmed = v
 			}
 		}
@@ -306,17 +403,21 @@ func (e *Engine) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchRe
 		}
 	}
 	if shared.snaps != nil {
-		bs.SnapshotHits, bs.SnapshotMisses = shared.snaps.Stats()
+		h, m := shared.snaps.Stats()
+		bs.SnapshotHits, bs.SnapshotMisses = h-snapHits0, m-snapMiss0
 	}
 	if memo != nil {
-		// Report from the batch-owned memo only; a caller-supplied memo
-		// would carry counts from earlier uses.
-		bs.MemoHits, bs.MemoMisses = memo.Stats()
+		// Report from the batch- or session-owned memo only, net of any
+		// traffic from before this batch; a caller-supplied memo would
+		// carry counts not attributable to it at all.
+		h, m := memo.Stats()
+		bs.MemoHits, bs.MemoMisses = h-memoHits0, m-memoMiss0
 	}
 	if shared.eval != nil {
-		bs.QueryHits, bs.QueryMisses = shared.eval.stats()
+		h, m := shared.eval.stats()
+		bs.QueryHits, bs.QueryMisses = h-evalHits0, m-evalMiss0
 	}
-	return results, bs, nil
+	return results, bs, ctx.Err()
 }
 
 // scheduleOrder returns the indices of successfully aligned pairs

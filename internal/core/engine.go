@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -161,7 +162,7 @@ func (e *Engine) History() (history.History, error) {
 
 // prepare applies M to H, cuts the shared prefix, and reconstructs the
 // database state at the first modified statement.
-func (e *Engine) prepare(mods []history.Modification, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
+func (e *Engine) prepare(ctx context.Context, mods []history.Modification, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
 	h, err := e.History()
 	if err != nil {
 		return nil, nil, 0, err
@@ -170,7 +171,7 @@ func (e *Engine) prepare(mods []history.Modification, st *Stats, snaps *storage.
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return e.snapshotFor(pair, st, snaps)
+	return e.snapshotFor(ctx, pair, st, snaps)
 }
 
 // snapshotFor cuts the shared prefix of an aligned pair and
@@ -179,7 +180,7 @@ func (e *Engine) prepare(mods []history.Modification, st *Stats, snaps *storage.
 // (reenactment never mutates it); otherwise it is a private copy from
 // time travel. The returned version number identifies the snapshot for
 // result caching.
-func (e *Engine) snapshotFor(pair *history.PaddedPair, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
+func (e *Engine) snapshotFor(ctx context.Context, pair *history.PaddedPair, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
 	first := pair.FirstModified()
 	t0 := time.Now()
 	// The prefix before the first modification is identical in both
@@ -190,9 +191,9 @@ func (e *Engine) snapshotFor(pair *history.PaddedPair, st *Stats, snaps *storage
 	var db *storage.Database
 	var err error
 	if snaps != nil {
-		db, err = snaps.Snapshot(ver)
+		db, err = snaps.SnapshotCtx(ctx, ver)
 	} else {
-		db, err = e.vdb.Version(ver)
+		db, err = e.vdb.VersionCtx(ctx, ver)
 	}
 	if err != nil {
 		return nil, nil, 0, err
@@ -205,9 +206,23 @@ func (e *Engine) snapshotFor(pair *history.PaddedPair, st *Stats, snaps *storage
 
 // Naive answers the query with Alg. 1.
 func (e *Engine) Naive(mods []history.Modification) (delta.Set, *NaiveStats, error) {
-	stats := &NaiveStats{}
+	return e.NaiveCtx(context.Background(), mods)
+}
+
+// NaiveCtx is Naive under a context: cancellation is observed during
+// time travel, between the statements of the hypothetical history, and
+// between per-relation delta computations.
+func (e *Engine) NaiveCtx(ctx context.Context, mods []history.Modification) (delta.Set, *NaiveStats, error) {
+	return e.naiveFrom(ctx, mods, &NaiveStats{}, nil)
+}
+
+// naiveFrom is NaiveCtx over an optional shared snapshot cache
+// (Session routes through here). The explicit Clone of the algorithm's
+// Copy(D) step doubles as the copy-on-write boundary that keeps a
+// shared snapshot read-only.
+func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, stats *NaiveStats, snaps *storage.SnapshotCache) (delta.Set, *NaiveStats, error) {
 	start := time.Now()
-	suffix, db, _, err := e.prepare(mods, nil, nil)
+	suffix, db, _, err := e.prepare(ctx, mods, nil, snaps)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -219,7 +234,7 @@ func (e *Engine) Naive(mods []history.Modification) (delta.Set, *NaiveStats, err
 	stats.Creation = time.Since(t0)
 
 	t0 = time.Now()
-	if err := suffix.Mod.Apply(work); err != nil {
+	if err := suffix.Mod.ApplyCtx(ctx, work); err != nil {
 		return nil, nil, err
 	}
 	stats.Execute = time.Since(t0)
@@ -227,6 +242,9 @@ func (e *Engine) Naive(mods []history.Modification) (delta.Set, *NaiveStats, err
 	t0 = time.Now()
 	out := delta.Set{}
 	for rel := range relationUnion(suffix) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		cur, err := e.vdb.Current().Relation(rel)
 		if err != nil {
 			return nil, nil, err
@@ -252,12 +270,21 @@ func relationUnion(pair *history.PaddedPair) map[string]bool {
 
 // WhatIf answers the query with Alg. 2 under the given options.
 func (e *Engine) WhatIf(mods []history.Modification, opts Options) (delta.Set, *Stats, error) {
-	return e.whatIf(mods, opts, nil)
+	return e.WhatIfCtx(context.Background(), mods, opts)
 }
 
-// whatIf is WhatIf with optional batch-shared caches (snapshot, query
-// results) used by WhatIfBatch.
-func (e *Engine) whatIf(mods []history.Modification, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
+// WhatIfCtx is WhatIf under a context. Cancellation and deadlines are
+// observed inside the long-running phases — every solver branch & bound
+// node during program slicing, every few thousand tuples of compiled
+// query execution, every statement of time-travel replay — so a
+// cancelled query stops within milliseconds and returns ctx.Err().
+func (e *Engine) WhatIfCtx(ctx context.Context, mods []history.Modification, opts Options) (delta.Set, *Stats, error) {
+	return e.whatIf(ctx, mods, opts, nil)
+}
+
+// whatIf is WhatIfCtx with optional shared caches (snapshot, query
+// results) used by WhatIfBatch and Session.
+func (e *Engine) whatIf(ctx context.Context, mods []history.Modification, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
 	h, err := e.History()
 	if err != nil {
 		return nil, nil, err
@@ -266,24 +293,24 @@ func (e *Engine) whatIf(mods []history.Modification, opts Options, shared *batch
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.whatIfPair(pair, opts, shared)
+	return e.whatIfPair(ctx, pair, opts, shared)
 }
 
 // whatIfPair answers an already-aligned query pair (WhatIfBatch
 // computes pairs once, for both scheduling and evaluation). The
 // evaluation path only reads db, so a shared snapshot is safe; anything
 // that must mutate state clones first.
-func (e *Engine) whatIfPair(pair *history.PaddedPair, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
+func (e *Engine) whatIfPair(ctx context.Context, pair *history.PaddedPair, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
 	if shared == nil {
 		shared = &batchShared{}
 	}
 	stats := &Stats{Slices: map[string]progslice.Stats{}}
 	start := time.Now()
-	suffix, db, ver, err := e.snapshotFor(pair, stats, shared.snaps)
+	suffix, db, ver, err := e.snapshotFor(ctx, pair, stats, shared.snaps)
 	if err != nil {
 		return nil, nil, err
 	}
-	ev := evaluator{ec: shared.eval, ver: ver, interp: opts.Executor == ExecInterpreter}
+	ev := evaluator{ctx: ctx, ec: shared.eval, ver: ver, interp: opts.Executor == ExecInterpreter}
 	stats.TotalStatements = len(suffix.Orig)
 
 	// Relations to answer for; taint analysis prunes provably-empty
@@ -322,7 +349,10 @@ func (e *Engine) whatIfPair(pair *history.PaddedPair, opts Options, shared *batc
 	}
 
 	for _, rel := range targets {
-		if err := e.splitPath(suffix, db, rel, filters, opts, out, stats, ev); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if err := e.splitPath(ctx, suffix, db, rel, filters, opts, out, stats, ev); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -368,7 +398,7 @@ func (e *Engine) wholeHistoryPath(suffix *history.PaddedPair, db *storage.Databa
 // splitPath answers one relation using the §10 split: the insert-free
 // part (optionally program sliced) over the base relation, unioned with
 // the insert branches.
-func (e *Engine) splitPath(suffix *history.PaddedPair, db *storage.Database, rel string, filters *dataslice.Conditions, opts Options, out delta.Set, stats *Stats, ev evaluator) error {
+func (e *Engine) splitPath(ctx context.Context, suffix *history.PaddedPair, db *storage.Database, rel string, filters *dataslice.Conditions, opts Options, out delta.Set, stats *Stats, ev evaluator) error {
 	relPair, _ := suffix.RestrictToRelation(rel)
 	noInsPair, modified := stripInsertPair(relPair)
 
@@ -391,9 +421,9 @@ func (e *Engine) splitPath(suffix *history.PaddedPair, db *storage.Database, rel
 			in := &progslice.Input{Pair: noInsPair, Schema: relation.Schema, PhiD: phiD, Compile: opts.Compile}
 			var res *progslice.Result
 			if opts.UseDependency {
-				res, err = progslice.Dependency(in)
+				res, err = progslice.DependencyCtx(ctx, in)
 			} else {
-				res, err = progslice.Greedy(in)
+				res, err = progslice.GreedyCtx(ctx, in)
 			}
 			if err != nil {
 				return err
@@ -489,23 +519,42 @@ func isInsert(s history.Statement) bool {
 // is the compiled pipelined executor; interp selects the tree-walking
 // interpreter oracle instead.
 type evaluator struct {
+	ctx    context.Context
 	ec     *evalCache
 	ver    int
 	interp bool
 }
 
+// evalCtx returns the evaluator's context (Background when the
+// evaluator was built zero-valued, e.g. in tests).
+func (ev evaluator) evalCtx() context.Context {
+	if ev.ctx == nil {
+		return context.Background()
+	}
+	return ev.ctx
+}
+
 func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
+	ctx := ev.evalCtx()
 	if ev.ec != nil {
-		return ev.ec.eval(q, db, ev.ver, ev.interp)
+		return ev.ec.eval(ctx, q, db, ev.ver, ev.interp)
 	}
 	if ev.interp {
+		// The tree-walking oracle is not ctx-aware; bound its damage by
+		// refusing to start when the request is already dead.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return algebra.Eval(q, db)
 	}
 	prog, err := exec.Compile(q, db)
 	if err != nil {
 		// Outside the compilable subset: the interpreter is the
 		// reference semantics, so this can only be slower, never wrong.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return algebra.Eval(q, db)
 	}
-	return prog.Run(db)
+	return prog.RunCtx(ctx, db)
 }

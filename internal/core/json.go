@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"github.com/mahif/mahif/internal/progslice"
+)
+
+// JSON wire format (v1) for the statistics types, pinned by golden
+// tests alongside the delta format. Durations travel as integer
+// nanoseconds under *_ns names so the format is stable across
+// time.Duration's own rendering and trivially consumable from any
+// client. Extend compatibly (add fields); never repurpose names.
+
+type wireSliceStats struct {
+	Tests       int   `json:"tests"`
+	SolverNodes int   `json:"solver_nodes"`
+	Indefinite  int   `json:"indefinite"`
+	DurationNs  int64 `json:"duration_ns"`
+	Kept        int   `json:"kept"`
+	Removed     int   `json:"removed"`
+}
+
+type wireStats struct {
+	TotalNs          int64                     `json:"total_ns"`
+	TimeTravelNs     int64                     `json:"time_travel_ns"`
+	ProgramSlicingNs int64                     `json:"program_slicing_ns"`
+	DataSlicingNs    int64                     `json:"data_slicing_ns"`
+	ExecuteNs        int64                     `json:"execute_ns"`
+	DeltaNs          int64                     `json:"delta_ns"`
+	TotalStatements  int                       `json:"total_statements"`
+	KeptStatements   int                       `json:"kept_statements"`
+	SolverTests      int                       `json:"solver_tests"`
+	SolverNodes      int                       `json:"solver_nodes"`
+	Slices           map[string]wireSliceStats `json:"slices,omitempty"`
+	SkippedRelations []string                  `json:"skipped_relations,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the v1 stats format.
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	w := wireStats{
+		TotalNs:          s.Total.Nanoseconds(),
+		TimeTravelNs:     s.TimeTravel.Nanoseconds(),
+		ProgramSlicingNs: s.ProgramSlicing.Nanoseconds(),
+		DataSlicingNs:    s.DataSlicing.Nanoseconds(),
+		ExecuteNs:        s.Execute.Nanoseconds(),
+		DeltaNs:          s.Delta.Nanoseconds(),
+		TotalStatements:  s.TotalStatements,
+		KeptStatements:   s.KeptStatements,
+		SolverTests:      s.SolverTests,
+		SolverNodes:      s.SolverNodes,
+		SkippedRelations: s.SkippedRelations,
+	}
+	if len(s.Slices) > 0 {
+		w.Slices = make(map[string]wireSliceStats, len(s.Slices))
+		for rel, ps := range s.Slices {
+			w.Slices[rel] = wireSliceStats{
+				Tests:       ps.Tests,
+				SolverNodes: ps.SolverNodes,
+				Indefinite:  ps.Indefinite,
+				DurationNs:  ps.Duration.Nanoseconds(),
+				Kept:        ps.Kept,
+				Removed:     ps.Removed,
+			}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the v1 stats format.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var w wireStats
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = Stats{
+		Total:            time.Duration(w.TotalNs),
+		TimeTravel:       time.Duration(w.TimeTravelNs),
+		ProgramSlicing:   time.Duration(w.ProgramSlicingNs),
+		DataSlicing:      time.Duration(w.DataSlicingNs),
+		Execute:          time.Duration(w.ExecuteNs),
+		Delta:            time.Duration(w.DeltaNs),
+		TotalStatements:  w.TotalStatements,
+		KeptStatements:   w.KeptStatements,
+		SolverTests:      w.SolverTests,
+		SolverNodes:      w.SolverNodes,
+		SkippedRelations: w.SkippedRelations,
+		Slices:           map[string]progslice.Stats{},
+	}
+	for rel, ps := range w.Slices {
+		s.Slices[rel] = progslice.Stats{
+			Tests:       ps.Tests,
+			SolverNodes: ps.SolverNodes,
+			Indefinite:  ps.Indefinite,
+			Duration:    time.Duration(ps.DurationNs),
+			Kept:        ps.Kept,
+			Removed:     ps.Removed,
+		}
+	}
+	return nil
+}
+
+type wireNaiveStats struct {
+	TotalNs    int64 `json:"total_ns"`
+	CreationNs int64 `json:"creation_ns"`
+	ExecuteNs  int64 `json:"execute_ns"`
+	DeltaNs    int64 `json:"delta_ns"`
+}
+
+// MarshalJSON implements json.Marshaler with the v1 stats format.
+func (s *NaiveStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireNaiveStats{
+		TotalNs:    s.Total.Nanoseconds(),
+		CreationNs: s.Creation.Nanoseconds(),
+		ExecuteNs:  s.Execute.Nanoseconds(),
+		DeltaNs:    s.Delta.Nanoseconds(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the v1 stats format.
+func (s *NaiveStats) UnmarshalJSON(data []byte) error {
+	var w wireNaiveStats
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = NaiveStats{
+		Total:    time.Duration(w.TotalNs),
+		Creation: time.Duration(w.CreationNs),
+		Execute:  time.Duration(w.ExecuteNs),
+		Delta:    time.Duration(w.DeltaNs),
+	}
+	return nil
+}
+
+type wireBatchStats struct {
+	TotalNs        int64 `json:"total_ns"`
+	Workers        int   `json:"workers"`
+	Scenarios      int   `json:"scenarios"`
+	Failed         int   `json:"failed"`
+	SnapshotHits   int   `json:"snapshot_hits"`
+	SnapshotMisses int   `json:"snapshot_misses"`
+	MemoHits       int64 `json:"memo_hits"`
+	MemoMisses     int64 `json:"memo_misses"`
+	QueryHits      int   `json:"query_hits"`
+	QueryMisses    int   `json:"query_misses"`
+}
+
+// MarshalJSON implements json.Marshaler with the v1 stats format.
+func (s *BatchStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireBatchStats{
+		TotalNs:        s.Total.Nanoseconds(),
+		Workers:        s.Workers,
+		Scenarios:      s.Scenarios,
+		Failed:         s.Failed,
+		SnapshotHits:   s.SnapshotHits,
+		SnapshotMisses: s.SnapshotMisses,
+		MemoHits:       s.MemoHits,
+		MemoMisses:     s.MemoMisses,
+		QueryHits:      s.QueryHits,
+		QueryMisses:    s.QueryMisses,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the v1 stats format.
+func (s *BatchStats) UnmarshalJSON(data []byte) error {
+	var w wireBatchStats
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = BatchStats{
+		Total:          time.Duration(w.TotalNs),
+		Workers:        w.Workers,
+		Scenarios:      w.Scenarios,
+		Failed:         w.Failed,
+		SnapshotHits:   w.SnapshotHits,
+		SnapshotMisses: w.SnapshotMisses,
+		MemoHits:       w.MemoHits,
+		MemoMisses:     w.MemoMisses,
+		QueryHits:      w.QueryHits,
+		QueryMisses:    w.QueryMisses,
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mahif/mahif/internal/progslice"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenStats() *Stats {
+	return &Stats{
+		Total:           83 * time.Millisecond,
+		TimeTravel:      5 * time.Millisecond,
+		ProgramSlicing:  40 * time.Millisecond,
+		DataSlicing:     3 * time.Millisecond,
+		Execute:         30 * time.Millisecond,
+		Delta:           5 * time.Millisecond,
+		TotalStatements: 100,
+		KeptStatements:  12,
+		SolverTests:     99,
+		SolverNodes:     4242,
+		Slices: map[string]progslice.Stats{
+			"orders": {Tests: 99, SolverNodes: 4242, Indefinite: 1, Duration: 40 * time.Millisecond, Kept: 12, Removed: 88},
+		},
+		SkippedRelations: []string{"audit_log"},
+	}
+}
+
+func goldenBatchStats() *BatchStats {
+	return &BatchStats{
+		Total: 120 * time.Millisecond, Workers: 8, Scenarios: 16, Failed: 1,
+		SnapshotHits: 15, SnapshotMisses: 1,
+		MemoHits: 1200, MemoMisses: 99,
+		QueryHits: 14, QueryMisses: 2,
+	}
+}
+
+// TestStatsGolden pins the v1 stats wire format used by mahifd.
+func TestStatsGolden(t *testing.T) {
+	doc := map[string]any{
+		"stats":       goldenStats(),
+		"naive_stats": &NaiveStats{Total: 9 * time.Second, Creation: 8 * time.Second, Execute: 900 * time.Millisecond, Delta: 100 * time.Millisecond},
+		"batch_stats": goldenBatchStats(),
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "stats_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("stats wire format drifted from %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	orig := goldenStats()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, orig) {
+		t.Errorf("Stats round trip drifted:\n%+v\nvs\n%+v", back, *orig)
+	}
+
+	borig := goldenBatchStats()
+	data, err = json.Marshal(borig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bback BatchStats
+	if err := json.Unmarshal(data, &bback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&bback, borig) {
+		t.Errorf("BatchStats round trip drifted:\n%+v\nvs\n%+v", bback, *borig)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// Session is a long-lived evaluation context over one engine: it pins
+// the history version it was opened against and owns the caches that a
+// single WhatIfBatch call otherwise builds and discards — the shared
+// time-travel snapshot cache, the solver-outcome memo, and the
+// compiled-program/result cache. An analyst iterating a family of
+// hypotheticals over the same history ("fee ≥ 55… 56… 57") through one
+// session reuses the materialized time-travel state and the compiled
+// reenactment programs across calls instead of rebuilding them per
+// query; a served deployment keeps one session per history version and
+// answers many users' queries from the same warm state.
+//
+// Sessions are safe for concurrent use: the caches are internally
+// synchronized and every cached artifact is shared read-only (the same
+// contract the batch engine relies on).
+//
+// # Invalidation
+//
+// The caches are only valid for the history version the session is
+// pinned to. Every call revalidates the pin against the engine's
+// versioned database: if the history has advanced (new statements were
+// applied), the session discards all cached state and re-pins to the
+// new version — stale snapshots or programs are never served.
+// Invalidate forces the same reset explicitly. As with SnapshotCache,
+// the underlying store must be quiescent during each call; advancing
+// the history between calls is what sessions are designed to survive.
+type Session struct {
+	e *Engine
+
+	mu      sync.Mutex
+	version int // NumVersions the caches were built against
+	caches  *batchShared
+
+	calls         int
+	invalidations int
+}
+
+// NewSession opens a session pinned to the engine's current history
+// version.
+func (e *Engine) NewSession() *Session {
+	s := &Session{e: e, version: e.vdb.NumVersions()}
+	s.reset()
+	return s
+}
+
+// reset discards all cached state. Caller holds s.mu (or has exclusive
+// access during construction).
+func (s *Session) reset() {
+	s.caches = &batchShared{
+		snaps: storage.NewSnapshotCache(s.e.vdb),
+		eval:  newEvalCache(),
+		memo:  compile.NewMemo(),
+	}
+}
+
+// shared revalidates the version pin and returns the live cache
+// bundle. The bundle it returns is immutable as a bundle (its caches
+// are internally synchronized), so calls in flight during an
+// invalidation finish against the old, still-consistent bundle.
+func (s *Session) shared() *batchShared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if v := s.e.vdb.NumVersions(); v != s.version {
+		s.version = v
+		s.invalidations++
+		s.reset()
+	}
+	return s.caches
+}
+
+// Invalidate discards all cached state unconditionally and re-pins the
+// session to the engine's current history version.
+func (s *Session) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version = s.e.vdb.NumVersions()
+	s.invalidations++
+	s.reset()
+}
+
+// Engine returns the engine the session evaluates against.
+func (s *Session) Engine() *Engine { return s.e }
+
+// Version returns the history version the session is currently pinned
+// to.
+func (s *Session) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// SessionStats reports a session's cumulative cache effectiveness
+// since it was opened or last invalidated (counters reset with the
+// caches).
+type SessionStats struct {
+	// Calls counts evaluation entries through the session (including
+	// batch calls, each once).
+	Calls int
+	// Invalidations counts cache resets (explicit or version-driven).
+	Invalidations int
+	// Version is the pinned history version.
+	Version int
+	// SnapshotHits/Misses report shared time-travel reuse across calls.
+	SnapshotHits, SnapshotMisses int
+	// MemoHits/Misses report solver-outcome reuse across calls.
+	MemoHits, MemoMisses int64
+	// QueryHits/Misses report compiled reenactment-result reuse across
+	// calls.
+	QueryHits, QueryMisses int
+}
+
+// Stats snapshots the session's cache counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionStats{Calls: s.calls, Invalidations: s.invalidations, Version: s.version}
+	st.SnapshotHits, st.SnapshotMisses = s.caches.snaps.Stats()
+	st.MemoHits, st.MemoMisses = s.caches.memo.Stats()
+	st.QueryHits, st.QueryMisses = s.caches.eval.stats()
+	return st
+}
+
+// WhatIf answers one what-if query through the session's caches.
+func (s *Session) WhatIf(mods []history.Modification, opts Options) (delta.Set, *Stats, error) {
+	return s.WhatIfCtx(context.Background(), mods, opts)
+}
+
+// WhatIfCtx is WhatIf under a context (see Engine.WhatIfCtx for the
+// cancellation guarantees). The session's solver memo is used unless
+// the options carry their own; snapshots and compiled programs always
+// come from the session. A call cut short by cancellation never leaves
+// a partial artifact behind: cancelled snapshot builds and query
+// materializations are evicted, so the caches stay consistent.
+func (s *Session) WhatIfCtx(ctx context.Context, mods []history.Modification, opts Options) (delta.Set, *Stats, error) {
+	shared := s.shared()
+	if opts.Compile.Memo == nil {
+		opts.Compile.Memo = shared.memo
+	}
+	return s.e.whatIf(ctx, mods, opts, shared)
+}
+
+// Naive answers one what-if query with Alg. 1, sharing the session's
+// time-travel snapshots (the naive copy step still clones, so the
+// shared state is never mutated).
+func (s *Session) Naive(mods []history.Modification) (delta.Set, *NaiveStats, error) {
+	return s.NaiveCtx(context.Background(), mods)
+}
+
+// NaiveCtx is Naive under a context.
+func (s *Session) NaiveCtx(ctx context.Context, mods []history.Modification) (delta.Set, *NaiveStats, error) {
+	shared := s.shared()
+	stats := &NaiveStats{}
+	// Same body as Engine.NaiveCtx but time-traveling through the
+	// session's snapshot cache; the explicit Clone below is the
+	// copy-on-write boundary that keeps the shared snapshot read-only.
+	return s.e.naiveFrom(ctx, mods, stats, shared.snaps)
+}
+
+// WhatIfBatch evaluates a scenario batch through the session's caches.
+func (s *Session) WhatIfBatch(scenarios []Scenario, opts BatchOptions) ([]BatchResult, *BatchStats, error) {
+	return s.WhatIfBatchCtx(context.Background(), scenarios, opts)
+}
+
+// WhatIfBatchCtx is WhatIfBatch under a context. The batch draws its
+// shared snapshot cache, solver memo, and compiled-program cache from
+// the session (honoring the batch's No* toggles), so scenarios reuse
+// state warmed by earlier session calls and leave their own work
+// behind for later ones. BatchStats counters report this batch's
+// traffic net of the session's prior use; calls running concurrently
+// with the batch through the same session can bleed into the window
+// and be attributed to it, so treat the counters as approximate under
+// concurrent serving (SessionStats is the exact cumulative view).
+func (s *Session) WhatIfBatchCtx(ctx context.Context, scenarios []Scenario, opts BatchOptions) ([]BatchResult, *BatchStats, error) {
+	return s.e.whatIfBatch(ctx, scenarios, opts, s)
+}

@@ -24,10 +24,10 @@ func ordersDB() *storage.Database {
 	)
 	r := storage.NewRelation(s)
 	r.Add(
-		schema.Tuple{types.Int(11), types.String_("UK"), types.Int(20), types.Int(5)},
-		schema.Tuple{types.Int(12), types.String_("UK"), types.Int(50), types.Int(5)},
-		schema.Tuple{types.Int(13), types.String_("US"), types.Int(60), types.Int(3)},
-		schema.Tuple{types.Int(14), types.String_("US"), types.Int(30), types.Int(4)},
+		schema.Tuple{types.Int(11), types.String("UK"), types.Int(20), types.Int(5)},
+		schema.Tuple{types.Int(12), types.String("UK"), types.Int(50), types.Int(5)},
+		schema.Tuple{types.Int(13), types.String("US"), types.Int(60), types.Int(3)},
+		schema.Tuple{types.Int(14), types.String("US"), types.Int(30), types.Int(4)},
 	)
 	db := storage.NewDatabase()
 	db.AddRelation(r)
@@ -241,7 +241,7 @@ func randomOrdersDB(rng *rand.Rand, n int) *storage.Database {
 	for i := 0; i < n; i++ {
 		r.Add(schema.Tuple{
 			types.Int(int64(i)),
-			types.String_(countries[rng.Intn(len(countries))]),
+			types.String(countries[rng.Intn(len(countries))]),
 			types.Int(int64(rng.Intn(100))),
 			types.Int(int64(rng.Intn(20))),
 		})
@@ -268,7 +268,7 @@ func randomHistory(rng *rand.Rand, n int) history.History {
 			h = append(h, &history.Delete{Rel: "orders", Where: randomCondition(rng)})
 		case 1:
 			h = append(h, &history.InsertValues{Rel: "orders", Rows: []schema.Tuple{{
-				types.Int(int64(1000 + i)), types.String_("XX"),
+				types.Int(int64(1000 + i)), types.String("XX"),
 				types.Int(int64(rng.Intn(100))), types.Int(int64(rng.Intn(20))),
 			}}})
 		default:
@@ -296,7 +296,7 @@ func randomModification(rng *rand.Rand, h history.History, pos int) history.Modi
 		return history.Replace{Pos: pos, Stmt: &history.Delete{Rel: "orders", Where: randomCondition(rng)}}
 	default:
 		return history.Replace{Pos: pos, Stmt: &history.InsertValues{Rel: "orders", Rows: []schema.Tuple{{
-			types.Int(int64(2000)), types.String_("YY"),
+			types.Int(int64(2000)), types.String("YY"),
 			types.Int(int64(rng.Intn(100))), types.Int(int64(rng.Intn(20))),
 		}}}}
 	}

@@ -1,0 +1,80 @@
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// JSON wire format (v1). A Result marshals as
+//
+//	{
+//	  "relation": "orders",
+//	  "columns":  [{"name": "id", "type": "int"}, ...],
+//	  "minus":    [[1, 2.5, "x", true, null], ...],
+//	  "plus":     [...]
+//	}
+//
+// Tuples are arrays in column order; cells use the types.Value JSON
+// encoding, which keeps int and float distinct (floats always carry a
+// '.' or exponent). Empty sides are omitted. A Set marshals as a JSON
+// object keyed by relation name. This format is the service contract
+// of cmd/mahifd and is pinned by golden-file tests — extend it
+// compatibly (add fields), never repurpose existing ones.
+
+// wireColumn is one schema column on the wire.
+type wireColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// wireResult mirrors Result field-for-field with stable JSON names.
+type wireResult struct {
+	Relation string         `json:"relation"`
+	Columns  []wireColumn   `json:"columns"`
+	Minus    []schema.Tuple `json:"minus,omitempty"`
+	Plus     []schema.Tuple `json:"plus,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the v1 wire format.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	w := wireResult{Relation: r.Relation, Minus: r.Minus, Plus: r.Plus}
+	if r.Schema != nil {
+		w.Columns = make([]wireColumn, 0, len(r.Schema.Columns))
+		for _, c := range r.Schema.Columns {
+			w.Columns = append(w.Columns, wireColumn{Name: c.Name, Type: c.Type.String()})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the v1 wire format,
+// reconstructing the schema (including its column-lookup index).
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w wireResult
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	cols := make([]schema.Column, 0, len(w.Columns))
+	for _, c := range w.Columns {
+		k, err := types.ParseKind(c.Type)
+		if err != nil {
+			return fmt.Errorf("delta: column %s: %w", c.Name, err)
+		}
+		cols = append(cols, schema.Col(c.Name, k))
+	}
+	r.Relation = w.Relation
+	r.Schema = schema.New(w.Relation, cols...)
+	r.Minus = w.Minus
+	r.Plus = w.Plus
+	for _, side := range [][]schema.Tuple{r.Minus, r.Plus} {
+		for _, t := range side {
+			if len(t) != len(cols) {
+				return fmt.Errorf("delta: %s: tuple arity %d does not match %d columns", w.Relation, len(t), len(cols))
+			}
+		}
+	}
+	return nil
+}

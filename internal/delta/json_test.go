@@ -1,0 +1,170 @@
+package delta
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSet is a fixed delta exercising every value kind, both
+// annotation sides, duplicates, and an empty side.
+func goldenSet() Set {
+	orders := schema.New("orders",
+		schema.Col("id", types.KindInt),
+		schema.Col("fee", types.KindFloat),
+		schema.Col("name", types.KindString),
+		schema.Col("vip", types.KindBool),
+	)
+	items := schema.New("items",
+		schema.Col("sku", types.KindString),
+		schema.Col("qty", types.KindInt),
+	)
+	return Set{
+		"orders": {
+			Relation: "orders",
+			Schema:   orders,
+			Minus: []schema.Tuple{
+				schema.NewTuple(types.Int(1), types.Float(2.5), types.String("ann"), types.Bool(true)),
+				schema.NewTuple(types.Int(2), types.Float(10), types.String("bob"), types.Bool(false)),
+				schema.NewTuple(types.Int(2), types.Float(10), types.String("bob"), types.Bool(false)),
+			},
+			Plus: []schema.Tuple{
+				schema.NewTuple(types.Int(3), types.Null(), types.String("it's"), types.Bool(true)),
+			},
+		},
+		"items": {
+			Relation: "items",
+			Schema:   items,
+			Plus: []schema.Tuple{
+				schema.NewTuple(types.String("a-1"), types.Int(7)),
+			},
+		},
+	}
+}
+
+// TestSetGolden pins the v1 wire format: any change to the golden file
+// is a breaking change to the mahifd service contract.
+func TestSetGolden(t *testing.T) {
+	got, err := json.MarshalIndent(goldenSet(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "set_v1.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wire format drifted from golden file %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestSetRoundTrip requires decode(encode(x)) == x, including value
+// kinds (Int(10) must not come back as Float) and schema indexes.
+func TestSetRoundTrip(t *testing.T) {
+	orig := goldenSet()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost relations: %d vs %d", len(back), len(orig))
+	}
+	for rel, r := range orig {
+		b := back[rel]
+		if b == nil {
+			t.Fatalf("round trip lost %s", rel)
+		}
+		if !b.Equal(r) {
+			t.Errorf("%s: round-tripped delta differs:\n%s\nvs\n%s", rel, b, r)
+		}
+		for i, c := range r.Schema.Columns {
+			if b.Schema.Columns[i] != c {
+				t.Errorf("%s: column %d drifted: %+v vs %+v", rel, i, b.Schema.Columns[i], c)
+			}
+		}
+		// Kinds must survive exactly, not just compare equal (1 vs 1.0).
+		for i, tup := range r.Minus {
+			for j, v := range tup {
+				if got := b.Minus[i][j]; got.Kind() != v.Kind() {
+					t.Errorf("%s: minus[%d][%d] kind %s became %s", rel, i, j, v.Kind(), got.Kind())
+				}
+			}
+		}
+		if b.Schema.ColIndex("ID") < 0 && r.Schema.ColIndex("ID") >= 0 {
+			t.Errorf("%s: reconstructed schema lost its column index", rel)
+		}
+	}
+}
+
+// TestValueJSONEdgeCases pins the cell encoding rules directly.
+func TestValueJSONEdgeCases(t *testing.T) {
+	cases := []struct {
+		v    types.Value
+		want string
+	}{
+		{types.Int(1), "1"},
+		{types.Float(1), "1.0"},
+		{types.Float(2.5), "2.5"},
+		{types.Float(1e30), "1e+30"},
+		{types.Null(), "null"},
+		{types.Bool(true), "true"},
+		{types.String("a\"b\n"), `"a\"b\n"`},
+		{types.Int(-9007199254740993), "-9007199254740993"}, // beyond float53
+	}
+	// Standard-JSON escapes other encoders emit must decode: escaped
+	// slash (Python/PHP default) and surrogate-pair \u sequences.
+	decodeOnly := []struct {
+		in   string
+		want types.Value
+	}{
+		{`"a\/b"`, types.String("a/b")},
+		{"\"\\ud83d\\ude00\"", types.String("😀")}, // surrogate-pair escape
+		{`"café"`, types.String("café")},
+	}
+	for _, c := range decodeOnly {
+		var v types.Value
+		if err := json.Unmarshal([]byte(c.in), &v); err != nil {
+			t.Errorf("unmarshal %s: %v", c.in, err)
+			continue
+		}
+		if !v.Equal(c.want) {
+			t.Errorf("unmarshal %s = %v, want %v", c.in, v, c.want)
+		}
+	}
+
+	for _, c := range cases {
+		data, err := json.Marshal(c.v)
+		if err != nil {
+			t.Fatalf("%v: %v", c.v, err)
+		}
+		if string(data) != c.want {
+			t.Errorf("marshal %v = %s, want %s", c.v, data, c.want)
+		}
+		var back types.Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Kind() != c.v.Kind() || !back.Equal(c.v) {
+			t.Errorf("round trip %v → %s → %v", c.v, data, back)
+		}
+	}
+}

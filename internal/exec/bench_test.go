@@ -29,7 +29,7 @@ func benchDB(rows int) *storage.Database {
 		r.Add(schema.NewTuple(
 			types.Int(int64(i)),
 			types.Int(int64(rng.Intn(1000))),
-			types.String_(groups[rng.Intn(len(groups))]),
+			types.String(groups[rng.Intn(len(groups))]),
 		))
 	}
 	db.AddRelation(r)
@@ -128,7 +128,7 @@ func BenchmarkHashJoin(b *testing.B) {
 		schema.Col("name", types.KindString),
 	))
 	for i := 0; i < 500; i++ {
-		dim.Add(schema.NewTuple(types.Int(int64(i*10)), types.String_(fmt.Sprintf("n%d", i))))
+		dim.Add(schema.NewTuple(types.Int(int64(i*10)), types.String(fmt.Sprintf("n%d", i))))
 	}
 	db.AddRelation(dim)
 	cond, err := sql.ParseCondition("k = dk")

@@ -46,6 +46,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/mahif/mahif/internal/algebra"
@@ -70,7 +71,29 @@ type node interface {
 
 // runCtx carries per-run state through the pipeline.
 type runCtx struct {
-	db *storage.Database
+	db  *storage.Database
+	ctx context.Context
+	// n counts tuples emitted by source nodes since the last
+	// cancellation check (see tick).
+	n int
+}
+
+// cancelCheckEvery bounds how many source tuples flow between two
+// cancellation checks. Every pipeline is driven by scan/singleton
+// loops, so a check there covers the fused σ/Π chains, join builds and
+// probes, and difference builds downstream: a cancelled run stops
+// within a few thousand tuples of work, not at the next operator
+// boundary.
+const cancelCheckEvery = 4096
+
+// tick is called once per source tuple and surfaces ctx cancellation
+// every cancelCheckEvery tuples.
+func (c *runCtx) tick() error {
+	c.n++
+	if c.n%cancelCheckEvery == 0 {
+		return c.ctx.Err()
+	}
+	return nil
 }
 
 // Program is a compiled query plan. Compile once, Run many times —
@@ -89,8 +112,15 @@ func (p *Program) OutputSchema() *schema.Schema { return p.out }
 // source relation (same aliasing contract as the interpreter); tuples
 // produced by projections or joins are freshly allocated.
 func (p *Program) Run(db *storage.Database) (*storage.Relation, error) {
+	return p.RunCtx(context.Background(), db)
+}
+
+// RunCtx is Run under a context: the pipeline's source loops observe
+// cancellation every few thousand tuples, so a cancelled run returns
+// ctx.Err() promptly instead of streaming the full relation.
+func (p *Program) RunCtx(ctx context.Context, db *storage.Database) (*storage.Relation, error) {
 	out := storage.NewRelation(p.out)
-	err := p.root.run(&runCtx{db: db}, func(t schema.Tuple, owned bool) error {
+	err := p.root.run(&runCtx{db: db, ctx: ctx}, func(t schema.Tuple, owned bool) error {
 		if !owned {
 			t = t.Clone()
 		}
@@ -143,6 +173,9 @@ func (n *scanNode) run(ctx *runCtx, emit emitFn) error {
 		return fmt.Errorf("exec: relation %s arity changed since compilation (%d vs %d)", n.rel, r.Schema.Arity(), n.arity)
 	}
 	for _, t := range r.Tuples {
+		if err := ctx.tick(); err != nil {
+			return err
+		}
 		if err := emit(t, true); err != nil {
 			return err
 		}
@@ -155,8 +188,11 @@ type singletonNode struct {
 	tuples []schema.Tuple
 }
 
-func (n *singletonNode) run(_ *runCtx, emit emitFn) error {
+func (n *singletonNode) run(ctx *runCtx, emit emitFn) error {
 	for _, t := range n.tuples {
+		if err := ctx.tick(); err != nil {
+			return err
+		}
 		if err := emit(t, true); err != nil {
 			return err
 		}

@@ -27,12 +27,12 @@ func testDB() *storage.Database {
 		schema.Col("g", types.KindString),
 	))
 	r.Add(
-		schema.NewTuple(types.Int(1), types.Int(10), types.String_("a")),
-		schema.NewTuple(types.Int(2), types.Int(20), types.String_("b")),
-		schema.NewTuple(types.Int(2), types.Int(20), types.String_("b")), // duplicate
-		schema.NewTuple(types.Int(3), types.Null(), types.String_("a")),
-		schema.NewTuple(types.Null(), types.Int(40), types.String_("c")),
-		schema.NewTuple(types.Int(5), types.Int(50), types.String_("c")),
+		schema.NewTuple(types.Int(1), types.Int(10), types.String("a")),
+		schema.NewTuple(types.Int(2), types.Int(20), types.String("b")),
+		schema.NewTuple(types.Int(2), types.Int(20), types.String("b")), // duplicate
+		schema.NewTuple(types.Int(3), types.Null(), types.String("a")),
+		schema.NewTuple(types.Null(), types.Int(40), types.String("c")),
+		schema.NewTuple(types.Int(5), types.Int(50), types.String("c")),
 	)
 	db.AddRelation(r)
 	s2 := storage.NewRelation(schema.New("s2",
@@ -81,8 +81,8 @@ func testQueries(t testing.TB, db *storage.Database) map[string]algebra.Query {
 	}
 
 	sing := &algebra.Singleton{Sch: rSch, Tuples: []schema.Tuple{
-		schema.NewTuple(types.Int(100), types.Int(1), types.String_("z")),
-		schema.NewTuple(types.Int(2), types.Int(20), types.String_("b")),
+		schema.NewTuple(types.Int(100), types.Int(1), types.String("z")),
+		schema.NewTuple(types.Int(2), types.Int(20), types.String("b")),
 	}}
 
 	return map[string]algebra.Query{

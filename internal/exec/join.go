@@ -128,7 +128,12 @@ func (n *nlJoinNode) run(ctx *runCtx, emit emitFn) error {
 	buf := make(schema.Tuple, n.lArity+n.rArity)
 	return n.l.run(ctx, func(lt schema.Tuple, _ bool) error {
 		copy(buf[:n.lArity], lt)
+		// The inner loop multiplies the source cardinality, so it ticks
+		// itself: a cancelled quadratic join must not run to completion.
 		for _, rt := range right {
+			if err := ctx.tick(); err != nil {
+				return err
+			}
 			copy(buf[n.lArity:], rt)
 			ok, err := n.pred(buf)
 			if err != nil {

@@ -148,7 +148,7 @@ func IntConst(v int64) *Const { return &Const{V: types.Int(v)} }
 func FloatConst(v float64) *Const { return &Const{V: types.Float(v)} }
 
 // StringConst builds a string literal.
-func StringConst(v string) *Const { return &Const{V: types.String_(v)} }
+func StringConst(v string) *Const { return &Const{V: types.String(v)} }
 
 // BoolConst builds a boolean literal.
 func BoolConst(v bool) *Const { return &Const{V: types.Bool(v)} }

@@ -25,7 +25,7 @@ func evalOK(t *testing.T, e Expr, env *Env) types.Value {
 }
 
 func TestEvalConstantsAndColumns(t *testing.T) {
-	env := tupleEnv([]string{"a", "b"}, types.Int(3), types.String_("x"))
+	env := tupleEnv([]string{"a", "b"}, types.Int(3), types.String("x"))
 	if v := evalOK(t, IntConst(7), env); v.AsInt() != 7 {
 		t.Errorf("const = %v", v)
 	}
@@ -61,7 +61,7 @@ func TestEvalArithmetic(t *testing.T) {
 }
 
 func TestEvalComparisons(t *testing.T) {
-	env := tupleEnv([]string{"a", "s"}, types.Int(10), types.String_("uk"))
+	env := tupleEnv([]string{"a", "s"}, types.Int(10), types.String("uk"))
 	cases := []struct {
 		e    Expr
 		want bool

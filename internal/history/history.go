@@ -1,10 +1,24 @@
 package history
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/mahif/mahif/internal/storage"
+)
+
+// Sentinel errors for invalid what-if queries, surfaced (wrapped with
+// position detail) by ApplyModifications and therefore by every engine
+// entry point; test with errors.Is.
+var (
+	// ErrPosOutOfRange reports a modification position outside the
+	// history: replace/delete need 0 ≤ pos < len, insert 0 ≤ pos ≤ len.
+	ErrPosOutOfRange = errors.New("modification position out of range")
+	// ErrEmptyHistory reports a replace or delete against an empty
+	// history (no statement exists to modify).
+	ErrEmptyHistory = errors.New("history is empty")
 )
 
 // History is a sequence of statements H = u1, …, un.
@@ -13,7 +27,15 @@ type History []Statement
 // Apply executes the history over db in order (the semantics
 // D_i = u_i(D_{i-1}) of §2).
 func (h History) Apply(db *storage.Database) error {
+	return h.ApplyCtx(context.Background(), db)
+}
+
+// ApplyCtx is Apply under a context, checked between statements.
+func (h History) ApplyCtx(ctx context.Context, db *storage.Database) error {
 	for i, st := range h {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := st.Apply(db); err != nil {
 			return fmt.Errorf("history: statement %d (%s): %w", i+1, st, err)
 		}
@@ -138,7 +160,7 @@ func ApplyModifications(h History, mods []Modification) (*PaddedPair, error) {
 
 	insertAt := func(pos int, o, m Statement) error {
 		if pos < 0 || pos > len(orig) {
-			return fmt.Errorf("history: insert position %d out of range [0,%d]", pos, len(orig))
+			return fmt.Errorf("history: insert position %d out of range [0,%d]: %w", pos, len(orig), ErrPosOutOfRange)
 		}
 		orig = append(orig[:pos], append(History{o}, orig[pos:]...)...)
 		mod = append(mod[:pos], append(History{m}, mod[pos:]...)...)
@@ -158,8 +180,11 @@ func ApplyModifications(h History, mods []Modification) (*PaddedPair, error) {
 	for _, m := range mods {
 		switch x := m.(type) {
 		case Replace:
+			if len(mod) == 0 {
+				return nil, fmt.Errorf("history: replace of statement %d: %w", x.Pos+1, ErrEmptyHistory)
+			}
 			if x.Pos < 0 || x.Pos >= len(mod) {
-				return nil, fmt.Errorf("history: replace position %d out of range [0,%d)", x.Pos, len(mod))
+				return nil, fmt.Errorf("history: replace position %d out of range [0,%d): %w", x.Pos, len(mod), ErrPosOutOfRange)
 			}
 			if SameClass(orig[x.Pos], x.Stmt) {
 				mod[x.Pos] = x.Stmt
@@ -177,8 +202,11 @@ func ApplyModifications(h History, mods []Modification) (*PaddedPair, error) {
 				return nil, err
 			}
 		case DeleteStmt:
+			if len(mod) == 0 {
+				return nil, fmt.Errorf("history: delete of statement %d: %w", x.Pos+1, ErrEmptyHistory)
+			}
 			if x.Pos < 0 || x.Pos >= len(mod) {
-				return nil, fmt.Errorf("history: delete position %d out of range [0,%d)", x.Pos, len(mod))
+				return nil, fmt.Errorf("history: delete position %d out of range [0,%d): %w", x.Pos, len(mod), ErrPosOutOfRange)
 			}
 			mod[x.Pos] = NoOpFor(orig[x.Pos])
 			changed[x.Pos] = true

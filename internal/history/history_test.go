@@ -20,10 +20,10 @@ func ordersDB() *storage.Database {
 	)
 	r := storage.NewRelation(s)
 	r.Add(
-		schema.Tuple{types.Int(11), types.String_("UK"), types.Int(20), types.Int(5)},
-		schema.Tuple{types.Int(12), types.String_("UK"), types.Int(50), types.Int(5)},
-		schema.Tuple{types.Int(13), types.String_("US"), types.Int(60), types.Int(3)},
-		schema.Tuple{types.Int(14), types.String_("US"), types.Int(30), types.Int(4)},
+		schema.Tuple{types.Int(11), types.String("UK"), types.Int(20), types.Int(5)},
+		schema.Tuple{types.Int(12), types.String("UK"), types.Int(50), types.Int(5)},
+		schema.Tuple{types.Int(13), types.String("US"), types.Int(60), types.Int(3)},
+		schema.Tuple{types.Int(14), types.String("US"), types.Int(30), types.Int(4)},
 	)
 	db := storage.NewDatabase()
 	db.AddRelation(r)
@@ -106,7 +106,7 @@ func TestDeleteApply(t *testing.T) {
 func TestInsertValuesApply(t *testing.T) {
 	db := ordersDB()
 	iv := &InsertValues{Rel: "orders", Rows: []schema.Tuple{
-		{types.Int(15), types.String_("DE"), types.Int(70), types.Int(2)},
+		{types.Int(15), types.String("DE"), types.Int(70), types.Int(2)},
 	}}
 	if err := iv.Apply(db); err != nil {
 		t.Fatal(err)

@@ -136,6 +136,9 @@ const (
 	Limit
 	// Unbounded is reported by Optimize when the objective diverges.
 	Unbounded
+	// Canceled means SolveCtx stopped because its context was cancelled
+	// or its deadline expired; callers surface ctx.Err().
+	Canceled
 )
 
 // String names the status.
@@ -149,6 +152,8 @@ func (s Status) String() string {
 		return "limit"
 	case Unbounded:
 		return "unbounded"
+	case Canceled:
+		return "canceled"
 	}
 	return "?"
 }

@@ -1,6 +1,9 @@
 package milp
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // SolveOptions bounds the branch & bound search.
 type SolveOptions struct {
@@ -36,11 +39,19 @@ func (o SolveOptions) withDefaults() SolveOptions {
 // (Feasible with a witness, or Infeasible) unless a budget runs out, in
 // which case Status is Limit and callers must fall back conservatively.
 func (m *Model) Solve(opts SolveOptions) *Result {
+	return m.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve under a context: cancellation or deadline expiry is
+// checked at every branch & bound node, so a cancelled solve stops
+// within one node's work (one propagation sweep or LP). A cancelled
+// search reports Status Canceled; callers surface ctx.Err().
+func (m *Model) SolveCtx(ctx context.Context, opts SolveOptions) *Result {
 	opts = opts.withDefaults()
 	res := &Result{}
 	lo := append([]float64(nil), m.lo...)
 	hi := append([]float64(nil), m.hi...)
-	status, x := m.branch(lo, hi, -1, opts, res)
+	status, x := m.branchCtx(ctx, lo, hi, -1, opts, res)
 	res.Status = status
 	res.X = x
 	return res
@@ -214,7 +225,7 @@ func (m *Model) tightenGE(terms []Term, rhs float64, lo, hi []float64, changed *
 	return m.tightenLE(neg, -rhs, lo, hi, changed)
 }
 
-// branch explores one node. The search is propagation-driven: exact
+// branchCtx explores one node. The search is propagation-driven: exact
 // interval propagation prunes and fixes variables at every node, and
 // the (dense, comparatively expensive) LP runs only at leaves where all
 // integer variables are fixed, to certify the residual continuous
@@ -222,10 +233,13 @@ func (m *Model) tightenGE(terms []Term, rhs float64, lo, hi []float64, changed *
 // emits — propagate so strongly that interior LPs would rarely prune
 // anything propagation does not. lo/hi are owned by the caller and may
 // be mutated freely (each recursion copies).
-func (m *Model) branch(lo, hi []float64, seed int, opts SolveOptions, res *Result) (Status, []float64) {
+func (m *Model) branchCtx(ctx context.Context, lo, hi []float64, seed int, opts SolveOptions, res *Result) (Status, []float64) {
 	res.Nodes++
 	if res.Nodes > opts.MaxNodes {
 		return Limit, nil
+	}
+	if ctx.Err() != nil {
+		return Canceled, nil
 	}
 	if opts.MaxPropagationRounds > 0 {
 		if !m.propagate(lo, hi, seed, m.propVisits(opts)) {
@@ -304,10 +318,12 @@ func (m *Model) branch(lo, hi []float64, seed int, opts SolveOptions, res *Resul
 		clo := append([]float64(nil), lo...)
 		chi := append([]float64(nil), hi...)
 		clo[pick], chi[pick] = s.lo, s.hi
-		st, pt := m.branch(clo, chi, pick, opts, res)
+		st, pt := m.branchCtx(ctx, clo, chi, pick, opts, res)
 		switch st {
 		case Feasible:
 			return Feasible, pt
+		case Canceled:
+			return Canceled, nil
 		case Limit:
 			sawLimit = true
 		}

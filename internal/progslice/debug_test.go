@@ -1,6 +1,7 @@
 package progslice
 
 import (
+	"context"
 	"testing"
 
 	"github.com/mahif/mahif/internal/compile"
@@ -42,7 +43,7 @@ func TestSliceRejectionRegression(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := Stats{}
-	ok, err := isSlice(in, []int{0}, &st)
+	ok, err := isSlice(context.Background(), in, []int{0}, &st)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package progslice
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,6 +37,13 @@ type EquivalenceResult struct {
 // overruns or unsupported constructs report "not proven" rather than a
 // wrong "equivalent".
 func ProveEquivalent(h1, h2 history.History, s *schema.Schema, phiD expr.Expr, opts compile.Options) (*EquivalenceResult, error) {
+	return ProveEquivalentCtx(context.Background(), h1, h2, s, phiD, opts)
+}
+
+// ProveEquivalentCtx is ProveEquivalent under a context: the solver
+// search observes cancellation at every branch & bound node and the
+// call returns ctx.Err() promptly.
+func ProveEquivalentCtx(ctx context.Context, h1, h2 history.History, s *schema.Schema, phiD expr.Expr, opts compile.Options) (*EquivalenceResult, error) {
 	for i, h := range []history.History{h1, h2} {
 		for _, st := range h {
 			switch st.(type) {
@@ -69,7 +77,7 @@ func ProveEquivalent(h1, h2 history.History, s *schema.Schema, phiD expr.Expr, o
 	globals := pruneGlobals(core, a, b)
 	formula := expr.AndOf(append([]expr.Expr{core}, globals...)...)
 
-	out, err := compile.Satisfiable(formula, symbolic.MergeKinds(a, b), opts)
+	out, err := compile.SatisfiableCtx(ctx, formula, symbolic.MergeKinds(a, b), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package progslice
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -98,12 +99,18 @@ func (in *Input) validate() error {
 // identical in both histories despite touching affected tuples), and a
 // budget overrun conservatively keeps the statement.
 func Greedy(in *Input) (*Result, error) {
+	return GreedyCtx(context.Background(), in)
+}
+
+// GreedyCtx is Greedy under a context: cancellation is observed between
+// candidate removals and at every solver node inside each ζ check.
+func GreedyCtx(ctx context.Context, in *Input) (*Result, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 
-	seed, err := Dependency(in)
+	seed, err := DependencyCtx(ctx, in)
 	if err != nil {
 		return nil, err
 	}
@@ -135,12 +142,15 @@ func Greedy(in *Input) (*Result, error) {
 	}
 	zetaNodes := 0
 	for i := 0; i < n && zetaNodes < zetaTotalBudget; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !keep[i] || modified[i] {
 			continue
 		}
 		keep[i] = false
 		before := st.SolverNodes
-		ok, err := isSlice(&zetaIn, current(), &st)
+		ok, err := isSlice(ctx, &zetaIn, current(), &st)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +172,7 @@ func noop(s history.Statement) bool { return s.IsNoOp() }
 
 // isSlice checks ζ(H, I, Φ_D): the negation of Eq. 18 conjoined with
 // all global conditions must be unsatisfiable.
-func isSlice(in *Input, positions []int, st *Stats) (bool, error) {
+func isSlice(ctx context.Context, in *Input, positions []int, st *Stats) (bool, error) {
 	base := symbolic.NewBaseState(in.Schema)
 	full0, err := symbolic.Exec(base, in.Pair.Orig, "h")
 	if err != nil {
@@ -197,7 +207,7 @@ func isSlice(in *Input, positions []int, st *Stats) (bool, error) {
 	globals := pruneGlobals(core, full0, full1, sl0, sl1)
 	formula := expr.AndOf(append([]expr.Expr{core}, globals...)...)
 	kinds := symbolic.MergeKinds(full0, full1, sl0, sl1)
-	out, err := compile.Satisfiable(formula, kinds, in.Compile)
+	out, err := compile.SatisfiableCtx(ctx, formula, kinds, in.Compile)
 	if err != nil {
 		return false, err
 	}
@@ -225,6 +235,12 @@ func isSlice(in *Input, positions []int, st *Stats) (bool, error) {
 // delta. The disjunction over all modified positions in `affected`
 // implements exactly that.
 func Dependency(in *Input) (*Result, error) {
+	return DependencyCtx(context.Background(), in)
+}
+
+// DependencyCtx is Dependency under a context: cancellation is observed
+// between per-statement tests and at every solver node inside each one.
+func DependencyCtx(ctx context.Context, in *Input) (*Result, error) {
 	if err := in.validate(); err != nil {
 		return nil, err
 	}
@@ -259,6 +275,9 @@ func Dependency(in *Input) (*Result, error) {
 	n := len(in.Pair.Orig)
 	var keepPos []int
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if modified[i] {
 			keepPos = append(keepPos, i)
 			continue
@@ -275,7 +294,7 @@ func Dependency(in *Input) (*Result, error) {
 		)
 		core := expr.AndOf(in.PhiD, affected, touched)
 		globals := pruneGlobals(core, orig, mod)
-		out, err := compile.Satisfiable(expr.AndOf(append([]expr.Expr{core}, globals...)...), kinds, in.Compile)
+		out, err := compile.SatisfiableCtx(ctx, expr.AndOf(append([]expr.Expr{core}, globals...)...), kinds, in.Compile)
 		if err != nil {
 			return nil, err
 		}

@@ -206,7 +206,7 @@ func assertSliceValid(t *testing.T, pair *history.PaddedPair, keep []int) {
 	for _, country := range []string{"UK", "US"} {
 		for price := int64(0); price <= 100; price += 5 {
 			for fee := int64(0); fee <= 30; fee += 6 {
-				tuple := schema.Tuple{types.String_(country), types.Int(price), types.Int(fee)}
+				tuple := schema.Tuple{types.String(country), types.Int(price), types.Int(fee)}
 				dFull := singleTupleDelta(t, s, tuple, pair.Orig, pair.Mod)
 				dSlice := singleTupleDelta(t, s, tuple, slicedO, slicedM)
 				if dFull != dSlice {

@@ -23,10 +23,10 @@ func ordersDB() *storage.Database {
 	)
 	r := storage.NewRelation(s)
 	r.Add(
-		schema.Tuple{types.Int(11), types.String_("UK"), types.Int(20), types.Int(5)},
-		schema.Tuple{types.Int(12), types.String_("UK"), types.Int(50), types.Int(5)},
-		schema.Tuple{types.Int(13), types.String_("US"), types.Int(60), types.Int(3)},
-		schema.Tuple{types.Int(14), types.String_("US"), types.Int(30), types.Int(4)},
+		schema.Tuple{types.Int(11), types.String("UK"), types.Int(20), types.Int(5)},
+		schema.Tuple{types.Int(12), types.String("UK"), types.Int(50), types.Int(5)},
+		schema.Tuple{types.Int(13), types.String("US"), types.Int(60), types.Int(3)},
+		schema.Tuple{types.Int(14), types.String("US"), types.Int(30), types.Int(4)},
 	)
 	db := storage.NewDatabase()
 	db.AddRelation(r)
@@ -224,7 +224,7 @@ func TestReenactRandomHistories(t *testing.T) {
 				h = append(h, &history.Delete{Rel: "orders", Where: cond})
 			case 1:
 				h = append(h, &history.InsertValues{Rel: "orders", Rows: []schema.Tuple{{
-					types.Int(int64(100 + trial)), types.String_("XX"),
+					types.Int(int64(100 + trial)), types.String("XX"),
 					types.Int(int64(rng.Intn(100))), types.Int(int64(rng.Intn(10))),
 				}}})
 			default:

@@ -73,13 +73,13 @@ func TestSchemaString(t *testing.T) {
 }
 
 func TestTupleCloneAndEqual(t *testing.T) {
-	a := NewTuple(types.Int(1), types.String_("x"))
+	a := NewTuple(types.Int(1), types.String("x"))
 	b := a.Clone()
 	b[0] = types.Int(2)
 	if a[0].AsInt() != 1 {
 		t.Error("Clone shares storage")
 	}
-	if !a.Equal(NewTuple(types.Int(1), types.String_("x"))) {
+	if !a.Equal(NewTuple(types.Int(1), types.String("x"))) {
 		t.Error("Equal failed on identical tuples")
 	}
 	if a.Equal(NewTuple(types.Int(1))) {
@@ -92,9 +92,9 @@ func TestTupleCloneAndEqual(t *testing.T) {
 
 func TestTupleKeyDistinguishesKinds(t *testing.T) {
 	cases := [][2]Tuple{
-		{NewTuple(types.Int(1)), NewTuple(types.String_("1"))},
+		{NewTuple(types.Int(1)), NewTuple(types.String("1"))},
 		{NewTuple(types.Null()), NewTuple(types.Int(0))},
-		{NewTuple(types.Bool(true)), NewTuple(types.String_("true"))},
+		{NewTuple(types.Bool(true)), NewTuple(types.String("true"))},
 	}
 	for _, c := range cases {
 		if c[0].Key() == c[1].Key() {
@@ -108,7 +108,7 @@ func TestTupleKeyDistinguishesKinds(t *testing.T) {
 }
 
 func TestTupleString(t *testing.T) {
-	got := NewTuple(types.Int(1), types.String_("a"), types.Null()).String()
+	got := NewTuple(types.Int(1), types.String("a"), types.Null()).String()
 	if got != "(1, 'a', NULL)" {
 		t.Errorf("String() = %q", got)
 	}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// LoadEngine builds an engine from CSV snapshots and a SQL history
+// script — the file-based bootstrap shared by cmd/mahifd. Each data
+// spec is "relation=file.csv" (header row required; column types
+// inferred from the first data row: int, float, bool, then string).
+// The history is applied statement by statement, so the engine's redo
+// log matches the script.
+func LoadEngine(dataSpecs []string, historyPath string) (*core.Engine, error) {
+	db := storage.NewDatabase()
+	for _, spec := range dataSpecs {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -data %q (want relation=file.csv)", spec)
+		}
+		rel, err := LoadCSV(name, file)
+		if err != nil {
+			return nil, err
+		}
+		db.AddRelation(rel)
+	}
+	raw, err := os.ReadFile(historyPath)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := sql.ParseStatements(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	vdb := storage.NewVersioned(db)
+	for _, st := range hist {
+		if err := vdb.Apply(st); err != nil {
+			return nil, fmt.Errorf("executing history: %w", err)
+		}
+	}
+	return core.New(vdb), nil
+}
+
+// LoadCSV reads one relation from a CSV file with a header row.
+func LoadCSV(relName, file string) (*storage.Relation, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("%s: empty CSV", file)
+	}
+	header := rows[0]
+	cols := make([]schema.Column, len(header))
+	for ci, h := range header {
+		kind := types.KindString
+		if len(rows) > 1 {
+			kind = inferKind(rows[1:], ci)
+		}
+		cols[ci] = schema.Col(h, kind)
+	}
+	rel := storage.NewRelation(schema.New(relName, cols...))
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("%s: row with %d fields, header has %d", file, len(row), len(header))
+		}
+		t := make(schema.Tuple, len(row))
+		for ci, cell := range row {
+			t[ci] = parseCell(cell, cols[ci].Type)
+		}
+		rel.Add(t)
+	}
+	return rel, nil
+}
+
+func inferKind(rows [][]string, ci int) types.Kind {
+	kind := types.KindInt
+	for _, row := range rows {
+		cell := row[ci]
+		if cell == "" {
+			continue
+		}
+		switch kind {
+		case types.KindInt:
+			if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+				continue
+			}
+			kind = types.KindFloat
+			fallthrough
+		case types.KindFloat:
+			if _, err := strconv.ParseFloat(cell, 64); err == nil {
+				continue
+			}
+			kind = types.KindBool
+			fallthrough
+		case types.KindBool:
+			if cell == "true" || cell == "false" {
+				continue
+			}
+			return types.KindString
+		}
+	}
+	return kind
+}
+
+func parseCell(cell string, kind types.Kind) types.Value {
+	if cell == "" {
+		return types.Null()
+	}
+	switch kind {
+	case types.KindInt:
+		if v, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			return types.Int(v)
+		}
+	case types.KindFloat:
+		if v, err := strconv.ParseFloat(cell, 64); err == nil {
+			return types.Float(v)
+		}
+	case types.KindBool:
+		if cell == "true" {
+			return types.Bool(true)
+		}
+		if cell == "false" {
+			return types.Bool(false)
+		}
+	}
+	return types.String(cell)
+}

@@ -1,0 +1,274 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/mahif/mahif/internal/core"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Sessions is the session-pool size (default 1). Sessions are
+	// concurrency-safe, so one maximizes cache reuse; more than one
+	// reduces contention on the cache locks under very high fan-in at
+	// the cost of splitting the caches.
+	Sessions int
+	// Timeout is the per-request evaluation budget (default 30s). A
+	// request's timeout_ms can tighten it but never extend it.
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sessions <= 0 {
+		o.Sessions = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// Server answers what-if queries over HTTP through a pool of
+// long-lived sessions. Create with New, mount with Handler.
+type Server struct {
+	engine *core.Engine
+	opts   Options
+	// sessions are handed out round-robin without exclusive checkout:
+	// a Session is concurrency-safe, so any number of requests may
+	// evaluate through the same one simultaneously (that sharing is
+	// what makes the caches effective). Sessions invalidate their
+	// caches themselves if the history advances between requests.
+	sessions []*core.Session
+	next     atomic.Uint64
+}
+
+// New builds a server over an engine whose history is already loaded.
+func New(engine *core.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{engine: engine, opts: opts, sessions: make([]*core.Session, opts.Sessions)}
+	for i := range s.sessions {
+		s.sessions[i] = engine.NewSession()
+	}
+	return s
+}
+
+// session picks the next session round-robin.
+func (s *Server) session() *core.Session {
+	return s.sessions[s.next.Add(1)%uint64(len(s.sessions))]
+}
+
+// SessionStats aggregates the cache counters across the pool (for
+// logging and tests).
+func (s *Server) SessionStats() []core.SessionStats {
+	out := make([]core.SessionStats, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess.Stats())
+	}
+	return out
+}
+
+// Handler returns the v1 API:
+//
+//	POST /v1/whatif   one what-if query        → WhatIfResponse
+//	POST /v1/batch    a scenario batch         → BatchResponse
+//	GET  /v1/history  the transactional history → HistoryResponse
+//	GET  /healthz     liveness                  → 200 "ok"
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/history", s.handleHistory)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// requestCtx derives the evaluation context: the request context
+// (cancelled when the client disconnects) bounded by the server
+// timeout, optionally tightened by the request's own timeout_ms.
+func (s *Server) requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := s.opts.Timeout
+	if timeoutMs > 0 {
+		if d := time.Duration(timeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// decodeBody reads a bounded JSON body, rejecting unknown fields so
+// client typos surface as 400s instead of silently ignored options.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps evaluation errors to HTTP codes: deadline overruns
+// are the server's fault (504), everything else surfaced by the
+// engine at this point is a bad query (400).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the code is moot but 499-style 400 keeps
+		// logs sane.
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func variantOptions(name string) (core.Options, bool) {
+	switch core.Variant(name) {
+	case "", core.VariantRFull:
+		return core.OptionsFor(core.VariantRFull), true
+	case core.VariantR, core.VariantRPS, core.VariantRDS:
+		return core.OptionsFor(core.Variant(name)), true
+	}
+	return core.Options{}, false
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req WhatIfRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mods, err := DecodeModifications(req.Modifications)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	sess := s.session()
+
+	if req.Variant == string(core.VariantNaive) {
+		d, stats, err := sess.NaiveCtx(ctx, mods)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		resp := WhatIfResponse{Delta: d}
+		if req.Stats {
+			resp.NaiveStats = stats
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	opts, ok := variantOptions(req.Variant)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown variant %q (want N, R, R+PS, R+DS, R+PS+DS)", req.Variant))
+		return
+	}
+	d, stats, err := sess.WhatIfCtx(ctx, mods, opts)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := WhatIfResponse{Delta: d}
+	if req.Stats {
+		resp.Stats = stats
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scenarios, err := DecodeScenarios(req.Scenarios)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, ok := variantOptions(req.Variant)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown variant %q (want R, R+PS, R+DS, R+PS+DS)", req.Variant))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	sess := s.session()
+
+	results, bstats, err := sess.WhatIfBatchCtx(ctx, scenarios, core.BatchOptions{
+		Options: opts,
+		Workers: req.Workers,
+	})
+	if err != nil && results == nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// err != nil with results means the batch was cut short by the
+	// deadline: per-scenario errors carry the detail, so the partial
+	// results are still worth returning — with the timeout status.
+	status := http.StatusOK
+	if err != nil {
+		status = statusFor(err)
+	}
+	resp := BatchResponse{Results: make([]BatchScenarioResult, len(results))}
+	for i, res := range results {
+		out := BatchScenarioResult{Scenario: res.Scenario + 1, Label: res.Label, Delta: res.Delta}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		}
+		if req.Stats {
+			out.Stats = res.Stats
+		}
+		resp.Results[i] = out
+	}
+	if req.Stats {
+		resp.Stats = bstats
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	h, err := s.engine.History()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := HistoryResponse{Version: len(h), Statements: make([]string, len(h))}
+	for i, st := range h {
+		resp.Statements[i] = st.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

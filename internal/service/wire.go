@@ -1,0 +1,160 @@
+// Package service is the HTTP boundary of the what-if engine: the
+// handlers behind cmd/mahifd. It speaks the v1 JSON wire format (the
+// delta/stats encodings pinned by golden tests in internal/delta and
+// internal/core, plus the request envelopes defined here), answers
+// queries through a pool of long-lived sessions so consecutive
+// requests over the same history reuse time-travel snapshots, solver
+// memos, and compiled reenactment programs, and enforces a per-request
+// timeout by threading the request context — with the deadline
+// attached — through the engine's ctx-aware entry points, so an
+// abandoned or over-budget request stops solving and scanning within
+// milliseconds.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/sql"
+)
+
+// Modification is one hypothetical history edit on the wire. Positions
+// are 1-based, matching the mahif CLI's modification scripts;
+// "statement" carries the SQL for replace and insert and must be
+// absent for delete.
+type Modification struct {
+	Op        string `json:"op"`
+	Pos       int    `json:"pos"`
+	Statement string `json:"statement,omitempty"`
+}
+
+// Decode converts the wire modification to an engine modification.
+func (m Modification) Decode() (history.Modification, error) {
+	if m.Pos < 1 {
+		return nil, fmt.Errorf("bad position %d (positions are 1-based)", m.Pos)
+	}
+	op := strings.ToLower(m.Op)
+	if op == "delete" {
+		if m.Statement != "" {
+			return nil, fmt.Errorf("delete takes no statement")
+		}
+		return history.DeleteStmt{Pos: m.Pos - 1}, nil
+	}
+	st, err := sql.ParseStatement(m.Statement)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "replace":
+		return history.Replace{Pos: m.Pos - 1, Stmt: st}, nil
+	case "insert":
+		return history.InsertStmt{Pos: m.Pos - 1, Stmt: st}, nil
+	}
+	return nil, fmt.Errorf("unknown op %q (want replace, insert, delete)", m.Op)
+}
+
+// DecodeModifications converts a wire modification sequence.
+func DecodeModifications(ms []Modification) ([]history.Modification, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("no modifications")
+	}
+	out := make([]history.Modification, len(ms))
+	for i, m := range ms {
+		mod, err := m.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("modification %d: %w", i+1, err)
+		}
+		out[i] = mod
+	}
+	return out, nil
+}
+
+// Scenario is one labelled modification set of a batch request.
+type Scenario struct {
+	Label         string         `json:"label,omitempty"`
+	Modifications []Modification `json:"modifications"`
+}
+
+// DecodeScenarios converts wire scenarios to engine scenarios.
+func DecodeScenarios(scs []Scenario) ([]core.Scenario, error) {
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("no scenarios")
+	}
+	out := make([]core.Scenario, len(scs))
+	for i, sc := range scs {
+		mods, err := DecodeModifications(sc.Modifications)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d (%q): %w", i+1, sc.Label, err)
+		}
+		out[i] = core.Scenario{Label: sc.Label, Mods: mods}
+	}
+	return out, nil
+}
+
+// WhatIfRequest is the body of POST /v1/whatif.
+type WhatIfRequest struct {
+	Modifications []Modification `json:"modifications"`
+	// Variant selects the algorithm (N, R, R+PS, R+DS, R+PS+DS);
+	// empty means R+PS+DS.
+	Variant string `json:"variant,omitempty"`
+	// TimeoutMs tightens (never extends) the server's per-request
+	// timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Stats asks for the per-phase breakdown in the response.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// WhatIfResponse is the body of a successful POST /v1/whatif.
+type WhatIfResponse struct {
+	Delta delta.Set `json:"delta"`
+	// Stats is set for reenactment variants when requested.
+	Stats *core.Stats `json:"stats,omitempty"`
+	// NaiveStats is set for variant N when requested.
+	NaiveStats *core.NaiveStats `json:"naive_stats,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Scenarios []Scenario `json:"scenarios"`
+	Variant   string     `json:"variant,omitempty"`
+	Workers   int        `json:"workers,omitempty"`
+	TimeoutMs int        `json:"timeout_ms,omitempty"`
+	Stats     bool       `json:"stats,omitempty"`
+}
+
+// BatchScenarioResult is one scenario's outcome on the wire. Exactly
+// one of Delta and Error is meaningful.
+type BatchScenarioResult struct {
+	Scenario int         `json:"scenario"`
+	Label    string      `json:"label,omitempty"`
+	Delta    delta.Set   `json:"delta,omitempty"`
+	Stats    *core.Stats `json:"stats,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch.
+type BatchResponse struct {
+	Results []BatchScenarioResult `json:"results"`
+	Stats   *core.BatchStats      `json:"stats,omitempty"`
+}
+
+// HistoryResponse is the body of GET /v1/history.
+type HistoryResponse struct {
+	// Version is the number of applied statements.
+	Version int `json:"version"`
+	// Statements renders the history in order (1-based positions on
+	// the wire refer to this list).
+	Statements []string `json:"statements"`
+}
+
+// ErrorResponse is the body of every non-2xx response, with one
+// exception: a batch cut short by its deadline returns 504 with a
+// BatchResponse carrying the partial results (per-scenario errors
+// identify what was cancelled) — clients should decode /v1/batch
+// bodies as BatchResponse whenever "results" is present.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -65,7 +65,7 @@ func TestConditionRenderParseSemantics(t *testing.T) {
 			tup := schema.Tuple{
 				types.Int(int64(rng.Intn(20) - 10)),
 				types.Int(int64(rng.Intn(20) - 10)),
-				types.String_(strVals[rng.Intn(len(strVals))]),
+				types.String(strVals[rng.Intn(len(strVals))]),
 			}
 			env := expr.TupleEnv(s, tup)
 			v1, err1 := expr.Eval(orig, env)

@@ -43,11 +43,11 @@ func TestTupleIndexCrossKindNumeric(t *testing.T) {
 	ix := NewTupleIndex(0)
 	ix.Add(schema.Tuple{types.Int(1)})
 	ix.Add(schema.Tuple{types.Float(1.0)})
-	ix.Add(schema.Tuple{types.String_("1")})
+	ix.Add(schema.Tuple{types.String("1")})
 	if got := ix.Count(schema.Tuple{types.Int(1)}); got != 2 {
 		t.Fatalf("Count(1) = %d, want 2 (int+float)", got)
 	}
-	if got := ix.Count(schema.Tuple{types.String_("1")}); got != 1 {
+	if got := ix.Count(schema.Tuple{types.String("1")}); got != 1 {
 		t.Fatalf("Count('1') = %d, want 1", got)
 	}
 	if ix.Distinct() != 2 {
@@ -89,7 +89,7 @@ func TestHashAgreesWithKey(t *testing.T) {
 		case 2:
 			return types.Float(float64(rng.Intn(4)))
 		case 3:
-			return types.String_([]string{"0", "1", "x"}[rng.Intn(3)])
+			return types.String([]string{"0", "1", "x"}[rng.Intn(3)])
 		default:
 			return types.Bool(rng.Intn(2) == 0)
 		}

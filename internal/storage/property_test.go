@@ -65,7 +65,7 @@ func TestCloneIsolationProperty(t *testing.T) {
 			for i := 0; i < rng.Intn(10); i++ {
 				rel.Add(schema.Tuple{
 					types.Int(int64(rng.Intn(100))),
-					types.String_(string(rune('p' + rng.Intn(5)))),
+					types.String(string(rune('p' + rng.Intn(5)))),
 				})
 			}
 			db.AddRelation(rel)
@@ -77,7 +77,7 @@ func TestCloneIsolationProperty(t *testing.T) {
 			for i := range rel.Tuples {
 				rel.Tuples[i][0] = types.Int(-1)
 			}
-			rel.Add(schema.Tuple{types.Int(-2), types.String_("zz")})
+			rel.Add(schema.Tuple{types.Int(-2), types.String("zz")})
 		}
 		// The original must be untouched.
 		for _, name := range db.RelationNames() {

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -33,10 +35,12 @@ type SnapshotCache struct {
 	misses  int
 }
 
-// snapshotEntry builds one version exactly once; concurrent requesters
-// block on the same Once and share the result.
+// snapshotEntry builds one version exactly once: the caller that
+// creates the entry runs the build and closes done; concurrent
+// requesters wait on done — or give up when their own context dies —
+// and share the result.
 type snapshotEntry struct {
-	once sync.Once
+	done chan struct{}
 	db   *Database
 	err  error
 }
@@ -53,35 +57,75 @@ func NewSnapshotCache(vdb *VersionedDatabase) *SnapshotCache {
 // Snapshot returns the shared read-only state after the first i
 // statements (Version semantics). Safe for concurrent use.
 func (c *SnapshotCache) Snapshot(i int) (*Database, error) {
+	return c.SnapshotCtx(context.Background(), i)
+}
+
+// SnapshotCtx is Snapshot under a context. The replay that builds a
+// missing version observes cancellation between statements; a build
+// abandoned by cancellation is evicted rather than cached, so the
+// cache stays consistent. Joining callers honor their own contexts:
+// a waiter whose deadline expires returns ctx.Err() immediately
+// (the builder keeps going for everyone else), and a waiter that
+// outlives a cancelled build restarts it instead of inheriting the
+// foreign failure — one client disconnecting never surfaces as an
+// error to an innocent concurrent client. Hit/miss counters record
+// completed shares and builds only, never abandoned attempts.
+func (c *SnapshotCache) SnapshotCtx(ctx context.Context, i int) (*Database, error) {
 	if i < 0 || i > len(c.vdb.log) {
 		return nil, fmt.Errorf("storage: snapshot %d out of range [0,%d]", i, len(c.vdb.log))
 	}
-	c.mu.Lock()
-	e, ok := c.entries[i]
-	if !ok {
-		e = &snapshotEntry{}
-		c.entries[i] = e
-		c.misses++
-	} else {
-		c.hits++
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		e.db, e.err = c.build(i)
-		if e.err == nil {
-			c.mu.Lock()
-			c.ready[i] = e.db
-			c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[i]
+		if !ok {
+			e = &snapshotEntry{done: make(chan struct{})}
+			c.entries[i] = e
 		}
-	})
-	return e.db, e.err
+		c.mu.Unlock()
+		if !ok {
+			// We created the entry: we build, under our context.
+			e.db, e.err = c.build(ctx, i)
+			if e.err == nil {
+				c.mu.Lock()
+				c.ready[i] = e.db
+				c.misses++
+				c.mu.Unlock()
+			}
+			close(e.done)
+		} else {
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, ctx.Err() // our deadline; don't wait out the build
+			}
+		}
+		if e.err == nil || (!errors.Is(e.err, context.Canceled) && !errors.Is(e.err, context.DeadlineExceeded)) {
+			if ok && e.err == nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+			}
+			return e.db, e.err
+		}
+		// The build was abandoned by its builder's context. Evict the
+		// entry so the version can be rebuilt.
+		c.mu.Lock()
+		if c.entries[i] == e {
+			delete(c.entries, i)
+		}
+		c.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return nil, err // it was our context; report our own error
+		}
+		// A joined builder's context died but ours is alive: retry.
+	}
 }
 
 // build reconstructs version i from the nearest earlier materialized
 // state. Base, checkpoints, and completed snapshots are all immutable
 // once created, so when one lands exactly on i it is returned without
 // copying; otherwise it is cloned and the log replayed forward.
-func (c *SnapshotCache) build(i int) (*Database, error) {
+func (c *SnapshotCache) build(ctx context.Context, i int) (*Database, error) {
 	v := c.vdb
 	if i == len(v.log) {
 		// The requested version is the live current state; freeze a
@@ -99,7 +143,7 @@ func (c *SnapshotCache) build(i int) (*Database, error) {
 	if start == i {
 		return db, nil
 	}
-	return v.replay(start, db, i)
+	return v.replayCtx(ctx, start, db, i)
 }
 
 // Stats reports how many Snapshot calls were served from the cache

@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Mutator is anything that transforms a database in place — in practice
 // the update/delete/insert statements of package history. Keeping the
@@ -88,6 +91,13 @@ func (v *VersionedDatabase) Log() []Mutator {
 // by replaying the redo log from the nearest earlier snapshot. The
 // returned database is a private copy the caller may mutate.
 func (v *VersionedDatabase) Version(i int) (*Database, error) {
+	return v.VersionCtx(context.Background(), i)
+}
+
+// VersionCtx is Version under a context: redo-log replay observes
+// cancellation between statements, so reconstructing a deep version can
+// be abandoned promptly.
+func (v *VersionedDatabase) VersionCtx(ctx context.Context, i int) (*Database, error) {
 	if i < 0 || i > len(v.log) {
 		return nil, fmt.Errorf("storage: version %d out of range [0,%d]", i, len(v.log))
 	}
@@ -95,7 +105,7 @@ func (v *VersionedDatabase) Version(i int) (*Database, error) {
 		return v.current.Clone(), nil
 	}
 	start, db := v.nearestCheckpoint(i)
-	return v.replay(start, db, i)
+	return v.replayCtx(ctx, start, db, i)
 }
 
 // nearestCheckpoint returns the latest materialized state at or before
@@ -110,11 +120,15 @@ func (v *VersionedDatabase) nearestCheckpoint(i int) (int, *Database) {
 	return start, db
 }
 
-// replay clones db — the state after the first `start` statements —
-// and applies log entries start..i to reach version i.
-func (v *VersionedDatabase) replay(start int, db *Database, i int) (*Database, error) {
+// replayCtx clones db — the state after the first `start` statements —
+// and applies log entries start..i to reach version i, checking ctx
+// between statements.
+func (v *VersionedDatabase) replayCtx(ctx context.Context, start int, db *Database, i int) (*Database, error) {
 	out := db.Clone()
 	for j := start; j < i; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := v.log[j].Apply(out); err != nil {
 			return nil, fmt.Errorf("storage: replaying statement %d (%s): %w", j, v.log[j], err)
 		}

@@ -17,10 +17,10 @@ func fig1Relation() *storage.Relation {
 		schema.Col("fee", types.KindInt),
 	))
 	r.Add(
-		schema.Tuple{types.String_("UK"), types.Int(20), types.Int(5)},
-		schema.Tuple{types.String_("UK"), types.Int(50), types.Int(5)},
-		schema.Tuple{types.String_("US"), types.Int(60), types.Int(3)},
-		schema.Tuple{types.String_("US"), types.Int(30), types.Int(4)},
+		schema.Tuple{types.String("UK"), types.Int(20), types.Int(5)},
+		schema.Tuple{types.String("UK"), types.Int(50), types.Int(5)},
+		schema.Tuple{types.String("US"), types.Int(60), types.Int(3)},
+		schema.Tuple{types.String("US"), types.Int(30), types.Int(4)},
 	)
 	return r
 }
@@ -55,11 +55,11 @@ func TestCompressExample7(t *testing.T) {
 	}
 	// The paper's non-example: a UK tuple with price 10 (below the UK
 	// group range [20,50]) is excluded.
-	if satisfies(t, phi, rel, schema.Tuple{types.String_("UK"), types.Int(10), types.Int(5)}) {
+	if satisfies(t, phi, rel, schema.Tuple{types.String("UK"), types.Int(10), types.Int(5)}) {
 		t.Errorf("Φ_D too loose: price 10 admitted: %s", phi)
 	}
 	// An unknown country is excluded.
-	if satisfies(t, phi, rel, schema.Tuple{types.String_("DE"), types.Int(30), types.Int(4)}) {
+	if satisfies(t, phi, rel, schema.Tuple{types.String("DE"), types.Int(30), types.Int(4)}) {
 		t.Errorf("Φ_D admits unseen country: %s", phi)
 	}
 }
@@ -100,7 +100,7 @@ func TestCompressManyDistinctStringsUnconstrained(t *testing.T) {
 		schema.Col("name", types.KindString),
 	))
 	for i := 0; i < 50; i++ {
-		r.Add(schema.Tuple{types.Int(int64(i)), types.String_(string(rune('a'+i%26)) + string(rune('a'+i/26)))})
+		r.Add(schema.Tuple{types.Int(int64(i)), types.String(string(rune('a'+i%26)) + string(rune('a'+i/26)))})
 	}
 	phi, err := Compress(r, CompressOptions{GroupBy: "id", Groups: 1, MaxDistinct: 8})
 	if err != nil {
@@ -108,7 +108,7 @@ func TestCompressManyDistinctStringsUnconstrained(t *testing.T) {
 	}
 	// With >8 distinct names, the name column must be unconstrained, so
 	// an arbitrary unseen name is admitted (only id must be in range).
-	if !satisfies(t, phi, r, schema.Tuple{types.Int(10), types.String_("unseen-name")}) {
+	if !satisfies(t, phi, r, schema.Tuple{types.Int(10), types.String("unseen-name")}) {
 		t.Errorf("high-cardinality string column should be unconstrained: %s", phi)
 	}
 }
@@ -128,7 +128,7 @@ func TestCompressOverApproximatesProperty(t *testing.T) {
 		groups := []string{"a", "b", "c", "d"}
 		for i := 0; i < n; i++ {
 			rel.Add(schema.Tuple{
-				types.String_(groups[rng.Intn(len(groups))]),
+				types.String(groups[rng.Intn(len(groups))]),
 				types.Int(int64(rng.Intn(1000) - 500)),
 				types.Float(float64(rng.Intn(1000)) / 10),
 			})

@@ -143,7 +143,7 @@ func TestPossibleWorldSemantics(t *testing.T) {
 	countries := []string{"UK", "US"}
 	for trial := 0; trial < 300; trial++ {
 		tuple := schema.Tuple{
-			types.String_(countries[rng.Intn(2)]),
+			types.String(countries[rng.Intn(2)]),
 			types.Int(int64(rng.Intn(120))),
 			types.Int(int64(rng.Intn(15))),
 		}

@@ -1,0 +1,114 @@
+package types
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// JSON wire format for values. Kinds map onto native JSON so payloads
+// stay human-readable, and the encoding is chosen so the mapping
+// round-trips exactly:
+//
+//	NULL   → null
+//	bool   → true / false
+//	string → "..."
+//	int    → a number with neither '.' nor exponent (e.g. 42)
+//	float  → a number with a '.' or exponent (1.0, 2.5, 1e30)
+//
+// Floats whose shortest rendering looks integral gain a ".0" suffix,
+// so Int(1) and Float(1) stay distinct across a round trip. The float
+// domain is finite by construction (see Arith), so every value has a
+// JSON rendering.
+
+// MarshalJSON implements json.Marshaler with the wire format above.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindNull:
+		return []byte("null"), nil
+	case KindInt:
+		return strconv.AppendInt(nil, v.i, 10), nil
+	case KindFloat:
+		out := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if !strings.ContainsAny(out, ".eE") {
+			out += ".0"
+		}
+		return []byte(out), nil
+	case KindString:
+		return json.Marshal(v.s)
+	case KindBool:
+		if v.b {
+			return []byte("true"), nil
+		}
+		return []byte("false"), nil
+	}
+	return nil, fmt.Errorf("types: cannot marshal kind %s", v.kind)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the wire format
+// produced by MarshalJSON: numbers with a fraction or exponent decode
+// to floats, bare integers to ints.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	if s == "" {
+		return fmt.Errorf("types: empty JSON value")
+	}
+	switch {
+	case s == "null":
+		*v = Null()
+		return nil
+	case s == "true":
+		*v = Bool(true)
+		return nil
+	case s == "false":
+		*v = Bool(false)
+		return nil
+	case s[0] == '"':
+		var str string
+		if err := json.Unmarshal([]byte(s), &str); err != nil {
+			return fmt.Errorf("types: bad JSON string %s: %w", s, err)
+		}
+		*v = String(str)
+		return nil
+	}
+	if strings.ContainsAny(s, ".eE") {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("types: bad JSON number %s: %w", s, err)
+		}
+		*v = Float(f)
+		return nil
+	}
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		// Integral but beyond int64 (e.g. 1e300 written digit by
+		// digit): fall back to the float domain rather than failing.
+		f, ferr := strconv.ParseFloat(s, 64)
+		if ferr != nil {
+			return fmt.Errorf("types: bad JSON number %s: %w", s, err)
+		}
+		*v = Float(f)
+		return nil
+	}
+	*v = Int(i)
+	return nil
+}
+
+// ParseKind maps a kind's wire name (the Kind.String rendering) back
+// to the Kind, for schema decoding.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToLower(name) {
+	case "null":
+		return KindNull, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	case "bool":
+		return KindBool, nil
+	}
+	return KindNull, fmt.Errorf("types: unknown kind %q", name)
+}

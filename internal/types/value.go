@@ -58,9 +58,11 @@ func Int(v int64) Value { return Value{kind: KindInt, i: v} }
 // Float returns a floating point value.
 func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
 
-// String_ returns a string value. The trailing underscore avoids a
-// clash with the fmt.Stringer method on Value.
-func String_(v string) Value { return Value{kind: KindString, s: v} }
+// String returns a string value. (Methods and package-level functions
+// live in different namespaces, so this does not clash with the
+// fmt.Stringer method on Value; the historical String_ spelling is
+// gone.)
+func String(v string) Value { return Value{kind: KindString, s: v} }
 
 // Bool returns a boolean value.
 func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
@@ -304,5 +306,5 @@ func Parse(s string) Value {
 	case "false", "FALSE":
 		return Bool(false)
 	}
-	return String_(s)
+	return String(s)
 }

@@ -24,8 +24,8 @@ func TestConstructorsAndAccessors(t *testing.T) {
 	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
 		t.Errorf("Float(2.5) = %v", v)
 	}
-	if v := String_("hi"); v.Kind() != KindString || v.AsString() != "hi" {
-		t.Errorf("String_ = %v", v)
+	if v := String("hi"); v.Kind() != KindString || v.AsString() != "hi" {
+		t.Errorf("String = %v", v)
 	}
 	if v := Bool(true); v.Kind() != KindBool || !v.AsBool() {
 		t.Errorf("Bool(true) = %v", v)
@@ -48,7 +48,7 @@ func TestAsFloatWidensInt(t *testing.T) {
 func TestAccessorPanics(t *testing.T) {
 	cases := []func(){
 		func() { Null().AsInt() },
-		func() { String_("x").AsFloat() },
+		func() { String("x").AsFloat() },
 		func() { Int(1).AsString() },
 		func() { Float(1).AsBool() },
 	}
@@ -68,7 +68,7 @@ func TestIsTrue(t *testing.T) {
 	if !Bool(true).IsTrue() {
 		t.Error("Bool(true) must be true")
 	}
-	for _, v := range []Value{Bool(false), Null(), Int(1), String_("true")} {
+	for _, v := range []Value{Bool(false), Null(), Int(1), String("true")} {
 		if v.IsTrue() {
 			t.Errorf("%v must not be true", v)
 		}
@@ -83,7 +83,7 @@ func TestString(t *testing.T) {
 		{Null(), "NULL"},
 		{Int(-3), "-3"},
 		{Float(2.5), "2.5"},
-		{String_("a"), "'a'"},
+		{String("a"), "'a'"},
 		{Bool(true), "true"},
 		{Bool(false), "false"},
 	}
@@ -103,12 +103,12 @@ func TestEqual(t *testing.T) {
 		{Int(1), Int(2), false},
 		{Int(1), Float(1), true}, // numeric cross-kind
 		{Float(1.5), Float(1.5), true},
-		{String_("a"), String_("a"), true},
-		{String_("a"), String_("b"), false},
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
 		{Bool(true), Bool(true), true},
 		{Null(), Null(), true},
 		{Null(), Int(0), false},
-		{String_("1"), Int(1), false},
+		{String("1"), Int(1), false},
 	}
 	for _, c := range cases {
 		if got := c.a.Equal(c.b); got != c.want {
@@ -129,8 +129,8 @@ func TestCompare(t *testing.T) {
 		{Int(2), Int(1), 1},
 		{Int(2), Float(2), 0},
 		{Float(1.5), Int(2), -1},
-		{String_("a"), String_("b"), -1},
-		{String_("b"), String_("a"), 1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
 		{Bool(false), Bool(true), -1},
 		{Bool(true), Bool(true), 0},
 	}
@@ -150,7 +150,7 @@ func TestCompareErrors(t *testing.T) {
 	bad := [][2]Value{
 		{Null(), Int(1)},
 		{Int(1), Null()},
-		{Int(1), String_("1")},
+		{Int(1), String("1")},
 		{Bool(true), Int(1)},
 	}
 	for _, pair := range bad {
@@ -200,7 +200,7 @@ func TestArithNullPropagates(t *testing.T) {
 }
 
 func TestArithErrors(t *testing.T) {
-	if _, err := Arith(OpAdd, String_("a"), Int(1)); err == nil {
+	if _, err := Arith(OpAdd, String("a"), Int(1)); err == nil {
 		t.Error("string arithmetic must error")
 	}
 	if _, err := Arith(OpDiv, Int(1), Int(0)); err == nil {
@@ -220,8 +220,8 @@ func TestParse(t *testing.T) {
 		{"2.5", Float(2.5)},
 		{"true", Bool(true)},
 		{"FALSE", Bool(false)},
-		{"hello", String_("hello")},
-		{"12abc", String_("12abc")},
+		{"hello", String("hello")},
+		{"12abc", String("12abc")},
 	}
 	for _, c := range cases {
 		got := Parse(c.in)

@@ -72,7 +72,7 @@ func Taxi(rows int, seed int64) *Dataset {
 		extras := float64(r.Intn(1000)) / 100
 		return schema.Tuple{
 			types.Int(int64(id)),
-			types.String_(companies[r.Intn(len(companies))]),
+			types.String(companies[r.Intn(len(companies))]),
 			types.Int(int64(r.Intn(77))),
 			types.Int(int64(r.Intn(SelRange))),
 			types.Int(int64(r.Intn(SelRange))),

@@ -50,9 +50,48 @@
 //
 // The same capability is exposed as the `batch` subcommand of
 // cmd/mahif, which reads scenarios from a JSON file.
+//
+// # Contexts and cancellation
+//
+// Every evaluation entry point has a ctx-threaded form — WhatIfCtx,
+// NaiveCtx, WhatIfBatchCtx, ProveEquivalentCtx — and the plain forms
+// are wrappers over context.Background(). Cancellation and deadlines
+// are observed deep inside the long-running phases: at every branch &
+// bound node of the MILP solver, between the per-statement
+// satisfiability tests of program slicing, every few thousand tuples
+// of compiled query execution, and between statements of time-travel
+// replay. A cancelled query therefore stops doing work within
+// milliseconds and returns ctx.Err():
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+//	defer cancel()
+//	delta, stats, err := engine.WhatIfCtx(ctx, mods, mahif.DefaultOptions())
+//
+// Invalid modification positions are reported with the sentinel errors
+// ErrPosOutOfRange and ErrEmptyHistory (test with errors.Is).
+//
+// # Sessions
+//
+// A Session pins the engine's current history version and keeps the
+// caches that a single batch call builds and discards — time-travel
+// snapshots, solver memo, compiled reenactment programs — alive across
+// calls, so iterating related hypotheticals reuses almost all work:
+//
+//	sess := engine.NewSession()
+//	d1, _, _ := sess.WhatIfCtx(ctx, modsFee55, opts)
+//	d2, _, _ := sess.WhatIfCtx(ctx, modsFee56, opts) // warm snapshots & programs
+//	fmt.Println(sess.Stats().SnapshotHits)
+//
+// Sessions are safe for concurrent use and invalidate themselves when
+// the underlying history advances. cmd/mahifd serves the engine over
+// HTTP through a session pool; DeltaSet, Stats, and BatchStats carry a
+// stable JSON wire format (MarshalJSON/UnmarshalJSON, pinned by golden
+// tests) for that boundary.
 package mahif
 
 import (
+	"context"
+
 	"github.com/mahif/mahif/internal/compile"
 	"github.com/mahif/mahif/internal/core"
 	"github.com/mahif/mahif/internal/delta"
@@ -117,6 +156,12 @@ type (
 	BatchResult = core.BatchResult
 	// BatchStats aggregates batch timing and work sharing.
 	BatchStats = core.BatchStats
+	// Session is a long-lived evaluation context that reuses
+	// time-travel snapshots, solver memos, and compiled reenactment
+	// programs across calls (see Engine.NewSession).
+	Session = core.Session
+	// SessionStats reports a session's cache effectiveness.
+	SessionStats = core.SessionStats
 	// Delta is the annotated symmetric difference for one relation.
 	Delta = delta.Result
 	// DeltaSet maps relation names to their deltas.
@@ -157,7 +202,7 @@ var (
 	// Float builds a float value.
 	Float = types.Float
 	// Str builds a string value.
-	Str = types.String_
+	Str = types.String
 	// Bool builds a boolean value.
 	Bool = types.Bool
 	// Null builds the NULL value.
@@ -185,6 +230,18 @@ func NewVersioned(initial *Database) *VersionedDatabase { return storage.NewVers
 // NewEngine builds a what-if engine over a versioned database whose
 // redo log is the transactional history.
 func NewEngine(vdb *VersionedDatabase) *Engine { return core.New(vdb) }
+
+// Sentinel errors for invalid what-if queries, returned (wrapped) by
+// WhatIf/Naive and the other evaluation entry points; test with
+// errors.Is.
+var (
+	// ErrPosOutOfRange reports a modification position outside the
+	// history.
+	ErrPosOutOfRange = history.ErrPosOutOfRange
+	// ErrEmptyHistory reports a replace or delete against an empty
+	// history.
+	ErrEmptyHistory = history.ErrEmptyHistory
+)
 
 // DefaultOptions enables all optimizations (R+PS+DS).
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -235,4 +292,10 @@ type EquivalenceResult = progslice.EquivalenceResult
 // within budget", never a wrong answer.
 func ProveEquivalent(h1, h2 History, s *Schema, constraint Expr) (*EquivalenceResult, error) {
 	return progslice.ProveEquivalent(h1, h2, s, constraint, compile.Options{})
+}
+
+// ProveEquivalentCtx is ProveEquivalent under a context: the solver
+// search observes cancellation at every branch & bound node.
+func ProveEquivalentCtx(ctx context.Context, h1, h2 History, s *Schema, constraint Expr) (*EquivalenceResult, error) {
+	return progslice.ProveEquivalentCtx(ctx, h1, h2, s, constraint, compile.Options{})
 }
