@@ -25,10 +25,14 @@ type execResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Speedup     float64 `json:"speedup_vs_interpreter,omitempty"`
+	// SpeedupVsCompiled is reported for the vectorized executor: its
+	// gain over the tuple-at-a-time compiled path (the PR-over-PR
+	// trajectory metric).
+	SpeedupVsCompiled float64 `json:"speedup_vs_compiled,omitempty"`
 }
 
 // execReport is the BENCH_exec.json document: the perf trajectory
-// baseline for the compiled executor.
+// baseline for the executors.
 type execReport struct {
 	Description string       `json:"description"`
 	Rows        int          `json:"rows_flag"`
@@ -39,20 +43,22 @@ type execReport struct {
 }
 
 // execExp sweeps history length × relation size × executor
-// (interpreter vs compiled) over the whole-history reenactment path
-// (variant R — the executor-bound configuration) and writes
-// BENCH_exec.json.
+// (interpreter vs compiled vs vectorized) over the whole-history
+// reenactment path (variant R — the executor-bound configuration) and
+// writes BENCH_exec.json.
 func (h *harness) execExp() {
-	sizes := []int{h.rows / 10, h.rows}
+	sizes := []int{h.rows / 10, h.rows / 2, h.rows}
 	report := &execReport{
-		Description: "WhatIf (variant R) reenactment: tree-walking interpreter vs compiled pipelined executor (internal/exec)",
+		Description: "WhatIf (variant R) reenactment: tree-walking interpreter vs compiled (tuple-at-a-time) vs vectorized executor (internal/exec)",
 		Rows:        h.rows,
 		Seed:        h.seed,
 		Updates:     h.updates,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 
-	header("Exec: interpreter vs compiled — Taxi", "rows", "interp", "compiled", "speedup", "allocs-i", "allocs-c")
+	executors := []core.ExecutorKind{core.ExecInterpreter, core.ExecCompiled, core.ExecVectorized}
+	header("Exec: interpreter vs compiled vs vectorized — Taxi",
+		"rows", "interp", "compiled", "vector", "vec/comp", "allocs-c", "allocs-v")
 	for _, rows := range sizes {
 		ds := workload.Taxi(rows, h.seed)
 		for _, u := range h.updates {
@@ -64,7 +70,7 @@ func (h *harness) execExp() {
 			engine := core.New(vdb)
 
 			cells := map[core.ExecutorKind]testing.BenchmarkResult{}
-			for _, ex := range []core.ExecutorKind{core.ExecInterpreter, core.ExecCompiled} {
+			for _, ex := range executors {
 				opts := core.OptionsFor(core.VariantR)
 				opts.Executor = ex
 				// Warm once so page-in and snapshot construction do not
@@ -81,19 +87,25 @@ func (h *harness) execExp() {
 					}
 				})
 			}
-			interp, compiled := cells[core.ExecInterpreter], cells[core.ExecCompiled]
-			speedup := float64(interp.NsPerOp()) / float64(compiled.NsPerOp())
+			interp := cells[core.ExecInterpreter]
+			compiled := cells[core.ExecCompiled]
+			vec := cells[core.ExecVectorized]
+			vecVsComp := float64(compiled.NsPerOp()) / float64(vec.NsPerOp())
 			report.Results = append(report.Results,
 				execResult{Updates: u, Rows: rows, Executor: "interpreter",
 					NsPerOp: interp.NsPerOp(), AllocsPerOp: interp.AllocsPerOp(), BytesPerOp: interp.AllocedBytesPerOp()},
 				execResult{Updates: u, Rows: rows, Executor: "compiled",
 					NsPerOp: compiled.NsPerOp(), AllocsPerOp: compiled.AllocsPerOp(), BytesPerOp: compiled.AllocedBytesPerOp(),
-					Speedup: speedup},
+					Speedup: float64(interp.NsPerOp()) / float64(compiled.NsPerOp())},
+				execResult{Updates: u, Rows: rows, Executor: "vectorized",
+					NsPerOp: vec.NsPerOp(), AllocsPerOp: vec.AllocsPerOp(), BytesPerOp: vec.AllocedBytesPerOp(),
+					Speedup:           float64(interp.NsPerOp()) / float64(vec.NsPerOp()),
+					SpeedupVsCompiled: vecVsComp},
 			)
-			fmt.Printf("%-10d %12d %12.1f %12.1f %11.2fx %12d %12d\n",
+			fmt.Printf("%-10d %12d %12.1f %12.1f %12.1f %11.2fx %12d %12d\n",
 				u, rows,
-				float64(interp.NsPerOp())/1e6, float64(compiled.NsPerOp())/1e6,
-				speedup, interp.AllocsPerOp(), compiled.AllocsPerOp())
+				float64(interp.NsPerOp())/1e6, float64(compiled.NsPerOp())/1e6, float64(vec.NsPerOp())/1e6,
+				vecVsComp, compiled.AllocsPerOp(), vec.AllocsPerOp())
 		}
 	}
 

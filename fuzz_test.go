@@ -52,7 +52,11 @@ func TestRandomizedCrossValidation(t *testing.T) {
 }
 
 // randomScenario builds a fresh versioned database with relations r and
-// w (same schema, w initially empty) and applies a random history.
+// w (same schema, w initially empty) and applies a random history. The
+// size of r is drawn from a distribution that includes the vectorized
+// executor's batch boundaries (0, 1, ~1023–1025 rows) alongside the
+// small fast sizes, so the end-to-end differential also crosses batch
+// edges, not only the unit tests.
 func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mahif.History) {
 	t.Helper()
 	cols := []mahif.Column{
@@ -63,7 +67,16 @@ func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mah
 	db := mahif.NewDatabase()
 	r := mahif.NewRelation(mahif.NewSchema("r", cols...))
 	groups := []string{"a", "b", "c"}
-	for i := 0; i < 30+rng.Intn(30); i++ {
+	var rows int
+	switch rng.Intn(8) {
+	case 0:
+		rows = rng.Intn(2) // empty and single-row relations
+	case 1:
+		rows = 1023 + rng.Intn(3) // straddle one batch
+	default:
+		rows = 30 + rng.Intn(30)
+	}
+	for i := 0; i < rows; i++ {
 		r.Add(mahif.NewTuple(
 			mahif.Int(int64(rng.Intn(50))),
 			mahif.Int(int64(rng.Intn(50))),
@@ -142,13 +155,14 @@ func randomModificationFor(rng *rand.Rand, hist mahif.History) mahif.Modificatio
 	}
 }
 
-// differentialTrial answers one random scenario with the compiled
-// executor and the tree-walking interpreter under every variant and
-// requires identical deltas. Deltas are sorted and multiset-aware
-// (delta.Compute sorts by canonical key; Result.Equal compares the
-// annotated multisets position-wise), so this is an exact equivalence
-// check of the two executors end to end — reenactment, slicing,
-// filters, joins, difference, everything.
+// differentialTrial answers one random scenario with the tuple-at-a-
+// time compiled executor, the vectorized executor, and the tree-walking
+// interpreter under every variant and requires all three to produce
+// identical deltas (interpreter ≡ compiled ≡ vectorized). Deltas are
+// sorted and multiset-aware (delta.Compute sorts by canonical key;
+// Result.Equal compares the annotated multisets position-wise), so this
+// is an exact equivalence check of the executors end to end —
+// reenactment, slicing, filters, joins, difference, everything.
 func differentialTrial(t *testing.T, rng *rand.Rand) {
 	t.Helper()
 	vdb, hist := randomScenario(t, rng)
@@ -157,49 +171,51 @@ func differentialTrial(t *testing.T, rng *rand.Rand) {
 	for _, v := range []mahif.Variant{mahif.VariantR, mahif.VariantRPS, mahif.VariantRDS, mahif.VariantRFull} {
 		optsI := mahif.OptionsFor(v)
 		optsI.Executor = mahif.ExecInterpreter
-		optsC := mahif.OptionsFor(v)
-		optsC.Executor = mahif.ExecCompiled
-
 		want, _, errI := engine.WhatIf([]mahif.Modification{mod}, optsI)
-		got, _, errC := engine.WhatIf([]mahif.Modification{mod}, optsC)
-		if (errI == nil) != (errC == nil) {
-			t.Fatalf("%s: error divergence: interpreter=%v compiled=%v\nhistory:\n%s\nmod: %s",
-				v, errI, errC, hist, mod)
-		}
-		if errI != nil {
-			continue
-		}
-		rels := map[string]bool{}
-		for rel := range want {
-			rels[rel] = true
-		}
-		for rel := range got {
-			rels[rel] = true
-		}
-		for rel := range rels {
-			wd, gd := want[rel], got[rel]
-			switch {
-			case wd == nil && gd == nil:
-			case wd == nil:
-				if !gd.Empty() {
-					t.Fatalf("%s: compiled has extra delta for %s\nhistory:\n%s\nmod: %s\ngot:\n%s",
-						v, rel, hist, mod, gd)
+
+		for _, ex := range []mahif.ExecutorKind{mahif.ExecCompiled, mahif.ExecVectorized} {
+			opts := mahif.OptionsFor(v)
+			opts.Executor = ex
+			got, _, errX := engine.WhatIf([]mahif.Modification{mod}, opts)
+			if (errI == nil) != (errX == nil) {
+				t.Fatalf("%s/%s: error divergence: interpreter=%v %s=%v\nhistory:\n%s\nmod: %s",
+					v, ex, errI, ex, errX, hist, mod)
+			}
+			if errI != nil {
+				continue
+			}
+			rels := map[string]bool{}
+			for rel := range want {
+				rels[rel] = true
+			}
+			for rel := range got {
+				rels[rel] = true
+			}
+			for rel := range rels {
+				wd, gd := want[rel], got[rel]
+				switch {
+				case wd == nil && gd == nil:
+				case wd == nil:
+					if !gd.Empty() {
+						t.Fatalf("%s/%s: extra delta for %s\nhistory:\n%s\nmod: %s\ngot:\n%s",
+							v, ex, rel, hist, mod, gd)
+					}
+				case gd == nil:
+					if !wd.Empty() {
+						t.Fatalf("%s/%s: missing delta for %s\nhistory:\n%s\nmod: %s\nwant:\n%s",
+							v, ex, rel, hist, mod, wd)
+					}
+				case !gd.Equal(wd):
+					t.Fatalf("%s/%s: executor divergence for %s\nhistory:\n%s\nmod: %s\ninterpreter:\n%s\n%s:\n%s",
+						v, ex, rel, hist, mod, wd, ex, gd)
 				}
-			case gd == nil:
-				if !wd.Empty() {
-					t.Fatalf("%s: compiled missing delta for %s\nhistory:\n%s\nmod: %s\nwant:\n%s",
-						v, rel, hist, mod, wd)
-				}
-			case !gd.Equal(wd):
-				t.Fatalf("%s: executor divergence for %s\nhistory:\n%s\nmod: %s\ninterpreter:\n%s\ncompiled:\n%s",
-					v, rel, hist, mod, wd, gd)
 			}
 		}
 	}
 }
 
-// TestDifferentialExecutor cross-validates the compiled executor
-// against the interpreter oracle over random histories and
+// TestDifferentialExecutor cross-validates the compiled and vectorized
+// executors against the interpreter oracle over random histories and
 // modifications.
 func TestDifferentialExecutor(t *testing.T) {
 	rng := rand.New(rand.NewSource(4321))
@@ -213,11 +229,16 @@ func TestDifferentialExecutor(t *testing.T) {
 }
 
 // FuzzDifferentialExecutor is the native-fuzzing entry point for the
-// same property; the seed corpus runs on every plain `go test`
-// (including -short in CI), and `go test -fuzz=FuzzDifferentialExecutor`
-// explores further.
+// same three-way property; the seed corpus runs on every plain
+// `go test` (including -short in CI), and
+// `go test -fuzz=FuzzDifferentialExecutor` explores further. The seeds
+// past 987654321 were added with the vectorized executor: under the
+// enlarged size distribution they cover batch-boundary relations
+// (0/1/1023–1025 rows), all-filtered histories, INSERT…SELECT-heavy
+// logs, and every modification kind.
 func FuzzDifferentialExecutor(f *testing.F) {
-	for _, seed := range []int64{1, 2, 3, 42, 1234, 987654321} {
+	for _, seed := range []int64{1, 2, 3, 42, 1234, 987654321,
+		7, 99, 2024, 31337, 55555, 424242, 8675309, 1 << 40} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

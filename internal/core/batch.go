@@ -70,18 +70,21 @@ func newEvalCache() *evalCache {
 	}
 }
 
-// program returns the compile-once program for q (nil when q cannot be
-// compiled).
-func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string) *exec.Program {
+// program returns the compile-once program for q under the given
+// executor kind (nil when q cannot be compiled). Programs are keyed per
+// (kind, fingerprint): a session serving both compiled and vectorized
+// requests holds one program of each.
+func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string, kind ExecutorKind) *exec.Program {
+	key := string(kind) + "\x00" + fp
 	c.mu.Lock()
-	pe, ok := c.progs[fp]
+	pe, ok := c.progs[key]
 	if !ok {
 		pe = &progEntry{}
-		c.progs[fp] = pe
+		c.progs[key] = pe
 	}
 	c.mu.Unlock()
 	pe.once.Do(func() {
-		if prog, err := exec.Compile(q, db); err == nil {
+		if prog, err := compileFor(kind, q, db); err == nil {
 			pe.prog = prog
 		}
 	})
@@ -94,12 +97,12 @@ func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string) *e
 // than cached, so long-lived caches (sessions) stay consistent; a
 // caller that joined a cancelled materialization retries under its own
 // context instead of inheriting the foreign failure.
-func (c *evalCache) eval(ctx context.Context, q algebra.Query, db *storage.Database, ver int, interp bool) (*storage.Relation, error) {
+func (c *evalCache) eval(ctx context.Context, q algebra.Query, db *storage.Database, ver int, kind ExecutorKind) (*storage.Relation, error) {
 	fp := algebra.Fingerprint(q)
 	key := resultKey{ver: ver, fp: fp}
 	var prog *exec.Program
-	if !interp {
-		prog = c.program(q, db, fp)
+	if kind != ExecInterpreter {
+		prog = c.program(q, db, fp, kind)
 	}
 	for {
 		c.mu.Lock()

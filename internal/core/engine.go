@@ -28,15 +28,22 @@ type ExecutorKind string
 
 // The available executors.
 const (
-	// ExecCompiled runs queries through the compiled pipelined executor
-	// (internal/exec): expressions lowered to closures over column
-	// ordinals, fused σ/Π chains, hash joins and hash-based bag
-	// difference. This is the default (the zero value selects it too).
+	// ExecVectorized runs queries through the vectorized pipelined
+	// executor (exec.CompileVec): operators exchange 1024-row
+	// column-major batches with selection vectors, identity projection
+	// columns pass through by reference, and large scans partition
+	// across GOMAXPROCS workers behind an order-preserving merge. This
+	// is the default (the zero value selects it too).
+	ExecVectorized ExecutorKind = "vectorized"
+	// ExecCompiled runs queries through the tuple-at-a-time compiled
+	// executor (exec.Compile): expressions lowered to closures over
+	// column ordinals, fused σ/Π chains, hash joins and hash-based bag
+	// difference.
 	ExecCompiled ExecutorKind = "compiled"
 	// ExecInterpreter runs queries through the tree-walking interpreter
 	// (algebra.Eval). It is kept as the reference oracle: the
-	// differential tests require it to agree with ExecCompiled on every
-	// history.
+	// differential tests require it to agree with ExecCompiled and
+	// ExecVectorized on every history.
 	ExecInterpreter ExecutorKind = "interpreter"
 )
 
@@ -60,9 +67,9 @@ type Options struct {
 	// DataSlice configures the push-down analysis.
 	DataSlice dataslice.Options
 	// Executor picks the query evaluation backend; the zero value means
-	// ExecCompiled. Queries the compiler cannot handle (e.g. symbolic
-	// variables) transparently fall back to the interpreter, so the
-	// choice never changes observable results — only speed.
+	// ExecVectorized. Queries the compilers cannot handle (e.g.
+	// symbolic variables) transparently fall back to the interpreter,
+	// so the choice never changes observable results — only speed.
 	Executor ExecutorKind
 }
 
@@ -74,7 +81,7 @@ func DefaultOptions() Options {
 		UseDependency:  true,
 		InsertSplit:    true,
 		SkipUntainted:  true,
-		Executor:       ExecCompiled,
+		Executor:       ExecVectorized,
 	}
 }
 
@@ -310,7 +317,7 @@ func (e *Engine) whatIfPair(ctx context.Context, pair *history.PaddedPair, opts 
 	if err != nil {
 		return nil, nil, err
 	}
-	ev := evaluator{ctx: ctx, ec: shared.eval, ver: ver, interp: opts.Executor == ExecInterpreter}
+	ev := evaluator{ctx: ctx, ec: shared.eval, ver: ver, kind: normalizeExecutor(opts.Executor)}
 	stats.TotalStatements = len(suffix.Orig)
 
 	// Relations to answer for; taint analysis prunes provably-empty
@@ -514,15 +521,23 @@ func isInsert(s history.Statement) bool {
 	return false
 }
 
+// normalizeExecutor resolves the zero value to the default backend.
+func normalizeExecutor(k ExecutorKind) ExecutorKind {
+	if k == "" {
+		return ExecVectorized
+	}
+	return k
+}
+
 // evaluator answers algebra queries, optionally through a batch-shared
 // compiled-program + result cache (see evalCache). The default backend
-// is the compiled pipelined executor; interp selects the tree-walking
-// interpreter oracle instead.
+// is the vectorized executor; kind selects the tuple-at-a-time compiled
+// executor or the tree-walking interpreter oracle instead.
 type evaluator struct {
-	ctx    context.Context
-	ec     *evalCache
-	ver    int
-	interp bool
+	ctx  context.Context
+	ec   *evalCache
+	ver  int
+	kind ExecutorKind
 }
 
 // evalCtx returns the evaluator's context (Background when the
@@ -537,9 +552,9 @@ func (ev evaluator) evalCtx() context.Context {
 func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
 	ctx := ev.evalCtx()
 	if ev.ec != nil {
-		return ev.ec.eval(ctx, q, db, ev.ver, ev.interp)
+		return ev.ec.eval(ctx, q, db, ev.ver, ev.kind)
 	}
-	if ev.interp {
+	if ev.kind == ExecInterpreter {
 		// The tree-walking oracle is not ctx-aware; bound its damage by
 		// refusing to start when the request is already dead.
 		if err := ctx.Err(); err != nil {
@@ -547,7 +562,7 @@ func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relati
 		}
 		return algebra.Eval(q, db)
 	}
-	prog, err := exec.Compile(q, db)
+	prog, err := compileFor(ev.kind, q, db)
 	if err != nil {
 		// Outside the compilable subset: the interpreter is the
 		// reference semantics, so this can only be slower, never wrong.
@@ -557,4 +572,13 @@ func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relati
 		return algebra.Eval(q, db)
 	}
 	return prog.RunCtx(ctx, db)
+}
+
+// compileFor lowers q with the backend kind selects (vectorized unless
+// the tuple-at-a-time compiled executor was requested explicitly).
+func compileFor(kind ExecutorKind, q algebra.Query, db *storage.Database) (*exec.Program, error) {
+	if kind == ExecCompiled {
+		return exec.Compile(q, db)
+	}
+	return exec.CompileVec(q, db, exec.VecOptions{})
 }

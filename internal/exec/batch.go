@@ -1,0 +1,803 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// VecOptions tunes the vectorized executor. The zero value selects the
+// defaults (1024-row batches, GOMAXPROCS scan workers, parallelism from
+// 8192 source rows).
+type VecOptions struct {
+	// BatchSize is the number of rows per batch (≤ 0: DefaultBatchSize).
+	BatchSize int
+	// Workers bounds the partitioned-scan parallelism (≤ 0:
+	// runtime.GOMAXPROCS(0); 1 disables parallel scans).
+	Workers int
+	// MinParallelRows is the smallest base relation worth partitioning
+	// (≤ 0: 8192). Below it the scan runs sequentially — fan-out and
+	// merge overhead would dominate.
+	MinParallelRows int
+}
+
+// defaultMinParallelRows is the parallel-scan cutover when
+// VecOptions.MinParallelRows is unset.
+const defaultMinParallelRows = 8192
+
+// vecConfig is VecOptions with defaults resolved.
+type vecConfig struct {
+	bs          int
+	workers     int
+	minParallel int
+}
+
+func (o VecOptions) config() vecConfig {
+	c := vecConfig{bs: o.BatchSize, workers: o.Workers, minParallel: o.MinParallelRows}
+	if c.bs <= 0 {
+		c.bs = DefaultBatchSize
+	}
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	if c.minParallel <= 0 {
+		c.minParallel = defaultMinParallelRows
+	}
+	return c
+}
+
+// vecEmit receives one batch of a node's output stream. The batch and
+// its columns are valid only until the call returns.
+type vecEmit func(b *batch) error
+
+// vecNode is one compiled vectorized operator. Like the tuple-at-a-time
+// nodes, implementations are immutable after compilation and allocate
+// all run state inside run, so one Program supports concurrent RunCtx
+// calls.
+type vecNode interface {
+	run(rc *runCtx, emit vecEmit) error
+}
+
+// vop is one fused per-batch operator (σ or Π) of a pipeline chain.
+// newState builds the operator's per-run scratch.
+type vop interface {
+	newState(cfg vecConfig) vopState
+}
+
+// vopState applies one operator to a flowing batch. The returned batch
+// may alias the input batch and the state's own scratch; it is consumed
+// before the next batch enters the chain.
+type vopState interface {
+	apply(p *vecPool, b *batch) (*batch, error)
+}
+
+// chain is a fused sequence of σ/Π operators applied batch-wise — the
+// vectorized analogue of the tuple path's nested emit closures, minus
+// the per-tuple dispatch.
+type chain struct {
+	ops []vop
+}
+
+// chainRun is one run's instantiation of a chain: per-operator scratch,
+// the kernel scratch pool, and (for scan/singleton sources) the source
+// batch. Runs are recycled across Run calls through the owning node's
+// sync.Pool — per-operator scratch for a 100-statement chain is ~5 MB,
+// far too much to allocate per evaluation.
+type chainRun struct {
+	pool   *vecPool
+	states []vopState
+	src    *batch
+}
+
+func (c chain) newRun(cfg vecConfig) *chainRun {
+	r := &chainRun{pool: newVecPool(cfg.bs)}
+	r.states = make([]vopState, len(c.ops))
+	for i, op := range c.ops {
+		r.states[i] = op.newState(cfg)
+	}
+	return r
+}
+
+// getRun draws a recycled chainRun from pool (creating one on miss);
+// the caller returns it with putRun when the run completes. A chainRun
+// is used by exactly one goroutine at a time; the sync.Pool makes
+// concurrent Run calls on one Program safe.
+func (c chain) getRun(pool *sync.Pool, cfg vecConfig) *chainRun {
+	if r, ok := pool.Get().(*chainRun); ok {
+		return r
+	}
+	return c.newRun(cfg)
+}
+
+// apply pushes one batch through every operator. An all-filtered batch
+// short-circuits the rest of the chain.
+func (r *chainRun) apply(b *batch) (*batch, error) {
+	for _, st := range r.states {
+		if b.live() == 0 {
+			return b, nil
+		}
+		var err error
+		b, err = st.apply(r.pool, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// vFilterOp narrows the batch's selection vector by a compiled
+// condition (WHERE semantics: only tTrue survives).
+type vFilterOp struct {
+	cond vecCondFn
+}
+
+type vFilterState struct {
+	cond   vecCondFn
+	tr     []truth
+	selBuf []int
+}
+
+func (o vFilterOp) newState(cfg vecConfig) vopState {
+	return &vFilterState{cond: o.cond, tr: make([]truth, cfg.bs), selBuf: make([]int, 0, cfg.bs)}
+}
+
+func (st *vFilterState) apply(p *vecPool, b *batch) (*batch, error) {
+	if err := st.cond(p, b, b.sel, st.tr); err != nil {
+		return nil, err
+	}
+	if b.sel == nil {
+		sel := st.selBuf[:0]
+		for r := 0; r < b.n; r++ {
+			if st.tr[r] == tTrue {
+				sel = append(sel, r)
+			}
+		}
+		b.sel = sel
+	} else {
+		// In-place compaction: the write index never passes the read
+		// index, so narrowing the selection we iterate is safe.
+		k := 0
+		for _, r := range b.sel {
+			if st.tr[r] == tTrue {
+				b.sel[k] = r
+				k++
+			}
+		}
+		b.sel = b.sel[:k]
+	}
+	return b, nil
+}
+
+// vProjectOp evaluates one kernel per computed output column; identity
+// columns (src[i] >= 0, the bulk of every reenactment projection) pass
+// through by aliasing the input column slice — zero work per row, where
+// the tuple path copied every column of every surviving tuple at every
+// projection of the chain.
+type vProjectOp struct {
+	fns []vecScalarFn
+	src []int
+}
+
+type vProjectState struct {
+	op      vProjectOp
+	out     *batch
+	scratch [][]types.Value
+}
+
+func (o vProjectOp) newState(cfg vecConfig) vopState {
+	st := &vProjectState{op: o, out: &batch{cols: make([][]types.Value, len(o.fns))}}
+	st.scratch = make([][]types.Value, len(o.fns))
+	for i, fn := range o.fns {
+		if fn != nil {
+			st.scratch[i] = make([]types.Value, cfg.bs)
+		}
+	}
+	return st
+}
+
+func (st *vProjectState) apply(p *vecPool, b *batch) (*batch, error) {
+	out := st.out
+	out.n, out.sel = b.n, b.sel
+	for i, fn := range st.op.fns {
+		if fn == nil {
+			out.cols[i] = b.cols[st.op.src[i]]
+			continue
+		}
+		col := st.scratch[i]
+		if err := fn(p, b, b.sel, col); err != nil {
+			return nil, err
+		}
+		out.cols[i] = col
+	}
+	return out, nil
+}
+
+// vpipeNode is a base-relation scan with its fused σ/Π chain — the
+// parallelizable segment of every pipeline. Large relations are
+// partitioned into contiguous chunks processed by concurrent workers
+// (each with private chain scratch); a merge stage then emits the
+// buffered per-partition output in partition order, which preserves not
+// just bag semantics but the exact sequential output order.
+type vpipeNode struct {
+	rel   string
+	arity int // scan (input) arity
+	// outArity is the chain's output arity — projections in the fused
+	// chain change it; parallel workers freeze batches at this width.
+	outArity int
+	ch       chain
+	cfg      vecConfig
+	runs     sync.Pool // recycled *chainRun
+}
+
+func (n *vpipeNode) run(rc *runCtx, emit vecEmit) error {
+	r, err := rc.db.Relation(n.rel)
+	if err != nil {
+		return err
+	}
+	if r.Schema.Arity() != n.arity {
+		return fmt.Errorf("exec: relation %s arity changed since compilation (%d vs %d)", n.rel, r.Schema.Arity(), n.arity)
+	}
+	tuples := r.Tuples
+	if n.cfg.workers > 1 && len(tuples) >= n.cfg.minParallel {
+		return n.runParallel(rc, tuples, emit)
+	}
+	cr := n.ch.getRun(&n.runs, n.cfg)
+	defer n.runs.Put(cr)
+	return runVecChunk(rc, tuples, n.arity, cr, n.cfg.bs, emit)
+}
+
+func (n *vpipeNode) runParallel(rc *runCtx, tuples []schema.Tuple, emit vecEmit) error {
+	parts := storage.PartitionTuples(tuples, n.cfg.workers)
+	results := make([][]*batch, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for w, part := range parts {
+		wg.Add(1)
+		go func(w int, part []schema.Tuple) {
+			defer wg.Done()
+			cr := n.ch.getRun(&n.runs, n.cfg)
+			defer n.runs.Put(cr)
+			errs[w] = runVecChunk(rc, part, n.arity, cr, n.cfg.bs, func(b *batch) error {
+				results[w] = append(results[w], freezeBatch(b, n.outArity))
+				return nil
+			})
+		}(w, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, bs := range results {
+		for _, b := range bs {
+			if err := emit(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runVecChunk drives one contiguous tuple range through a chain run,
+// transposing bs rows at a time into a column-major source batch.
+// Cancellation is observed between batches — every ≤ bs source rows —
+// independent of the tuple path's 4096-tuple tick cadence.
+func runVecChunk(rc *runCtx, tuples []schema.Tuple, arity int, cr *chainRun, bs int, emit vecEmit) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	if cr.src == nil {
+		cr.src = newOwnedBatch(arity, bs)
+	}
+	src := cr.src
+	for start := 0; start < len(tuples); start += bs {
+		if err := rc.ctx.Err(); err != nil {
+			return err
+		}
+		end := min(start+bs, len(tuples))
+		rows := tuples[start:end]
+		for _, t := range rows {
+			if len(t) < arity {
+				return fmt.Errorf("exec: row arity %d below attribute index %d", len(t), arity-1)
+			}
+		}
+		for c := 0; c < arity; c++ {
+			col := src.cols[c]
+			for i, t := range rows {
+				col[i] = t[c]
+			}
+		}
+		src.n, src.sel = len(rows), nil
+		out, err := cr.apply(src)
+		if err != nil {
+			return err
+		}
+		if out.live() == 0 {
+			continue
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vsingletonNode streams a constant relation (with its fused chain)
+// batch-wise; never parallel — singletons are tiny.
+type vsingletonNode struct {
+	tuples []schema.Tuple
+	arity  int
+	ch     chain
+	cfg    vecConfig
+	runs   sync.Pool
+}
+
+func (n *vsingletonNode) run(rc *runCtx, emit vecEmit) error {
+	cr := n.ch.getRun(&n.runs, n.cfg)
+	defer n.runs.Put(cr)
+	return runVecChunk(rc, n.tuples, n.arity, cr, n.cfg.bs, emit)
+}
+
+// vchainNode applies a fused σ/Π chain to the output of a non-scan
+// input (union, difference, join).
+type vchainNode struct {
+	in   vecNode
+	ch   chain
+	cfg  vecConfig
+	runs sync.Pool
+}
+
+func (n *vchainNode) run(rc *runCtx, emit vecEmit) error {
+	cr := n.ch.getRun(&n.runs, n.cfg)
+	defer n.runs.Put(cr)
+	return n.in.run(rc, func(b *batch) error {
+		out, err := cr.apply(b)
+		if err != nil {
+			return err
+		}
+		if out.live() == 0 {
+			return nil
+		}
+		return emit(out)
+	})
+}
+
+// vunionNode streams the left branch then the right (bag union, same
+// order as the interpreter).
+type vunionNode struct {
+	l, r vecNode
+}
+
+func (n *vunionNode) run(rc *runCtx, emit vecEmit) error {
+	if err := n.l.run(rc, emit); err != nil {
+		return err
+	}
+	return n.r.run(rc, emit)
+}
+
+// vdiffNode is bag difference: the right branch materializes into the
+// hash multiset index, then left batches probe it column-wise (hash
+// vectors computed per batch, candidate verification value-wise via
+// TupleIndex.RemoveRow) and narrow their selection in place. The build
+// side keeps its own arity: with mismatched sides no right tuple can
+// ever equal a left row (tupleEqualsRow checks width), matching the
+// interpreter's no-removal semantics instead of truncating.
+type vdiffNode struct {
+	l, r vecNode
+	// rArity is the build (right) side's width; the probe side's width
+	// comes from the flowing batches themselves.
+	rArity int
+	cfg    vecConfig
+}
+
+func (n *vdiffNode) run(rc *runCtx, emit vecEmit) error {
+	remove := storage.NewTupleIndex(0)
+	err := n.r.run(rc, func(b *batch) error {
+		for _, t := range materializeRows(b, n.rArity) {
+			remove.Add(t)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if remove.Len() == 0 {
+		return n.l.run(rc, emit)
+	}
+	hs := make([]uint64, n.cfg.bs)
+	selBuf := make([]int, 0, n.cfg.bs)
+	return n.l.run(rc, func(b *batch) error {
+		hashRows(b, hs)
+		if b.sel == nil {
+			sel := selBuf[:0]
+			for r := 0; r < b.n; r++ {
+				if remove.Len() > 0 && remove.RemoveRow(b.cols, r, hs[r]) {
+					continue
+				}
+				sel = append(sel, r)
+			}
+			b.sel = sel
+		} else {
+			k := 0
+			for _, r := range b.sel {
+				if remove.Len() > 0 && remove.RemoveRow(b.cols, r, hs[r]) {
+					continue
+				}
+				b.sel[k] = r
+				k++
+			}
+			b.sel = b.sel[:k]
+		}
+		if b.live() == 0 {
+			return nil
+		}
+		return emit(b)
+	})
+}
+
+// vhashJoinNode is the vectorized equi-join: right batches materialize
+// into the key-hashed build table, left batches probe it row-wise over
+// their selection, appending matches to an owned output batch that
+// flushes at capacity. Bucket order is right-stream order, so output
+// order matches the interpreter's nested loop exactly.
+type vhashJoinNode struct {
+	l, r           vecNode
+	lKeys, rKeys   []int
+	lArity, rArity int
+	cfg            vecConfig
+}
+
+func (n *vhashJoinNode) run(rc *runCtx, emit vecEmit) error {
+	table := map[uint64][]schema.Tuple{}
+	err := n.r.run(rc, func(b *batch) error {
+		for _, t := range materializeRows(b, n.rArity) {
+			h, ok := hashKeys(t, n.rKeys)
+			if !ok {
+				continue // NULL key: can never satisfy the equality
+			}
+			table[h] = append(table[h], t)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	out := newOwnedBatch(n.lArity+n.rArity, n.cfg.bs)
+	flush := func() error {
+		if out.n == 0 {
+			return nil
+		}
+		// The consumer may have written a selection vector onto the
+		// emitted batch (filters narrow b.sel in place); clear it before
+		// every emit or the next flush would carry a stale selection.
+		out.sel = nil
+		err := emit(out)
+		out.n = 0
+		return err
+	}
+	err = n.l.run(rc, func(b *batch) error {
+		probe := func(r int) error {
+			h, ok := hashKeyCols(b, n.lKeys, r)
+			if !ok {
+				return nil
+			}
+			for _, rt := range table[h] {
+				if !keysEqualCols(b, r, rt, n.lKeys, n.rKeys) {
+					continue // hash collision between distinct keys
+				}
+				for c := 0; c < n.lArity; c++ {
+					out.cols[c][out.n] = b.cols[c][r]
+				}
+				for c := 0; c < n.rArity; c++ {
+					out.cols[n.lArity+c][out.n] = rt[c]
+				}
+				out.n++
+				if out.n == n.cfg.bs {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if b.sel == nil {
+			for r := 0; r < b.n; r++ {
+				if err := probe(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, r := range b.sel {
+			if err := probe(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// hashKeyCols hashes the key columns of row r; ok is false when any key
+// is NULL.
+func hashKeyCols(b *batch, keys []int, r int) (h uint64, ok bool) {
+	h = schema.HashSeed
+	for _, kc := range keys {
+		v := b.cols[kc][r]
+		if v.IsNull() {
+			return 0, false
+		}
+		h = schema.HashValue(h, v)
+	}
+	return h, true
+}
+
+// keysEqualCols verifies key equality of batch row r against build
+// tuple rt (joinKeyEqual's widened-numeric semantics).
+func keysEqualCols(b *batch, r int, rt schema.Tuple, lKeys, rKeys []int) bool {
+	for i := range lKeys {
+		if !joinKeyEqual(b.cols[lKeys[i]][r], rt[rKeys[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// vnlJoinNode is the vectorized nested-loop fallback: right rows
+// materialize once, left rows stream against them with the full
+// compiled row predicate (interpreter-exact, including conditions that
+// error). The inner loop ticks its own cancellation counter since it
+// multiplies the source cardinality.
+type vnlJoinNode struct {
+	l, r           vecNode
+	pred           predFn
+	lArity, rArity int
+	cfg            vecConfig
+}
+
+func (n *vnlJoinNode) run(rc *runCtx, emit vecEmit) error {
+	var right []schema.Tuple
+	err := n.r.run(rc, func(b *batch) error {
+		right = append(right, materializeRows(b, n.rArity)...)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	out := newOwnedBatch(n.lArity+n.rArity, n.cfg.bs)
+	flush := func() error {
+		if out.n == 0 {
+			return nil
+		}
+		out.sel = nil // consumers may have narrowed the previous emit
+		err := emit(out)
+		out.n = 0
+		return err
+	}
+	buf := make(schema.Tuple, n.lArity+n.rArity)
+	ticks := 0
+	err = n.l.run(rc, func(b *batch) error {
+		inner := func(r int) error {
+			for c := 0; c < n.lArity; c++ {
+				buf[c] = b.cols[c][r]
+			}
+			for _, rt := range right {
+				ticks++
+				if ticks%cancelCheckEvery == 0 {
+					if err := rc.ctx.Err(); err != nil {
+						return err
+					}
+				}
+				copy(buf[n.lArity:], rt)
+				ok, err := n.pred(buf)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				for c, v := range buf {
+					out.cols[c][out.n] = v
+				}
+				out.n++
+				if out.n == n.cfg.bs {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if b.sel == nil {
+			for r := 0; r < b.n; r++ {
+				if err := inner(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, r := range b.sel {
+			if err := inner(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}
+
+// CompileVec lowers q into a vectorized pipelined program: operators
+// exchange column-major row batches with selection vectors instead of
+// single tuples, and scans over large relations partition across
+// workers. Semantics (including output order and error behavior) match
+// Compile and the interpreter; queries outside the compilable subset
+// return an error and the caller falls back.
+func CompileVec(q algebra.Query, db *storage.Database, opts VecOptions) (*Program, error) {
+	cfg := opts.config()
+	n, sch, err := compileVecNode(q, db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{vroot: n, out: sch}, nil
+}
+
+// EvalVec compiles and runs q vectorized in one step.
+func EvalVec(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
+	p, err := CompileVec(q, db, VecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(db)
+}
+
+// appendOp fuses op onto a chain-bearing node, or wraps other nodes in
+// a fresh chain node. outArity is the operator's output width (filters
+// keep it, projections change it).
+func appendOp(n vecNode, op vop, outArity int, cfg vecConfig) vecNode {
+	switch x := n.(type) {
+	case *vpipeNode:
+		x.ch.ops = append(x.ch.ops, op)
+		x.outArity = outArity
+		return x
+	case *vsingletonNode:
+		x.ch.ops = append(x.ch.ops, op)
+		return x
+	case *vchainNode:
+		x.ch.ops = append(x.ch.ops, op)
+		return x
+	}
+	return &vchainNode{in: n, ch: chain{ops: []vop{op}}, cfg: cfg}
+}
+
+// compileVecNode mirrors compileNode for the vectorized operator set.
+func compileVecNode(q algebra.Query, db *storage.Database, cfg vecConfig) (vecNode, *schema.Schema, error) {
+	switch x := q.(type) {
+	case *algebra.Scan:
+		r, err := db.Relation(x.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &vpipeNode{rel: x.Rel, arity: r.Schema.Arity(), outArity: r.Schema.Arity(), cfg: cfg}, r.Schema, nil
+
+	case *algebra.Select:
+		in, s, err := compileVecNode(x.In, db, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		cond, err := compileVecWhereTruth(x.Cond, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return appendOp(in, vFilterOp{cond: cond}, s.Arity(), cfg), s, nil
+
+	case *algebra.Project:
+		in, s, err := compileVecNode(x.In, db, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		fns := make([]vecScalarFn, len(x.Exprs))
+		src := make([]int, len(x.Exprs))
+		passthrough := len(x.Exprs) == s.Arity()
+		cols := make([]schema.Column, len(x.Exprs))
+		for i, ne := range x.Exprs {
+			cols[i] = schema.Col(ne.Name, algebra.ExprKind(ne.E, s))
+			src[i] = -1
+			if col, ok := ne.E.(*expr.Col); ok {
+				if j := s.ColIndex(col.Name); j >= 0 {
+					src[i] = j
+					passthrough = passthrough && j == i
+					continue
+				}
+			}
+			passthrough = false
+			fn, err := compileVecScalar(ne.E, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			fns[i] = fn
+		}
+		out := schema.New(s.Relation, cols...)
+		if passthrough {
+			// Pure rename: the node disappears from the pipeline.
+			return in, out, nil
+		}
+		return appendOp(in, vProjectOp{fns: fns, src: src}, out.Arity(), cfg), out, nil
+
+	case *algebra.Union:
+		l, ls, err := compileVecNode(x.L, db, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rs, err := compileVecNode(x.R, db, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ls.Arity() != rs.Arity() {
+			return nil, nil, fmt.Errorf("exec: union arity mismatch %d vs %d", ls.Arity(), rs.Arity())
+		}
+		return &vunionNode{l: l, r: r}, ls, nil
+
+	case *algebra.Difference:
+		l, ls, err := compileVecNode(x.L, db, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rs, err := compileVecNode(x.R, db, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &vdiffNode{l: l, r: r, rArity: rs.Arity(), cfg: cfg}, ls, nil
+
+	case *algebra.Join:
+		return compileVecJoin(x, db, cfg)
+
+	case *algebra.Singleton:
+		return &vsingletonNode{tuples: x.Tuples, arity: x.Sch.Arity(), cfg: cfg}, x.Sch, nil
+	}
+	return nil, nil, fmt.Errorf("exec: unknown query node %T", q)
+}
+
+// compileVecJoin applies the same hash-vs-nested-loop rule as the tuple
+// path: hash join only when every conjunct is a cross-side key equality.
+func compileVecJoin(x *algebra.Join, db *storage.Database, cfg vecConfig) (vecNode, *schema.Schema, error) {
+	l, ls, err := compileVecNode(x.L, db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rs, err := compileVecNode(x.R, db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]schema.Column, 0, ls.Arity()+rs.Arity())
+	cols = append(cols, ls.Columns...)
+	cols = append(cols, rs.Columns...)
+	joined := schema.New(ls.Relation, cols...)
+
+	lKeys, rKeys, residual := splitEquiJoin(x.Cond, ls, rs)
+	if len(lKeys) == 0 || residual != nil {
+		pred, err := compilePred(x.Cond, joined)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &vnlJoinNode{l: l, r: r, pred: pred, lArity: ls.Arity(), rArity: rs.Arity(), cfg: cfg}, joined, nil
+	}
+	return &vhashJoinNode{
+		l: l, r: r,
+		lKeys: lKeys, rKeys: rKeys,
+		lArity: ls.Arity(), rArity: rs.Arity(),
+		cfg: cfg,
+	}, joined, nil
+}

@@ -102,6 +102,27 @@ func BenchmarkReenactment(b *testing.B) {
 					}
 				}
 			})
+			b.Run(fmt.Sprintf("U%d/N%d/vectorized", stmts, rows), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.EvalVec(q, db); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("U%d/N%d/vectorized-reuse", stmts, rows), func(b *testing.B) {
+				prog, err := exec.CompileVec(q, db, exec.VecOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := prog.Run(db); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

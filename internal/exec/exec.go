@@ -33,10 +33,28 @@
 //   - Bag difference uses the hash-based multiset index
 //     (storage.TupleIndex) instead of fmt-built string keys.
 //
+// # Vectorized execution
+//
+// CompileVec lowers the same algebra into a vectorized program
+// (internal/exec/batch.go, vector.go): operators exchange 1024-row
+// column-major batches with selection vectors instead of single
+// tuples. Filters narrow the selection in typed tight loops,
+// projections alias identity columns through by reference and evaluate
+// only computed columns (the reenacted-UPDATE shape IF θ THEN e ELSE
+// col bulk-copies the column and overwrites satisfied rows), and scans
+// over large relations partition across workers whose buffered output
+// merges back in partition order — preserving the interpreter's exact
+// output order, not just bag semantics. Per-row lazy evaluation is
+// kept structurally: If branches and And/Or right operands run only
+// over the sub-selection the tuple-at-a-time semantics would reach, so
+// error behavior matches the oracle. Cancellation is observed between
+// batches. This is the engine's default executor.
+//
 // A Program is immutable after Compile and safe for concurrent Run
-// calls (scratch state is allocated per run), which is what lets the
-// batch engine compile a reenactment program once per fingerprint and
-// run it against many snapshots from concurrent workers.
+// calls (scratch state is allocated per run and recycled through
+// sync.Pools), which is what lets the batch engine compile a
+// reenactment program once per fingerprint and run it against many
+// snapshots from concurrent workers.
 //
 // The interpreter remains the reference oracle: core.Options.Executor
 // selects between the two, the differential fuzz tests require
@@ -98,10 +116,12 @@ func (c *runCtx) tick() error {
 
 // Program is a compiled query plan. Compile once, Run many times —
 // including concurrently and against different database versions with
-// the same schemas.
+// the same schemas. Exactly one of root (tuple-at-a-time pipeline,
+// Compile) and vroot (vectorized batch pipeline, CompileVec) is set.
 type Program struct {
-	root node
-	out  *schema.Schema
+	root  node
+	vroot vecNode
+	out   *schema.Schema
 }
 
 // OutputSchema returns the schema of the program's result.
@@ -116,15 +136,35 @@ func (p *Program) Run(db *storage.Database) (*storage.Relation, error) {
 }
 
 // RunCtx is Run under a context: the pipeline's source loops observe
-// cancellation every few thousand tuples, so a cancelled run returns
-// ctx.Err() promptly instead of streaming the full relation.
+// cancellation every few thousand tuples (tuple-at-a-time) or between
+// row batches (vectorized), so a cancelled run returns ctx.Err()
+// promptly instead of streaming the full relation.
 func (p *Program) RunCtx(ctx context.Context, db *storage.Database) (*storage.Relation, error) {
+	if p.vroot != nil {
+		return p.runVec(ctx, db)
+	}
 	out := storage.NewRelation(p.out)
 	err := p.root.run(&runCtx{db: db, ctx: ctx}, func(t schema.Tuple, owned bool) error {
 		if !owned {
 			t = t.Clone()
 		}
 		out.Tuples = append(out.Tuples, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runVec drives the vectorized pipeline: every emitted batch's live
+// rows materialize into row-major tuples backed by one arena allocation
+// per batch (not one per row).
+func (p *Program) runVec(ctx context.Context, db *storage.Database) (*storage.Relation, error) {
+	out := storage.NewRelation(p.out)
+	arity := p.out.Arity()
+	err := p.vroot.run(&runCtx{db: db, ctx: ctx}, func(b *batch) error {
+		out.Tuples = append(out.Tuples, materializeRows(b, arity)...)
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,914 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// DefaultBatchSize is the number of rows per batch in the vectorized
+// executor. 1024 rows keep a batch's working set (a handful of value
+// columns plus a selection vector) inside L2 while amortizing the
+// per-batch dispatch to well under a nanosecond per row.
+const DefaultBatchSize = 1024
+
+// batch is a fixed-capacity, column-major block of rows flowing through
+// the vectorized pipeline: cols[c][r] is column c of row r. A non-nil
+// sel lists the row indices (ascending, unique) that are still live
+// after filtering; nil means all n rows are live. Values at unselected
+// positions of computed columns are garbage and must never be read.
+//
+// Ownership: a batch and its columns are valid only for the duration of
+// the consumer's emit call — producers reuse the backing storage for
+// the next batch. Consumers that retain data (join builds, difference
+// builds, the materializing sink) copy rows out via materializeRows.
+type batch struct {
+	cols [][]types.Value
+	n    int
+	sel  []int
+}
+
+// live returns the number of selected rows.
+func (b *batch) live() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// newOwnedBatch allocates a batch with arity columns of capacity bs
+// backed by one flat allocation.
+func newOwnedBatch(arity, bs int) *batch {
+	flat := make([]types.Value, arity*bs)
+	cols := make([][]types.Value, arity)
+	for c := range cols {
+		cols[c] = flat[c*bs : (c+1)*bs : (c+1)*bs]
+	}
+	return &batch{cols: cols}
+}
+
+// materializeRows copies the live rows of b into freshly allocated
+// row-major tuples backed by a single flat arena (one allocation per
+// batch instead of one per row — the sink-side alloc win of the
+// vectorized executor).
+func materializeRows(b *batch, arity int) []schema.Tuple {
+	live := b.live()
+	if live == 0 {
+		return nil
+	}
+	flat := make([]types.Value, live*arity)
+	rows := make([]schema.Tuple, live)
+	for i := range rows {
+		rows[i] = schema.Tuple(flat[i*arity : (i+1)*arity : (i+1)*arity])
+	}
+	for c := 0; c < arity; c++ {
+		col := b.cols[c]
+		if b.sel == nil {
+			for i := 0; i < b.n; i++ {
+				flat[i*arity+c] = col[i]
+			}
+		} else {
+			for i, r := range b.sel {
+				flat[i*arity+c] = col[r]
+			}
+		}
+	}
+	return rows
+}
+
+// freezeBatch compacts the live rows of b into an owned column-major
+// batch (sel == nil). Parallel scan workers freeze their output batches
+// so the ordered merge can buffer them while the worker's scratch moves
+// on to the next batch.
+func freezeBatch(b *batch, arity int) *batch {
+	live := b.live()
+	flat := make([]types.Value, live*arity)
+	cols := make([][]types.Value, arity)
+	for c := range cols {
+		col := flat[c*live : (c+1)*live : (c+1)*live]
+		src := b.cols[c]
+		if b.sel == nil {
+			copy(col, src[:live])
+		} else {
+			for i, r := range b.sel {
+				col[i] = src[r]
+			}
+		}
+		cols[c] = col
+	}
+	return &batch{cols: cols, n: live}
+}
+
+// hashRows computes the typed tuple hash (schema.Tuple.Hash) of every
+// live row of b into hs, folding column by column for locality. hs must
+// have capacity ≥ b.n.
+func hashRows(b *batch, hs []uint64) {
+	if b.sel == nil {
+		for r := 0; r < b.n; r++ {
+			hs[r] = schema.HashSeed
+		}
+		for _, col := range b.cols {
+			for r := 0; r < b.n; r++ {
+				hs[r] = schema.HashValue(hs[r], col[r])
+			}
+		}
+		return
+	}
+	for _, r := range b.sel {
+		hs[r] = schema.HashSeed
+	}
+	for _, col := range b.cols {
+		for _, r := range b.sel {
+			hs[r] = schema.HashValue(hs[r], col[r])
+		}
+	}
+}
+
+// vecPool recycles kernel-internal scratch buffers (comparison and
+// arithmetic operand vectors, If partitions) within one pipeline run.
+// Use is strictly LIFO inside a single kernel invocation, so a small
+// free list suffices; buffers are full batch-capacity slices indexed by
+// absolute row position.
+type vecPool struct {
+	bs   int
+	vals [][]types.Value
+	trs  [][]truth
+	sels [][]int
+}
+
+func newVecPool(bs int) *vecPool { return &vecPool{bs: bs} }
+
+func (p *vecPool) getVals() []types.Value {
+	if n := len(p.vals); n > 0 {
+		v := p.vals[n-1]
+		p.vals = p.vals[:n-1]
+		return v
+	}
+	return make([]types.Value, p.bs)
+}
+
+func (p *vecPool) putVals(v []types.Value) { p.vals = append(p.vals, v) }
+
+func (p *vecPool) getTruths() []truth {
+	if n := len(p.trs); n > 0 {
+		t := p.trs[n-1]
+		p.trs = p.trs[:n-1]
+		return t
+	}
+	return make([]truth, p.bs)
+}
+
+func (p *vecPool) putTruths(t []truth) { p.trs = append(p.trs, t) }
+
+func (p *vecPool) getSel() []int {
+	if n := len(p.sels); n > 0 {
+		s := p.sels[n-1]
+		p.sels = p.sels[:n-1]
+		return s[:0]
+	}
+	return make([]int, 0, p.bs)
+}
+
+func (p *vecPool) putSel(s []int) { p.sels = append(p.sels, s) }
+
+// vecScalarFn is a compiled scalar expression over batches: it fills
+// out[r] for every live row r of b listed in sel (nil sel = all rows).
+// Rows outside sel are left untouched. Lazy per-row evaluation is
+// preserved structurally — If branches and And/Or right operands run
+// only over the sub-selection the row-at-a-time semantics would reach —
+// so an expression errors on a batch iff the interpreter errors on some
+// row of it.
+type vecScalarFn func(p *vecPool, b *batch, sel []int, out []types.Value) error
+
+// vecCondFn is a compiled boolean expression over batches at the
+// unboxed truth level.
+type vecCondFn func(p *vecPool, b *batch, sel []int, out []truth) error
+
+// compileVecScalar lowers e to a batch kernel over column ordinals of
+// s, mirroring compileScalar's semantics exactly.
+func compileVecScalar(e expr.Expr, s *schema.Schema) (vecScalarFn, error) {
+	switch x := e.(type) {
+	case *expr.Const:
+		v := x.V
+		return func(_ *vecPool, b *batch, sel []int, out []types.Value) error {
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					out[r] = v
+				}
+			} else {
+				for _, r := range sel {
+					out[r] = v
+				}
+			}
+			return nil
+		}, nil
+	case *expr.Col:
+		idx := s.ColIndex(x.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: attribute %q not in schema %s", x.Name, s)
+		}
+		return func(_ *vecPool, b *batch, sel []int, out []types.Value) error {
+			src := b.cols[idx]
+			if sel == nil {
+				copy(out[:b.n], src[:b.n])
+			} else {
+				for _, r := range sel {
+					out[r] = src[r]
+				}
+			}
+			return nil
+		}, nil
+	case *expr.Var:
+		return nil, fmt.Errorf("exec: symbolic variable %q in executable expression", x.Name)
+	case *expr.Arith:
+		if fn := compileVecArithFast(x, s); fn != nil {
+			return fn, nil
+		}
+		l, err := compileVecScalar(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVecScalar(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(p *vecPool, b *batch, sel []int, out []types.Value) error {
+			lv := p.getVals()
+			rv := p.getVals()
+			defer p.putVals(lv)
+			defer p.putVals(rv)
+			if err := l(p, b, sel, lv); err != nil {
+				return err
+			}
+			if err := r(p, b, sel, rv); err != nil {
+				return err
+			}
+			if sel == nil {
+				for i := 0; i < b.n; i++ {
+					v, err := types.Arith(op, lv[i], rv[i])
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+			} else {
+				for _, i := range sel {
+					v, err := types.Arith(op, lv[i], rv[i])
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+			}
+			return nil
+		}, nil
+	case *expr.Cmp, *expr.And, *expr.Or, *expr.Not, *expr.IsNull:
+		// Boolean node in scalar position: evaluate at the truth level,
+		// box once at the boundary.
+		c, err := compileVecCond(e, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *vecPool, b *batch, sel []int, out []types.Value) error {
+			tr := p.getTruths()
+			defer p.putTruths(tr)
+			if err := c(p, b, sel, tr); err != nil {
+				return err
+			}
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					out[r] = tr[r].value()
+				}
+			} else {
+				for _, r := range sel {
+					out[r] = tr[r].value()
+				}
+			}
+			return nil
+		}, nil
+	case *expr.If:
+		cond, err := compileVecWhereTruth(x.Cond, s)
+		if err != nil {
+			return nil, err
+		}
+		then, err := compileVecScalar(x.Then, s)
+		if err != nil {
+			return nil, err
+		}
+		// IF θ THEN e ELSE col — the shape of every reenacted UPDATE
+		// column — specializes: bulk-copy the column (a read that cannot
+		// error, so running it on then-rows too is invisible), then
+		// overwrite only the satisfied rows. No else partition, no
+		// per-row else dispatch.
+		if col, ok := x.Else.(*expr.Col); ok {
+			if idx := s.ColIndex(col.Name); idx >= 0 {
+				return func(p *vecPool, b *batch, sel []int, out []types.Value) error {
+					tr := p.getTruths()
+					defer p.putTruths(tr)
+					if err := cond(p, b, sel, tr); err != nil {
+						return err
+					}
+					selT := p.getSel()
+					defer p.putSel(selT)
+					src := b.cols[idx]
+					if sel == nil {
+						copy(out[:b.n], src[:b.n])
+						for r := 0; r < b.n; r++ {
+							if tr[r] == tTrue {
+								selT = append(selT, r)
+							}
+						}
+					} else {
+						for _, r := range sel {
+							out[r] = src[r]
+							if tr[r] == tTrue {
+								selT = append(selT, r)
+							}
+						}
+					}
+					if len(selT) == 0 {
+						return nil
+					}
+					return then(p, b, selT, out)
+				}, nil
+			}
+		}
+		els, err := compileVecScalar(x.Else, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *vecPool, b *batch, sel []int, out []types.Value) error {
+			tr := p.getTruths()
+			defer p.putTruths(tr)
+			if err := cond(p, b, sel, tr); err != nil {
+				return err
+			}
+			selT := p.getSel()
+			selF := p.getSel()
+			defer p.putSel(selT)
+			defer p.putSel(selF)
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					if tr[r] == tTrue {
+						selT = append(selT, r)
+					} else {
+						selF = append(selF, r)
+					}
+				}
+			} else {
+				for _, r := range sel {
+					if tr[r] == tTrue {
+						selT = append(selT, r)
+					} else {
+						selF = append(selF, r)
+					}
+				}
+			}
+			// Each branch runs only over the rows that take it — exactly
+			// the per-row lazy evaluation of the interpreter, so a branch
+			// that errors on untaken rows stays silent in both executors.
+			if len(selT) > 0 {
+				if err := then(p, b, selT, out); err != nil {
+					return err
+				}
+			}
+			if len(selF) > 0 {
+				if err := els(p, b, selF, out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("exec: cannot compile expression %T", e)
+}
+
+// compileVecArithFast builds the column-op-constant arithmetic kernel
+// for the reenactment hot shape (v = v + 3), or nil when no
+// specialization applies. Division is excluded (it errors on zero and
+// always yields floats); non-int runtime kinds delegate to types.Arith
+// so semantics stay oracle-exact.
+func compileVecArithFast(x *expr.Arith, s *schema.Schema) vecScalarFn {
+	if x.Op == types.OpDiv {
+		return nil
+	}
+	col, c, constOnRight := splitColConst(x.L, x.R)
+	if col == nil || c == nil || c.V.Kind() != types.KindInt {
+		return nil
+	}
+	idx := s.ColIndex(col.Name)
+	if idx < 0 {
+		return nil
+	}
+	op, cv := x.Op, c.V
+	ci := cv.AsInt()
+	// slow handles NULLs, int overflow cannot occur (wrapping matches
+	// types.Arith), and non-int runtime kinds — delegated per row so the
+	// hot loop below stays a branch and an integer op.
+	slow := func(v types.Value) (types.Value, error) {
+		if v.IsNull() {
+			return types.Null(), nil
+		}
+		if constOnRight {
+			return types.Arith(op, v, cv)
+		}
+		return types.Arith(op, cv, v)
+	}
+	fast := func(a int64) int64 {
+		b := ci
+		if !constOnRight {
+			a, b = b, a
+		}
+		switch op {
+		case types.OpAdd:
+			return a + b
+		case types.OpSub:
+			return a - b
+		default: // OpMul; OpDiv was excluded above
+			return a * b
+		}
+	}
+	return func(_ *vecPool, b *batch, sel []int, out []types.Value) error {
+		src := b.cols[idx]
+		if sel == nil {
+			for r := 0; r < b.n; r++ {
+				if v := src[r]; v.Kind() == types.KindInt {
+					out[r] = types.Int(fast(v.AsInt()))
+					continue
+				}
+				v, err := slow(src[r])
+				if err != nil {
+					return err
+				}
+				out[r] = v
+			}
+		} else {
+			for _, r := range sel {
+				if v := src[r]; v.Kind() == types.KindInt {
+					out[r] = types.Int(fast(v.AsInt()))
+					continue
+				}
+				v, err := slow(src[r])
+				if err != nil {
+					return err
+				}
+				out[r] = v
+			}
+		}
+		return nil
+	}
+}
+
+// splitColConst matches a (column, constant) operand pair in either
+// order; constOnRight reports the original orientation.
+func splitColConst(l, r expr.Expr) (col *expr.Col, c *expr.Const, constOnRight bool) {
+	if cl, ok := l.(*expr.Col); ok {
+		if cr, ok := r.(*expr.Const); ok {
+			return cl, cr, true
+		}
+	}
+	if cl, ok := r.(*expr.Col); ok {
+		if cr, ok := l.(*expr.Const); ok {
+			return cl, cr, false
+		}
+	}
+	return nil, nil, false
+}
+
+// compileVecCond lowers a boolean expression to the truth level over
+// batches, mirroring compileCond (strict connective operands, per-row
+// short-circuit via sub-selections).
+func compileVecCond(e expr.Expr, s *schema.Schema) (vecCondFn, error) {
+	switch x := e.(type) {
+	case *expr.Cmp:
+		return compileVecCmp(x, s)
+	case *expr.And:
+		l, err := compileVecCondStrict(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVecCondStrict(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *vecPool, b *batch, sel []int, out []truth) error {
+			if err := l(p, b, sel, out); err != nil {
+				return err
+			}
+			// The right operand runs only over rows the left did not
+			// decide — exactly when the interpreter evaluates it.
+			rest := p.getSel()
+			defer p.putSel(rest)
+			if sel == nil {
+				for i := 0; i < b.n; i++ {
+					if out[i] != tFalse {
+						rest = append(rest, i)
+					}
+				}
+			} else {
+				for _, i := range sel {
+					if out[i] != tFalse {
+						rest = append(rest, i)
+					}
+				}
+			}
+			if len(rest) == 0 {
+				return nil
+			}
+			rv := p.getTruths()
+			defer p.putTruths(rv)
+			if err := r(p, b, rest, rv); err != nil {
+				return err
+			}
+			for _, i := range rest {
+				if out[i] == tTrue {
+					out[i] = rv[i]
+					continue
+				}
+				// Left is NULL: FALSE dominates, anything else is NULL.
+				if rv[i] == tFalse {
+					out[i] = tFalse
+				} else {
+					out[i] = tNull
+				}
+			}
+			return nil
+		}, nil
+	case *expr.Or:
+		l, err := compileVecCondStrict(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVecCondStrict(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *vecPool, b *batch, sel []int, out []truth) error {
+			if err := l(p, b, sel, out); err != nil {
+				return err
+			}
+			rest := p.getSel()
+			defer p.putSel(rest)
+			if sel == nil {
+				for i := 0; i < b.n; i++ {
+					if out[i] != tTrue {
+						rest = append(rest, i)
+					}
+				}
+			} else {
+				for _, i := range sel {
+					if out[i] != tTrue {
+						rest = append(rest, i)
+					}
+				}
+			}
+			if len(rest) == 0 {
+				return nil
+			}
+			rv := p.getTruths()
+			defer p.putTruths(rv)
+			if err := r(p, b, rest, rv); err != nil {
+				return err
+			}
+			for _, i := range rest {
+				if out[i] == tFalse {
+					out[i] = rv[i]
+					continue
+				}
+				// Left is NULL: TRUE dominates, anything else is NULL.
+				if rv[i] == tTrue {
+					out[i] = tTrue
+				} else {
+					out[i] = tNull
+				}
+			}
+			return nil
+		}, nil
+	case *expr.Not:
+		in, err := compileVecCondStrict(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *vecPool, b *batch, sel []int, out []truth) error {
+			if err := in(p, b, sel, out); err != nil {
+				return err
+			}
+			flip := func(t truth) truth {
+				switch t {
+				case tTrue:
+					return tFalse
+				case tFalse:
+					return tTrue
+				}
+				return tNull
+			}
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					out[r] = flip(out[r])
+				}
+			} else {
+				for _, r := range sel {
+					out[r] = flip(out[r])
+				}
+			}
+			return nil
+		}, nil
+	case *expr.IsNull:
+		if col, ok := x.E.(*expr.Col); ok {
+			if idx := s.ColIndex(col.Name); idx >= 0 {
+				return func(_ *vecPool, b *batch, sel []int, out []truth) error {
+					src := b.cols[idx]
+					if sel == nil {
+						for r := 0; r < b.n; r++ {
+							out[r] = boolTruth(src[r].IsNull())
+						}
+					} else {
+						for _, r := range sel {
+							out[r] = boolTruth(src[r].IsNull())
+						}
+					}
+					return nil
+				}, nil
+			}
+		}
+		in, err := compileVecScalar(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *vecPool, b *batch, sel []int, out []truth) error {
+			sv := p.getVals()
+			defer p.putVals(sv)
+			if err := in(p, b, sel, sv); err != nil {
+				return err
+			}
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					out[r] = boolTruth(sv[r].IsNull())
+				}
+			} else {
+				for _, r := range sel {
+					out[r] = boolTruth(sv[r].IsNull())
+				}
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("exec: not a boolean expression %T", e)
+}
+
+func boolTruth(ok bool) truth {
+	if ok {
+		return tTrue
+	}
+	return tFalse
+}
+
+// compileVecCondStrict compiles a connective operand: boolean nodes at
+// the truth level, anything else as a scalar whose non-NULL non-boolean
+// results are evaluation errors (compileCondStrict's semantics).
+func compileVecCondStrict(e expr.Expr, s *schema.Schema) (vecCondFn, error) {
+	if isBoolNode(e) {
+		return compileVecCond(e, s)
+	}
+	fn, err := compileVecScalar(e, s)
+	if err != nil {
+		return nil, err
+	}
+	return func(p *vecPool, b *batch, sel []int, out []truth) error {
+		sv := p.getVals()
+		defer p.putVals(sv)
+		if err := fn(p, b, sel, sv); err != nil {
+			return err
+		}
+		if sel == nil {
+			for r := 0; r < b.n; r++ {
+				t, err := truthOf(sv[r])
+				if err != nil {
+					return err
+				}
+				out[r] = t
+			}
+		} else {
+			for _, r := range sel {
+				t, err := truthOf(sv[r])
+				if err != nil {
+					return err
+				}
+				out[r] = t
+			}
+		}
+		return nil
+	}, nil
+}
+
+// compileVecWhereTruth compiles a condition under WHERE semantics to
+// the truth level: rows satisfy iff the result is tTrue; NULL and
+// non-boolean results count as not satisfied, never as errors (mirrors
+// compileWhere / expr.Satisfied).
+func compileVecWhereTruth(e expr.Expr, s *schema.Schema) (vecCondFn, error) {
+	if isBoolNode(e) {
+		return compileVecCond(e, s)
+	}
+	fn, err := compileVecScalar(e, s)
+	if err != nil {
+		return nil, err
+	}
+	return func(p *vecPool, b *batch, sel []int, out []truth) error {
+		sv := p.getVals()
+		defer p.putVals(sv)
+		if err := fn(p, b, sel, sv); err != nil {
+			return err
+		}
+		if sel == nil {
+			for r := 0; r < b.n; r++ {
+				out[r] = boolTruth(sv[r].IsTrue())
+			}
+		} else {
+			for _, r := range sel {
+				out[r] = boolTruth(sv[r].IsTrue())
+			}
+		}
+		return nil
+	}, nil
+}
+
+// compileVecCmp lowers a comparison: column-vs-constant gets the typed
+// tight-loop fast path, everything else evaluates both operand vectors
+// and compares row-wise through the oracle-exact evalCmpTruth.
+func compileVecCmp(x *expr.Cmp, s *schema.Schema) (vecCondFn, error) {
+	if c, ok := x.R.(*expr.Const); ok {
+		if col, ok2 := x.L.(*expr.Col); ok2 {
+			if fn := compileVecColConstCmp(x.Op, col, c.V, s); fn != nil {
+				return fn, nil
+			}
+		}
+	}
+	if c, ok := x.L.(*expr.Const); ok {
+		if col, ok2 := x.R.(*expr.Col); ok2 {
+			if fn := compileVecColConstCmp(x.Op.Flip(), col, c.V, s); fn != nil {
+				return fn, nil
+			}
+		}
+	}
+	l, err := compileVecScalar(x.L, s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileVecScalar(x.R, s)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	return func(p *vecPool, b *batch, sel []int, out []truth) error {
+		lv := p.getVals()
+		rv := p.getVals()
+		defer p.putVals(lv)
+		defer p.putVals(rv)
+		if err := l(p, b, sel, lv); err != nil {
+			return err
+		}
+		if err := r(p, b, sel, rv); err != nil {
+			return err
+		}
+		if sel == nil {
+			for i := 0; i < b.n; i++ {
+				t, err := evalCmpTruth(op, lv[i], rv[i])
+				if err != nil {
+					return err
+				}
+				out[i] = t
+			}
+		} else {
+			for _, i := range sel {
+				t, err := evalCmpTruth(op, lv[i], rv[i])
+				if err != nil {
+					return err
+				}
+				out[i] = t
+			}
+		}
+		return nil
+	}, nil
+}
+
+// compileVecColConstCmp is the vectorized column-vs-constant comparison
+// (nil when no specialization applies). The loop bodies are written out
+// per constant kind and selection shape — no per-row closure dispatch —
+// and runtime kinds outside the specialized domain delegate per row to
+// evalCmpTruth, keeping the semantics of the generic path exactly.
+func compileVecColConstCmp(op expr.CmpOp, col *expr.Col, cv types.Value, s *schema.Schema) vecCondFn {
+	idx := s.ColIndex(col.Name)
+	if idx < 0 {
+		return nil
+	}
+	switch {
+	case cv.IsNumeric():
+		cf := cv.AsFloat()
+		if math.IsNaN(cf) {
+			return nil
+		}
+		return func(_ *vecPool, b *batch, sel []int, out []truth) error {
+			src := b.cols[idx]
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					v := src[r]
+					if v.IsNumeric() {
+						if f := v.AsFloat(); !math.IsNaN(f) {
+							t, err := cmpOrdered(op, f, cf)
+							if err != nil {
+								return err
+							}
+							out[r] = t
+							continue
+						}
+					} else if v.IsNull() {
+						out[r] = tNull
+						continue
+					}
+					t, err := evalCmpTruth(op, v, cv)
+					if err != nil {
+						return err
+					}
+					out[r] = t
+				}
+				return nil
+			}
+			for _, r := range sel {
+				v := src[r]
+				if v.IsNumeric() {
+					if f := v.AsFloat(); !math.IsNaN(f) {
+						t, err := cmpOrdered(op, f, cf)
+						if err != nil {
+							return err
+						}
+						out[r] = t
+						continue
+					}
+				} else if v.IsNull() {
+					out[r] = tNull
+					continue
+				}
+				t, err := evalCmpTruth(op, v, cv)
+				if err != nil {
+					return err
+				}
+				out[r] = t
+			}
+			return nil
+		}
+	case cv.Kind() == types.KindString:
+		cs := cv.AsString()
+		return func(_ *vecPool, b *batch, sel []int, out []truth) error {
+			src := b.cols[idx]
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					v := src[r]
+					if v.Kind() == types.KindString {
+						t, err := cmpOrdered(op, v.AsString(), cs)
+						if err != nil {
+							return err
+						}
+						out[r] = t
+						continue
+					}
+					if v.IsNull() {
+						out[r] = tNull
+						continue
+					}
+					t, err := evalCmpTruth(op, v, cv)
+					if err != nil {
+						return err
+					}
+					out[r] = t
+				}
+				return nil
+			}
+			for _, r := range sel {
+				v := src[r]
+				if v.Kind() == types.KindString {
+					t, err := cmpOrdered(op, v.AsString(), cs)
+					if err != nil {
+						return err
+					}
+					out[r] = t
+					continue
+				}
+				if v.IsNull() {
+					out[r] = tNull
+					continue
+				}
+				t, err := evalCmpTruth(op, v, cv)
+				if err != nil {
+					return err
+				}
+				out[r] = t
+			}
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,530 @@
+package exec_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/exec"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/reenact"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// requireSameRelation asserts exact equality — same schema, same
+// tuples, same order. The vectorized executor (parallel scans included:
+// the merge stage emits partitions in order) preserves the
+// interpreter's output order, so no bag-level slack is needed.
+func requireSameRelation(t *testing.T, label string, want, got *storage.Relation) {
+	t.Helper()
+	if !got.Schema.Equal(want.Schema) {
+		t.Fatalf("%s: schema %s, want %s", label, got.Schema, want.Schema)
+	}
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("%s: %d tuples, want %d\ngot:\n%s\nwant:\n%s", label, len(got.Tuples), len(want.Tuples), got, want)
+	}
+	for i := range want.Tuples {
+		if !got.Tuples[i].Equal(want.Tuples[i]) {
+			t.Fatalf("%s: tuple %d = %s, want %s", label, i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+}
+
+// TestVectorizedMatchesInterpreter runs the full plan-shape battery
+// (fused chains, unions, differences, joins, nested combinations) and
+// requires the vectorized executor to produce the interpreter's exact
+// output.
+func TestVectorizedMatchesInterpreter(t *testing.T) {
+	db := testDB()
+	for name, q := range testQueries(t, db) {
+		t.Run(name, func(t *testing.T) {
+			want, err := algebra.Eval(q, db)
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			got, err := exec.EvalVec(q, db)
+			if err != nil {
+				t.Fatalf("vectorized: %v", err)
+			}
+			requireSameRelation(t, name, want, got)
+		})
+	}
+}
+
+// boundaryDB builds a relation with exactly rows tuples, deterministic
+// contents, some NULLs.
+func boundaryDB(rows int) *storage.Database {
+	db := storage.NewDatabase()
+	r := storage.NewRelation(schema.New("t",
+		schema.Col("k", types.KindInt),
+		schema.Col("v", types.KindInt),
+		schema.Col("g", types.KindString),
+	))
+	groups := []string{"a", "b", "c", "d"}
+	for i := 0; i < rows; i++ {
+		v := types.Value(types.Int(int64(i % 997)))
+		if i%41 == 0 {
+			v = types.Null()
+		}
+		r.Add(schema.NewTuple(types.Int(int64(i)), v, types.String(groups[i%len(groups)])))
+	}
+	db.AddRelation(r)
+	return db
+}
+
+// boundaryQueries are the shapes whose batch handling has edges: empty
+// output, all-filtered batches, selection-narrowed projections, and
+// multiset operators fed partial batches.
+func boundaryQueries(t *testing.T, db *storage.Database) map[string]algebra.Query {
+	t.Helper()
+	tSch, err := algebra.OutputSchema(&algebra.Scan{Rel: "t"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := func() algebra.Query { return &algebra.Scan{Rel: "t"} }
+	updExprs := algebra.IdentityProjection(tSch)
+	updExprs[1].E = expr.IfThenElse(mustCond(t, "v >= 100"),
+		expr.Add(expr.Column("v"), expr.IntConst(7)), expr.Column("v"))
+	return map[string]algebra.Query{
+		"scan":         scan(),
+		"all-filtered": &algebra.Select{Cond: mustCond(t, "v < 0"), In: scan()},
+		"all-pass":     &algebra.Select{Cond: mustCond(t, "k >= 0"), In: scan()},
+		"half":         &algebra.Select{Cond: mustCond(t, "v < 498"), In: scan()},
+		"update-chain": &algebra.Project{Exprs: updExprs,
+			In: &algebra.Select{Cond: mustCond(t, "g = 'a' OR g = 'b' OR v IS NULL"), In: scan()}},
+		"self-diff": &algebra.Difference{L: scan(), R: &algebra.Select{Cond: mustCond(t, "g = 'c'"), In: scan()}},
+		"self-join": &algebra.Project{
+			Exprs: []algebra.NamedExpr{{Name: "k", E: expr.Column("k")}},
+			In:    &algebra.Select{Cond: mustCond(t, "v = 3"), In: scan()},
+		},
+	}
+}
+
+// TestVectorizedBatchBoundaries sweeps relation sizes around the batch
+// size — 0, 1, 1023, 1024, 1025 rows, plus a multi-batch size — across
+// the boundary query shapes, comparing all three executors exactly.
+// The all-filtered shape drives whole batches to an empty selection
+// (they must vanish, not emit empty batches or stale rows).
+func TestVectorizedBatchBoundaries(t *testing.T) {
+	for _, rows := range []int{0, 1, 1023, 1024, 1025, 3*1024 + 17} {
+		db := boundaryDB(rows)
+		for name, q := range boundaryQueries(t, db) {
+			label := fmt.Sprintf("N%d/%s", rows, name)
+			want, err := algebra.Eval(q, db)
+			if err != nil {
+				t.Fatalf("%s: interpreter: %v", label, err)
+			}
+			compiled, err := exec.Eval(q, db)
+			if err != nil {
+				t.Fatalf("%s: compiled: %v", label, err)
+			}
+			requireSameRelation(t, label+"/compiled", want, compiled)
+			vec, err := exec.EvalVec(q, db)
+			if err != nil {
+				t.Fatalf("%s: vectorized: %v", label, err)
+			}
+			requireSameRelation(t, label+"/vectorized", want, vec)
+		}
+	}
+}
+
+// TestVectorizedErrorParity pins per-row lazy evaluation: conditional
+// branches and short-circuited connective operands must evaluate over
+// exactly the rows the interpreter evaluates them on, so an expression
+// that errors on untaken rows errors in neither executor — and one that
+// errors on a reachable row errors in both.
+func TestVectorizedErrorParity(t *testing.T) {
+	build := func(vals ...int64) *storage.Database {
+		db := storage.NewDatabase()
+		r := storage.NewRelation(schema.New("t",
+			schema.Col("k", types.KindInt),
+			schema.Col("v", types.KindInt),
+		))
+		for i, v := range vals {
+			r.Add(schema.NewTuple(types.Int(int64(i)), types.Int(v)))
+		}
+		db.AddRelation(r)
+		return db
+	}
+	divByV := expr.Gt(expr.Div(expr.IntConst(100), expr.Column("v")), expr.IntConst(0))
+	cases := []struct {
+		name string
+		db   *storage.Database
+		q    algebra.Query
+	}{
+		// OR short-circuit: 100/v only evaluates where v <= 0 fails… v>0
+		// is true for all rows, so the erroring right operand is dead.
+		{"or-shortcircuit-dead", build(1, 2, 3),
+			&algebra.Select{Cond: expr.OrOf(mustCond(t, "v > 0"), divByV), In: &algebra.Scan{Rel: "t"}}},
+		// …and live once a row fails the left operand.
+		{"or-shortcircuit-live", build(1, 0, 3),
+			&algebra.Select{Cond: expr.OrOf(mustCond(t, "v > 0"), divByV), In: &algebra.Scan{Rel: "t"}}},
+		// AND short-circuit mirror.
+		{"and-shortcircuit-dead", build(1, 2, 3),
+			&algebra.Select{Cond: expr.AndOf(mustCond(t, "v < 0"), divByV), In: &algebra.Scan{Rel: "t"}}},
+		// IF guards a division: the then-branch only runs where v != 0.
+		{"if-guarded-div", build(5, 0, 7),
+			&algebra.Project{Exprs: []algebra.NamedExpr{{Name: "x",
+				E: expr.IfThenElse(mustCond(t, "v > 0"), expr.Div(expr.IntConst(100), expr.Column("v")), expr.IntConst(0)),
+			}}, In: &algebra.Scan{Rel: "t"}}},
+		// Unguarded division over a zero row errors everywhere.
+		{"unguarded-div", build(5, 0, 7),
+			&algebra.Project{Exprs: []algebra.NamedExpr{{Name: "x",
+				E: expr.Div(expr.IntConst(100), expr.Column("v")),
+			}}, In: &algebra.Scan{Rel: "t"}}},
+		// Type error reachable behind a filter: rows that never pass the
+		// filter must not be evaluated by downstream projections.
+		{"filtered-type-error", build(1, 2, 3),
+			&algebra.Project{Exprs: []algebra.NamedExpr{{Name: "x",
+				E: expr.Add(expr.Column("v"), expr.StringConst("boom")),
+			}}, In: &algebra.Select{Cond: mustCond(t, "v < 0"), In: &algebra.Scan{Rel: "t"}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, errI := algebra.Eval(c.q, c.db)
+			gotC, errC := exec.Eval(c.q, c.db)
+			gotV, errV := exec.EvalVec(c.q, c.db)
+			if (errI == nil) != (errC == nil) || (errI == nil) != (errV == nil) {
+				t.Fatalf("error divergence: interpreter=%v compiled=%v vectorized=%v", errI, errC, errV)
+			}
+			if errI != nil {
+				return
+			}
+			requireSameRelation(t, "compiled", want, gotC)
+			requireSameRelation(t, "vectorized", want, gotV)
+		})
+	}
+}
+
+// parallelOptions forces partitioned parallel scans regardless of the
+// host's CPU count, so the worker/merge machinery is exercised (and
+// raced) even on a single-core CI runner.
+var parallelOptions = exec.VecOptions{Workers: 4, MinParallelRows: 1}
+
+// TestParallelScanMatchesSequential compiles the boundary battery with
+// forced 4-way parallel scans and requires output identical to the
+// interpreter — the ordered merge must reproduce the sequential order
+// exactly, not just the bag.
+func TestParallelScanMatchesSequential(t *testing.T) {
+	for _, rows := range []int{1, 100, 1024, 3*1024 + 17} {
+		db := boundaryDB(rows)
+		for name, q := range boundaryQueries(t, db) {
+			label := fmt.Sprintf("N%d/%s", rows, name)
+			want, err := algebra.Eval(q, db)
+			if err != nil {
+				t.Fatalf("%s: interpreter: %v", label, err)
+			}
+			prog, err := exec.CompileVec(q, db, parallelOptions)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", label, err)
+			}
+			got, err := prog.Run(db)
+			if err != nil {
+				t.Fatalf("%s: parallel run: %v", label, err)
+			}
+			requireSameRelation(t, label, want, got)
+		}
+	}
+}
+
+// TestParallelScanRaceStress hammers one compiled program with
+// concurrent RunCtx calls over a shared snapshot while each run itself
+// fans out scan workers — the -race job's witness that per-run state
+// (chain scratch, pools, partition buffers) is never shared across
+// runs, and that shared snapshots stay read-only under the parallel
+// scan.
+func TestParallelScanRaceStress(t *testing.T) {
+	db := boundaryDB(2048)
+	var h history.History
+	for _, src := range []string{
+		`UPDATE t SET v = v + 1 WHERE g = 'a'`,
+		`DELETE FROM t WHERE v < 10 AND g = 'd'`,
+		`UPDATE t SET v = 0 WHERE v >= 900`,
+	} {
+		h = append(h, sql.MustParseStatement(src))
+	}
+	vdb := storage.NewVersioned(db)
+	for _, st := range h {
+		if err := vdb.Apply(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := storage.NewSnapshotCache(vdb)
+	snap, err := snaps.Snapshot(1) // a shared, read-only mid-history state
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, q := range boundaryQueries(t, snap) {
+		prog, err := exec.CompileVec(q, snap, parallelOptions)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		want, err := prog.Run(snap)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					got, err := prog.RunCtx(context.Background(), snap)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if !got.EqualAsBag(want) {
+						errs[g] = fmt.Errorf("concurrent parallel run diverged")
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestVectorizedCancelBetweenBatches proves cancellation is observed at
+// batch granularity: a pre-cancelled context aborts a vectorized run
+// over a relation far smaller than the tuple path's 4096-tuple tick
+// cadence (where the compiled path would stream to completion without
+// ever checking).
+func TestVectorizedCancelBetweenBatches(t *testing.T) {
+	db := boundaryDB(2*1024 + 50) // 3 batches, under one tuple-path tick
+	q := &algebra.Select{Cond: mustCond(t, "v >= 0"), In: &algebra.Scan{Rel: "t"}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	prog, err := exec.CompileVec(q, db, exec.VecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.RunCtx(ctx, db); err != context.Canceled {
+		t.Fatalf("sequential vectorized run under a cancelled ctx returned %v, want context.Canceled", err)
+	}
+
+	par, err := exec.CompileVec(q, db, parallelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.RunCtx(ctx, db); err != context.Canceled {
+		t.Fatalf("parallel vectorized run under a cancelled ctx returned %v, want context.Canceled", err)
+	}
+
+	// Sanity: the same context still runs clean when not cancelled.
+	if _, err := prog.RunCtx(context.Background(), db); err != nil {
+		t.Fatalf("uncancelled run: %v", err)
+	}
+}
+
+// TestVectorizedRandomizedPlans cross-validates all three executors
+// over randomly generated plans (σ/Π/∪/− trees with NULL-bearing data).
+func TestVectorizedRandomizedPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := testDB()
+	rSch, err := algebra.OutputSchema(&algebra.Scan{Rel: "r"}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var build func(depth int) algebra.Query
+	build = func(depth int) algebra.Query {
+		if depth <= 0 {
+			return &algebra.Scan{Rel: "r"}
+		}
+		switch rng.Intn(6) {
+		case 0:
+			cond := mustCond(t, fmt.Sprintf("v %s %d", []string{">", "<=", "="}[rng.Intn(3)], rng.Intn(60)))
+			return &algebra.Select{Cond: cond, In: build(depth - 1)}
+		case 1:
+			exprs := algebra.IdentityProjection(rSch)
+			exprs[rng.Intn(2)].E = expr.IfThenElse(
+				mustCond(t, fmt.Sprintf("k >= %d", rng.Intn(5))),
+				expr.Add(expr.Column("v"), expr.IntConst(int64(rng.Intn(9)))),
+				expr.Column("v"))
+			return &algebra.Project{Exprs: exprs, In: build(depth - 1)}
+		case 2:
+			return &algebra.Union{L: build(depth - 1), R: build(depth - 1)}
+		case 3:
+			return &algebra.Difference{L: build(depth - 1), R: build(depth - 1)}
+		case 4:
+			return &algebra.Select{Cond: mustCond(t, "v IS NULL OR g = 'a'"), In: build(depth - 1)}
+		default:
+			return &algebra.Select{Cond: mustCond(t, "g = 'a' OR g = 'b'"), In: build(depth - 1)}
+		}
+	}
+	trials := 80
+	if testing.Short() {
+		trials = 20
+	}
+	for i := 0; i < trials; i++ {
+		q := build(2 + rng.Intn(3))
+		want, errW := algebra.Eval(q, db)
+		got, errG := exec.EvalVec(q, db)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: error divergence: interpreter=%v vectorized=%v\n%s", i, errW, errG, q)
+		}
+		if errW != nil {
+			continue
+		}
+		requireSameRelation(t, fmt.Sprintf("trial %d: %s", i, q), want, got)
+	}
+}
+
+// TestVectorizedRunDoesNotMutateSharedTuples extends the scan aliasing
+// invariant to the vectorized paths (including parallel scans): base
+// relation tuples flow into column batches and must never be written.
+func TestVectorizedRunDoesNotMutateSharedTuples(t *testing.T) {
+	db := testDB()
+	before := map[string][]schema.Tuple{}
+	for _, name := range db.RelationNames() {
+		r, _ := db.Relation(name)
+		for _, tp := range r.Tuples {
+			before[name] = append(before[name], tp.Clone())
+		}
+	}
+	for name, q := range testQueries(t, db) {
+		if _, err := exec.EvalVec(q, db); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prog, err := exec.CompileVec(q, db, parallelOptions)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := prog.Run(db); err != nil {
+			t.Fatalf("%s: parallel: %v", name, err)
+		}
+	}
+	for _, name := range db.RelationNames() {
+		r, _ := db.Relation(name)
+		for i, tp := range r.Tuples {
+			if !tp.Equal(before[name][i]) {
+				t.Fatalf("relation %s tuple %d mutated: %s, was %s", name, i, tp, before[name][i])
+			}
+		}
+	}
+}
+
+// TestVectorizedReenactmentChain runs the production reenactment shape
+// through the vectorized executor against both oracles.
+func TestVectorizedReenactmentChain(t *testing.T) {
+	db := testDB()
+	var h history.History
+	for _, src := range []string{
+		`UPDATE r SET v = v + 1 WHERE k >= 2`,
+		`INSERT INTO r VALUES (7, 70, 'd'), (8, 80, 'd')`,
+		`DELETE FROM r WHERE g = 'c'`,
+		`UPDATE r SET v = 0, k = k + 1 WHERE v > 50`,
+		`INSERT INTO r SELECT k2, 0, 'q' FROM s2 WHERE w > 2`,
+		`UPDATE r SET v = v * 2 WHERE g = 'd' OR v IS NULL`,
+	} {
+		h = append(h, sql.MustParseStatement(src))
+	}
+	qs, err := reenact.Queries(h, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs["r"]
+	want, err := algebra.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.EvalVec(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRelation(t, "reenactment", want, got)
+}
+
+// TestFilterOverMultiBatchJoin is the regression test for a stale
+// selection vector on reused join output batches: a filter (and a
+// difference) consuming a join whose output spans several 1024-row
+// batches writes b.sel onto the emitted batch, and the join's next
+// flush must not carry that selection over. Before the fix, the second
+// and later batches evaluated only the previous batch's selected rows.
+func TestFilterOverMultiBatchJoin(t *testing.T) {
+	const rows = 1600 // join output spans two 1024-row batches
+	db := storage.NewDatabase()
+	a := storage.NewRelation(schema.New("a", schema.Col("x", types.KindInt)))
+	for i := 0; i < rows; i++ {
+		a.Add(schema.NewTuple(types.Int(int64(i))))
+	}
+	db.AddRelation(a)
+	bRel := storage.NewRelation(schema.New("b", schema.Col("y", types.KindInt), schema.Col("tag", types.KindString)))
+	for i := 0; i < rows; i++ {
+		bRel.Add(schema.NewTuple(types.Int(int64(i)), types.String([]string{"p", "q"}[i%2])))
+	}
+	db.AddRelation(bRel)
+	join := &algebra.Join{L: &algebra.Scan{Rel: "a"}, R: &algebra.Scan{Rel: "b"},
+		Cond: expr.Eq(expr.Column("x"), expr.Column("y"))}
+	for name, q := range map[string]algebra.Query{
+		"filter-over-hash-join": &algebra.Select{Cond: mustCond(t, "x > 600"), In: join},
+		"diff-over-hash-join": &algebra.Difference{
+			L: join,
+			R: &algebra.Select{Cond: mustCond(t, "tag = 'p'"), In: join},
+		},
+		"filter-over-nl-join": &algebra.Select{Cond: mustCond(t, "x > 1200"),
+			In: &algebra.Join{L: &algebra.Scan{Rel: "a"}, R: &algebra.Scan{Rel: "b"},
+				Cond: mustCond(t, "x = y AND tag = 'q'")}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			want, err := algebra.Eval(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := exec.EvalVec(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRelation(t, name, want, got)
+		})
+	}
+}
+
+// TestDifferenceArityMismatch pins the degenerate difference whose
+// sides have different arities: no right tuple can equal a left tuple,
+// so every executor must return the left bag unchanged (and certainly
+// not panic or remove prefix-matching rows).
+func TestDifferenceArityMismatch(t *testing.T) {
+	db := storage.NewDatabase()
+	wide := storage.NewRelation(schema.New("wide", schema.Col("x", types.KindInt), schema.Col("z", types.KindInt)))
+	wide.Add(schema.NewTuple(types.Int(1), types.Int(10)), schema.NewTuple(types.Int(2), types.Int(20)))
+	db.AddRelation(wide)
+	narrow := storage.NewRelation(schema.New("narrow", schema.Col("x", types.KindInt)))
+	narrow.Add(schema.NewTuple(types.Int(1)), schema.NewTuple(types.Int(2)))
+	db.AddRelation(narrow)
+	for name, q := range map[string]algebra.Query{
+		"wide-minus-narrow": &algebra.Difference{L: &algebra.Scan{Rel: "wide"}, R: &algebra.Scan{Rel: "narrow"}},
+		"narrow-minus-wide": &algebra.Difference{L: &algebra.Scan{Rel: "narrow"}, R: &algebra.Scan{Rel: "wide"}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			want, err := algebra.Eval(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotC, err := exec.Eval(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRelation(t, name+"/compiled", want, gotC)
+			gotV, err := exec.EvalVec(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRelation(t, name+"/vectorized", want, gotV)
+		})
+	}
+}

@@ -1,0 +1,142 @@
+// Compiled statement application: Update, Delete, and INSERT…SELECT
+// route through single-statement reenactment programs evaluated by the
+// vectorized executor, so time-travel replay (storage.VersionCtx /
+// SnapshotCtx extension) and the naive algorithm's history execution
+// run at executor speed instead of allocating an expr.Env per tuple.
+//
+// Semantics are pinned to the naive per-tuple loops: the compiled form
+// of U_{Set,θ} is the generalized projection Π with per-attribute
+// IF θ THEN e ELSE col (evaluating the WHERE condition and the SET
+// expressions over exactly the rows the loop evaluates them on), D_θ is
+// σ_{¬θ}, and I_Q evaluates Q through the executor that the
+// differential tests hold equal to the interpreter. Statements outside
+// the compilable subset fall back to the naive loops, so routing can
+// change speed but never observable behavior — the property tests in
+// apply_exec_test.go enforce this over randomized histories at every
+// version position.
+package history
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/exec"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// progMemo caches a statement's compiled program. Statements are
+// immutable once logged but replayed many times (every VersionCtx /
+// snapshot extension walks the redo log), so compiling per Apply would
+// waste the win on short relations. The cache is guarded by the target
+// relation's schema layout: database clones carry fresh *Schema values,
+// and a program compiled against one layout runs against any
+// layout-equal relation (kernels address column ordinals; runtime
+// dispatch is value-kind based). Only single-relation statement queries
+// (UPDATE's Π, DELETE's σ over their own scan) are memoized — an
+// INSERT…SELECT query may scan several relations, which one schema
+// cannot guard.
+type progMemo struct {
+	mu sync.Mutex
+	// sch is the layout the outcome below was computed for. A non-nil
+	// sch with a nil prog caches a compilation failure (including the
+	// deliberate all-identity fallback), so non-compilable statements
+	// pay one compile attempt per layout, not one per replayed Apply.
+	sch  *schema.Schema
+	prog *exec.Program
+}
+
+// program returns the cached outcome for a layout-equal schema, or
+// compiles (holding the lock — compilation is microseconds) and caches
+// the outcome either way. nil means the statement is outside the
+// compilable subset for this layout.
+func (m *progMemo) program(sch *schema.Schema, compile func() (*exec.Program, error)) *exec.Program {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sch != nil && m.sch.Equal(sch) {
+		return m.prog
+	}
+	m.sch, m.prog = nil, nil
+	prog, err := compile()
+	if err != nil {
+		m.sch = sch
+		return nil
+	}
+	m.sch, m.prog = sch, prog
+	return prog
+}
+
+// applyCompiled executes the update as Π over the base scan and swaps
+// the relation's tuples. done is false when the statement is outside
+// the compilable subset and the caller must run the naive loop.
+func (u *Update) applyCompiled(db *storage.Database, rel *storage.Relation, vec []expr.Expr) (done bool, err error) {
+	prog := u.memo.program(rel.Schema, func() (*exec.Program, error) {
+		exprs := make([]algebra.NamedExpr, len(vec))
+		wrapped := false
+		for i, c := range rel.Schema.Columns {
+			if col, ok := vec[i].(*expr.Col); ok && strings.EqualFold(col.Name, c.Name) {
+				// Identity column: no conditional needed.
+				exprs[i] = algebra.NamedExpr{Name: c.Name, E: vec[i]}
+				continue
+			}
+			wrapped = true
+			exprs[i] = algebra.NamedExpr{
+				Name: c.Name,
+				E:    expr.IfThenElse(u.Where, vec[i], expr.Column(c.Name)),
+			}
+		}
+		if !wrapped {
+			// Every SET column is an identity: the projection would
+			// collapse to a passthrough scan and θ would never be
+			// evaluated — silently dropping WHERE evaluation errors the
+			// naive loop surfaces (e.g. a division by zero in θ). Let
+			// the oracle loop handle this degenerate shape.
+			return nil, errAllIdentity
+		}
+		return exec.CompileVec(&algebra.Project{Exprs: exprs, In: &algebra.Scan{Rel: u.Rel}}, db, exec.VecOptions{})
+	})
+	if prog == nil {
+		return false, nil
+	}
+	res, err := prog.Run(db)
+	if err != nil {
+		return true, err
+	}
+	rel.Tuples = res.Tuples
+	return true, nil
+}
+
+// errAllIdentity marks the all-identity UPDATE shape that must take the
+// naive loop so θ still evaluates per row.
+var errAllIdentity = errors.New("history: all-identity update routes to the naive loop")
+
+// applyCompiled executes the delete as σ_{¬θ} over the base scan.
+func (d *Delete) applyCompiled(db *storage.Database, rel *storage.Relation) (done bool, err error) {
+	prog := d.memo.program(rel.Schema, func() (*exec.Program, error) {
+		q := &algebra.Select{Cond: expr.Negation(d.Where), In: &algebra.Scan{Rel: d.Rel}}
+		return exec.CompileVec(q, db, exec.VecOptions{})
+	})
+	if prog == nil {
+		return false, nil
+	}
+	res, err := prog.Run(db)
+	if err != nil {
+		return true, err
+	}
+	rel.Tuples = res.Tuples
+	return true, nil
+}
+
+// evalStatementQuery evaluates an INSERT…SELECT query through the
+// vectorized executor, falling back to the interpreter outside the
+// compilable subset.
+func evalStatementQuery(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
+	prog, err := exec.CompileVec(q, db, exec.VecOptions{})
+	if err != nil {
+		return algebra.Eval(q, db)
+	}
+	return prog.Run(db)
+}

@@ -40,17 +40,23 @@ type SetClause struct {
 }
 
 // Update is U_{Set,θ}(R): tuples satisfying Where are rewritten by Set,
-// all others pass through (Eq. 1).
+// all others pass through (Eq. 1). Updates are used through pointers
+// (the memo embeds a lock).
 type Update struct {
 	Rel   string
 	Set   []SetClause
 	Where expr.Expr
+
+	memo progMemo // compiled-application cache, see apply_exec.go
 }
 
 // Delete is D_θ(R): removes the tuples satisfying Where (Eq. 2).
+// Deletes are used through pointers (the memo embeds a lock).
 type Delete struct {
 	Rel   string
 	Where expr.Expr
+
+	memo progMemo
 }
 
 // InsertValues is I_t(R) generalized to a batch of constant tuples
@@ -146,7 +152,10 @@ func (u *Update) setVector(s *schema.Schema) ([]expr.Expr, error) {
 func (u *Update) SetVector(s *schema.Schema) ([]expr.Expr, error) { return u.setVector(s) }
 
 // Apply implements Eq. 1. The condition must evaluate to true for a
-// tuple to be rewritten; NULL counts as not satisfied.
+// tuple to be rewritten; NULL counts as not satisfied. Application
+// routes through a compiled single-statement program (see
+// applyCompiled) with the naive per-tuple loop as fallback and
+// reference semantics.
 func (u *Update) Apply(db *storage.Database) error {
 	rel, err := db.Relation(u.Rel)
 	if err != nil {
@@ -164,6 +173,16 @@ func (u *Update) Apply(db *storage.Database) error {
 			return err
 		}
 	}
+	if done, err := u.applyCompiled(db, rel, vec); done {
+		return err
+	}
+	return u.applyNaive(rel, vec)
+}
+
+// applyNaive is the reference tuple-at-a-time loop for Eq. 1 (kept as
+// the oracle of the compiled-application property tests and as the
+// fallback for statements outside the compilable subset).
+func (u *Update) applyNaive(rel *storage.Relation, vec []expr.Expr) error {
 	for ti, t := range rel.Tuples {
 		ok, err := expr.Satisfied(u.Where, rel.Schema, t)
 		if err != nil {
@@ -189,7 +208,8 @@ func (u *Update) Apply(db *storage.Database) error {
 // Apply implements Eq. 2: a tuple survives iff ¬θ evaluates to true.
 // This matches the reenactment query σ_{¬θ}(R) exactly; a condition
 // evaluating to NULL therefore removes the tuple (documented deviation
-// from SQL, irrelevant for NULL-free workloads).
+// from SQL, irrelevant for NULL-free workloads). Application routes
+// through a compiled σ_{¬θ} program with the naive loop as fallback.
 func (d *Delete) Apply(db *storage.Database) error {
 	rel, err := db.Relation(d.Rel)
 	if err != nil {
@@ -198,6 +218,14 @@ func (d *Delete) Apply(db *storage.Database) error {
 	if err := expr.Validate(d.Where, rel.Schema); err != nil {
 		return err
 	}
+	if done, err := d.applyCompiled(db, rel); done {
+		return err
+	}
+	return d.applyNaive(rel)
+}
+
+// applyNaive is the reference per-tuple loop for Eq. 2.
+func (d *Delete) applyNaive(rel *storage.Relation) error {
 	keep := rel.Tuples[:0:0]
 	neg := expr.Negation(d.Where)
 	for _, t := range rel.Tuples {
@@ -229,13 +257,23 @@ func (i *InsertValues) Apply(db *storage.Database) error {
 }
 
 // Apply implements Eq. 4: the query is evaluated over the database
-// state before the insert.
+// state before the insert — through a compiled program when the query
+// is compilable, through the interpreter otherwise.
 func (i *InsertQuery) Apply(db *storage.Database) error {
+	return i.apply(db, evalStatementQuery)
+}
+
+// applyNaive is Apply pinned to the tree-walking interpreter.
+func (i *InsertQuery) applyNaive(db *storage.Database) error {
+	return i.apply(db, algebra.Eval)
+}
+
+func (i *InsertQuery) apply(db *storage.Database, eval func(algebra.Query, *storage.Database) (*storage.Relation, error)) error {
 	rel, err := db.Relation(i.Rel)
 	if err != nil {
 		return err
 	}
-	res, err := algebra.Eval(i.Query, db)
+	res, err := eval(i.Query, db)
 	if err != nil {
 		return fmt.Errorf("history: INSERT…SELECT into %s: %w", i.Rel, err)
 	}

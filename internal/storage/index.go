@@ -2,6 +2,7 @@ package storage
 
 import (
 	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
 )
 
 // TupleIndex is a hash-based multiset of tuples: the typed FNV hash of
@@ -62,6 +63,37 @@ func (ix *TupleIndex) Remove(t schema.Tuple) bool {
 		}
 	}
 	return false
+}
+
+// RemoveRow is the batch-probe form of Remove for the vectorized
+// executor: the candidate row lives spread across the column-major
+// block cols at index row, and its typed tuple hash h (the same fold as
+// schema.Tuple.Hash) was precomputed vector-wise. No row-major tuple is
+// materialized; candidate verification compares values in place.
+func (ix *TupleIndex) RemoveRow(cols [][]types.Value, row int, h uint64) bool {
+	bucket := ix.buckets[h]
+	for i := range bucket {
+		if bucket[i].count > 0 && tupleEqualsRow(bucket[i].tuple, cols, row) {
+			bucket[i].count--
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// tupleEqualsRow compares a stored tuple against one row of a
+// column-major block value-wise.
+func tupleEqualsRow(t schema.Tuple, cols [][]types.Value, row int) bool {
+	if len(t) != len(cols) {
+		return false
+	}
+	for c := range t {
+		if !t[c].Equal(cols[c][row]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Count returns the multiplicity of t.

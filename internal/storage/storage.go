@@ -55,6 +55,29 @@ func (r *Relation) Clone() *Relation {
 // path for bag difference, delta computation, and bag equality).
 func (r *Relation) Index() *TupleIndex { return IndexOf(r) }
 
+// PartitionTuples splits a tuple slice into at most parts contiguous,
+// non-empty chunks of near-equal size (no copying — chunks alias the
+// input). Concatenating the chunks in order reproduces the input
+// exactly, which is what lets the executor's parallel partitioned scans
+// merge per-partition output back in sequential order.
+func PartitionTuples(tuples []schema.Tuple, parts int) [][]schema.Tuple {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(tuples) {
+		parts = len(tuples)
+	}
+	if parts == 0 {
+		return nil
+	}
+	out := make([][]schema.Tuple, 0, parts)
+	chunk := (len(tuples) + parts - 1) / parts
+	for start := 0; start < len(tuples); start += chunk {
+		out = append(out, tuples[start:min(start+chunk, len(tuples))])
+	}
+	return out
+}
+
 // Counts returns a string-keyed multiset view of the relation: tuple
 // key → count, plus a representative tuple per key. It is a
 // compatibility view built from the hash index; hot paths use Index

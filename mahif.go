@@ -179,9 +179,11 @@ const (
 	KindBool   = types.KindBool
 )
 
-// Query evaluation backends: the compiled pipelined executor (the
-// default) and the tree-walking interpreter kept as reference oracle.
+// Query evaluation backends: the vectorized batch executor (the
+// default), the tuple-at-a-time compiled executor, and the
+// tree-walking interpreter kept as reference oracle.
 const (
+	ExecVectorized  = core.ExecVectorized
 	ExecCompiled    = core.ExecCompiled
 	ExecInterpreter = core.ExecInterpreter
 )
