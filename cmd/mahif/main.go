@@ -7,8 +7,13 @@
 //
 //	mahif -data orders=orders.csv -history history.sql -whatif changes.txt [-variant R+PS+DS] [-stats]
 //	mahif batch -data orders=orders.csv -history history.sql -scenarios scenarios.json [-workers N] [-stats]
+//	mahif ingest -data DIR [-csv rel=file.csv ...] [-history h.sql]
+//	mahif checkpoint -data DIR
 //
-// The modification script has one modification per line:
+// The ingest and checkpoint subcommands manage a durable store
+// directory (segmented WAL + snapshot checkpoints, the same layout
+// mahifd's -data flag serves); there -data names the directory, not a
+// CSV. The modification script has one modification per line:
 //
 //	replace <n>: <statement>     # replace the n-th statement (1-based)
 //	insert <n>: <statement>      # insert before the n-th statement
@@ -43,9 +48,18 @@ func (d *dataFlags) Set(v string) error {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "batch" {
-		runBatchCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "batch":
+			runBatchCmd(os.Args[2:])
+			return
+		case "ingest":
+			runIngestCmd(os.Args[2:])
+			return
+		case "checkpoint":
+			runCheckpointCmd(os.Args[2:])
+			return
+		}
 	}
 	var data dataFlags
 	flag.Var(&data, "data", "relation=file.csv (repeatable)")

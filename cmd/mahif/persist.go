@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mahif/mahif/internal/persist"
+	"github.com/mahif/mahif/internal/service"
+)
+
+// runIngestCmd is the `mahif ingest` subcommand: create a durable
+// store from CSV snapshots, or append a SQL script to an existing one
+// — the offline counterpart of mahifd's POST /v1/history.
+func runIngestCmd(args []string) {
+	fs := flag.NewFlagSet("mahif ingest", flag.ExitOnError)
+	dataDir := fs.String("data", "", "durable data directory (WAL + checkpoints)")
+	var csvs dataFlags
+	fs.Var(&csvs, "csv", "relation=file.csv (repeatable; base state, first ingest only)")
+	historyPath := fs.String("history", "", "SQL script to commit through the WAL")
+	checkpointEvery := fs.Int("checkpoint-every", 1000, "auto checkpoint every N appended statements (0 = manual)")
+	nosync := fs.Bool("nosync", false, "skip fsync (bulk ingest; a crash can lose acknowledged statements)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `Usage: mahif ingest -data DIR [-csv rel=file.csv ...] [-history h.sql] [-checkpoint-every N] [-nosync]
+
+First run (DIR holds no store): -csv is required; the CSVs become the
+base state (checkpoint 0) and the optional -history script is
+committed statement by statement through the write-ahead log.
+
+Later runs (DIR holds a store): -csv is rejected; the -history script
+is appended to the recovered history.`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *dataDir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := runIngest(*dataDir, csvs, *historyPath, *checkpointEvery, *nosync); err != nil {
+		fmt.Fprintln(os.Stderr, "mahif ingest:", err)
+		os.Exit(1)
+	}
+}
+
+func runIngest(dataDir string, csvs []string, historyPath string, checkpointEvery int, nosync bool) error {
+	opts := persist.Options{CheckpointEvery: checkpointEvery, NoSync: nosync, Logf: logfStderr}
+	if !persist.Detect(dataDir) {
+		_, store, err := service.InitStore(dataDir, csvs, historyPath, opts)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		st := store.Stats()
+		fmt.Printf("initialized %s: base %d relations, %d statements committed, %d WAL bytes\n",
+			dataDir, len(store.Database().Base().RelationNames()), st.Version, st.WALBytesWritten)
+		return nil
+	}
+	if len(csvs) > 0 {
+		return fmt.Errorf("%s already holds a store; -csv is only for first ingest", dataDir)
+	}
+	if historyPath == "" {
+		return fmt.Errorf("%s already holds a store; pass -history with statements to append", dataDir)
+	}
+	_, store, err := service.OpenStore(dataDir, opts)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	before := store.Version()
+	hist, err := service.LoadHistory(historyPath)
+	if err != nil {
+		return err
+	}
+	if len(hist) == 0 {
+		return fmt.Errorf("%s: no statements", historyPath)
+	}
+	ver, err := store.Append(context.Background(), hist)
+	if err != nil {
+		return fmt.Errorf("after committing %d statements: %w", ver-before, err)
+	}
+	fmt.Printf("appended %d statements to %s (version %d → %d)\n", ver-before, dataDir, before, ver)
+	return nil
+}
+
+// runCheckpointCmd is the `mahif checkpoint` subcommand: force a
+// snapshot checkpoint so the next recovery replays only statements
+// after it.
+func runCheckpointCmd(args []string) {
+	fs := flag.NewFlagSet("mahif checkpoint", flag.ExitOnError)
+	dataDir := fs.String("data", "", "durable data directory")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "Usage: mahif checkpoint -data DIR")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *dataDir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := runCheckpoint(*dataDir); err != nil {
+		fmt.Fprintln(os.Stderr, "mahif checkpoint:", err)
+		os.Exit(1)
+	}
+}
+
+func runCheckpoint(dataDir string) error {
+	_, store, err := service.OpenStore(dataDir, persist.Options{Logf: logfStderr})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	ri := store.RecoveryInfo()
+	info, err := store.Checkpoint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint@%d: %d bytes in %v (recovery had replayed %d statements from checkpoint@%d)\n",
+		info.Version, info.Bytes, info.Duration, ri.ReplayedStatements, ri.CheckpointVersion)
+	return nil
+}
+
+func logfStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}

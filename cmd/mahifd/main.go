@@ -1,13 +1,22 @@
 // Command mahifd serves historical what-if queries over HTTP: it loads
-// CSV snapshots and a SQL history like cmd/mahif, then answers queries
-// through a pool of long-lived engine sessions, so consecutive
-// requests over the same history reuse time-travel snapshots, solver
-// memos, and compiled reenactment programs.
+// CSV snapshots and a SQL history like cmd/mahif — or recovers a
+// durable data directory — then answers queries through a pool of
+// long-lived engine sessions, so consecutive requests over the same
+// history reuse time-travel snapshots, solver memos, and compiled
+// reenactment programs. With -data the history is durable: appends
+// through POST /v1/history commit to a segmented write-ahead log
+// before they are acknowledged, periodic checkpoints bound recovery
+// time, and a restarted (even killed) server recovers the exact
+// committed history and serves identical answers.
 //
 // Usage:
 //
-//	mahifd -addr :8080 -data orders=orders.csv -history history.sql \
-//	       [-sessions 1] [-timeout 30s]
+//	# in-memory (rebuilt from files on every start)
+//	mahifd -addr :8080 -csv orders=orders.csv -history history.sql
+//
+//	# durable: first start ingests, later starts recover
+//	mahifd -addr :8080 -data /var/lib/mahif -csv orders=orders.csv -history history.sql
+//	mahifd -addr :8080 -data /var/lib/mahif
 //
 // API (v1; see internal/service for the wire types):
 //
@@ -16,7 +25,9 @@
 //	                   "variant": "R+PS+DS", "stats": true, "timeout_ms": 500}
 //	POST /v1/batch    {"scenarios": [{"label": "fee60", "modifications": [...]}],
 //	                   "workers": 4, "stats": true}
-//	GET  /v1/history  the loaded transactional history
+//	GET  /v1/history  the transactional history
+//	POST /v1/history  {"statements": ["UPDATE orders SET fee = 1 WHERE id = 7"]}
+//	GET  /metrics     Prometheus text exposition (sessions, WAL, recovery)
 //	GET  /healthz     liveness
 //
 // Every request is evaluated under a deadline (the smaller of -timeout
@@ -39,48 +50,83 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/persist"
 	"github.com/mahif/mahif/internal/service"
 )
 
-type dataFlags []string
+type csvFlags []string
 
-func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+func (d *csvFlags) String() string { return strings.Join(*d, ",") }
 
-func (d *dataFlags) Set(v string) error {
+func (d *csvFlags) Set(v string) error {
 	*d = append(*d, v)
 	return nil
 }
 
 func main() {
-	var data dataFlags
-	flag.Var(&data, "data", "relation=file.csv (repeatable)")
-	historyPath := flag.String("history", "", "SQL script with the transactional history")
+	var csvs csvFlags
+	flag.Var(&csvs, "csv", "relation=file.csv (repeatable; base state for first ingest or in-memory serving)")
+	dataDir := flag.String("data", "", "durable data directory (WAL + checkpoints); empty serves in-memory")
+	historyPath := flag.String("history", "", "SQL script with the transactional history (first ingest / in-memory)")
 	addr := flag.String("addr", ":8080", "listen address")
 	sessions := flag.Int("sessions", 1, "session pool size")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation budget")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	checkpointEvery := flag.Int("checkpoint-every", 1000, "auto checkpoint every N appended statements (0 = manual)")
 	flag.Parse()
 
-	if len(data) == 0 || *historyPath == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := run(data, *historyPath, *addr, *sessions, *timeout, *drain); err != nil {
+	if err := run(csvs, *dataDir, *historyPath, *addr, *sessions, *timeout, *drain, *checkpointEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mahifd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data []string, historyPath, addr string, sessions int, timeout, drain time.Duration) error {
-	engine, err := service.LoadEngine(data, historyPath)
+// loadEngine resolves the three start modes: recover a durable store,
+// initialize one from CSVs, or serve in-memory.
+func loadEngine(csvs []string, dataDir, historyPath string, checkpointEvery int) (*core.Engine, *persist.Store, error) {
+	if dataDir == "" {
+		if len(csvs) == 0 || historyPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		engine, err := service.LoadEngine(csvs, historyPath)
+		return engine, nil, err
+	}
+	opts := persist.Options{CheckpointEvery: checkpointEvery, Logf: log.Printf}
+	if persist.Detect(dataDir) {
+		if len(csvs) > 0 || historyPath != "" {
+			return nil, nil, fmt.Errorf("-data %s already holds a store; drop -csv/-history (append via POST /v1/history or `mahif ingest`)", dataDir)
+		}
+		engine, store, err := service.OpenStore(dataDir, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		ri := store.RecoveryInfo()
+		log.Printf("mahifd: recovered %d statements from %s in %v (checkpoint@%d, replayed %d, truncated %d records)",
+			ri.Statements, dataDir, ri.Duration, ri.CheckpointVersion, ri.ReplayedStatements, ri.TruncatedRecords)
+		return engine, store, nil
+	}
+	if len(csvs) == 0 {
+		return nil, nil, fmt.Errorf("-data %s holds no store yet; pass -csv relation=file.csv (and optionally -history) to ingest", dataDir)
+	}
+	engine, store, err := service.InitStore(dataDir, csvs, historyPath, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	log.Printf("mahifd: initialized durable store in %s (%d statements ingested)", dataDir, store.Version())
+	return engine, store, nil
+}
+
+func run(csvs []string, dataDir, historyPath, addr string, sessions int, timeout, drain time.Duration, checkpointEvery int) error {
+	engine, store, err := loadEngine(csvs, dataDir, historyPath, checkpointEvery)
 	if err != nil {
 		return err
 	}
-	h, err := engine.History()
-	if err != nil {
-		return err
+	if store != nil {
+		defer store.Close()
 	}
-	srv := service.New(engine, service.Options{Sessions: sessions, Timeout: timeout})
+	srv := service.New(engine, service.Options{Sessions: sessions, Timeout: timeout, Store: store})
 
 	httpSrv := &http.Server{
 		Addr:    addr,
@@ -98,8 +144,12 @@ func run(data []string, historyPath, addr string, sessions int, timeout, drain t
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("mahifd: serving %d-statement history on %s (sessions=%d, timeout=%v)",
-			len(h), addr, sessions, timeout)
+		mode := "in-memory"
+		if store != nil {
+			mode = "durable:" + store.Dir()
+		}
+		log.Printf("mahifd: serving %d-statement history on %s (%s, sessions=%d, timeout=%v)",
+			engine.Version(), addr, mode, sessions, timeout)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -118,8 +168,8 @@ func run(data []string, historyPath, addr string, sessions int, timeout, drain t
 		return err
 	}
 	for i, st := range srv.SessionStats() {
-		log.Printf("mahifd: session %d: calls=%d snapshots(hit/miss)=%d/%d memo(hit/miss)=%d/%d queries(hit/miss)=%d/%d",
-			i, st.Calls, st.SnapshotHits, st.SnapshotMisses, st.MemoHits, st.MemoMisses, st.QueryHits, st.QueryMisses)
+		log.Printf("mahifd: session %d: calls=%d advances=%d snapshots(hit/miss)=%d/%d memo(hit/miss)=%d/%d queries(hit/miss)=%d/%d",
+			i, st.Calls, st.Advances, st.SnapshotHits, st.SnapshotMisses, st.MemoHits, st.MemoMisses, st.QueryHits, st.QueryMisses)
 	}
 	return nil
 }

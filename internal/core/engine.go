@@ -144,14 +144,82 @@ type NaiveStats struct {
 	Delta    time.Duration
 }
 
+// Appender is the durability hook of an engine: it commits statements
+// to stable storage *before* they become visible in the in-memory
+// history. internal/persist.Store implements it with a write-ahead
+// log; the zero engine appends in memory only.
+type Appender interface {
+	// Append commits stmts in order and returns the resulting history
+	// version. On error the statements before the failing one stay
+	// committed and the returned version reflects them.
+	Append(ctx context.Context, stmts []history.Statement) (int, error)
+}
+
+// DurableStore is what NewDurable needs from a persistence layer: the
+// recovered versioned database plus the WAL-first append path.
+type DurableStore interface {
+	Appender
+	Database() *storage.VersionedDatabase
+}
+
 // Engine answers historical what-if queries against one versioned
 // database whose redo log is the transactional history H.
 type Engine struct {
-	vdb *storage.VersionedDatabase
+	vdb      *storage.VersionedDatabase
+	appender Appender
 }
 
-// New builds an engine over a versioned database.
+// New builds an engine over a versioned database. Appends go straight
+// to memory; use NewDurable for a WAL-backed engine.
 func New(vdb *storage.VersionedDatabase) *Engine { return &Engine{vdb: vdb} }
+
+// NewDurable builds an engine over a durable store: every Append
+// commits to the store's write-ahead log before it advances the
+// in-memory history, so a restarted process recovers exactly the
+// acknowledged statements.
+func NewDurable(store DurableStore) *Engine {
+	return &Engine{vdb: store.Database(), appender: store}
+}
+
+// Durable reports whether appends commit to stable storage before
+// becoming visible.
+func (e *Engine) Durable() bool { return e.appender != nil }
+
+// Version returns the current history length.
+func (e *Engine) Version() int { return e.vdb.NumVersions() }
+
+// Append extends the history (see AppendCtx).
+func (e *Engine) Append(stmts ...history.Statement) (int, error) {
+	return e.AppendCtx(context.Background(), stmts)
+}
+
+// AppendCtx extends the transactional history with new statements
+// while the engine keeps serving queries: in-flight and future
+// evaluations over versions at or below the previous tip are
+// unaffected (the history is append-only), and sessions keep their
+// warm caches across the advance. On a durable engine the statements
+// are committed to the WAL first — AppendCtx returning nil is the
+// durability point. On error, statements before the failing one stay
+// appended and the returned version reflects them.
+func (e *Engine) AppendCtx(ctx context.Context, stmts []history.Statement) (int, error) {
+	if len(stmts) == 0 {
+		return e.vdb.NumVersions(), fmt.Errorf("core: empty append")
+	}
+	if err := ctx.Err(); err != nil {
+		return e.vdb.NumVersions(), err
+	}
+	if e.appender != nil {
+		return e.appender.Append(ctx, stmts)
+	}
+	ms := make([]storage.Mutator, len(stmts))
+	for i, st := range stmts {
+		ms[i] = st
+	}
+	if err := e.vdb.ApplyAll(ms...); err != nil {
+		return e.vdb.NumVersions(), err
+	}
+	return e.vdb.NumVersions(), nil
+}
 
 // History returns the logged history H as typed statements.
 func (e *Engine) History() (history.History, error) {
@@ -168,8 +236,11 @@ func (e *Engine) History() (history.History, error) {
 }
 
 // prepare applies M to H, cuts the shared prefix, and reconstructs the
-// database state at the first modified statement.
-func (e *Engine) prepare(ctx context.Context, mods []history.Modification, st *Stats, snaps *storage.SnapshotCache) (*history.PaddedPair, *storage.Database, int, error) {
+// database state at the first modified statement. tip is the history
+// length the call is evaluated against — captured once, so a
+// concurrent append cannot shift the query's frame of reference
+// mid-call.
+func (e *Engine) prepare(ctx context.Context, mods []history.Modification, st *Stats, snaps *storage.SnapshotCache) (suffix *history.PaddedPair, db *storage.Database, tip int, err error) {
 	h, err := e.History()
 	if err != nil {
 		return nil, nil, 0, err
@@ -178,7 +249,8 @@ func (e *Engine) prepare(ctx context.Context, mods []history.Modification, st *S
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return e.snapshotFor(ctx, pair, st, snaps)
+	suffix, db, _, err = e.snapshotFor(ctx, pair, st, snaps)
+	return suffix, db, len(h), err
 }
 
 // snapshotFor cuts the shared prefix of an aligned pair and
@@ -229,7 +301,7 @@ func (e *Engine) NaiveCtx(ctx context.Context, mods []history.Modification) (del
 // shared snapshot read-only.
 func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, stats *NaiveStats, snaps *storage.SnapshotCache) (delta.Set, *NaiveStats, error) {
 	start := time.Now()
-	suffix, db, _, err := e.prepare(ctx, mods, nil, snaps)
+	suffix, db, tip, err := e.prepare(ctx, mods, nil, snaps)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -247,12 +319,24 @@ func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, sta
 	stats.Execute = time.Since(t0)
 
 	t0 = time.Now()
+	// The delta compares against the actual state at the history length
+	// the query was admitted against (tip). Through a session (live
+	// serving) that must be a pinned snapshot — an append landing
+	// mid-call must not bleed into the "actual" side of the diff —
+	// while the bare engine reads the live state directly, preserving
+	// the paper's cost model for benchmarks (quiescence documented).
+	actual := e.vdb.Current()
+	if snaps != nil {
+		if actual, err = snaps.SnapshotCtx(ctx, tip); err != nil {
+			return nil, nil, err
+		}
+	}
 	out := delta.Set{}
 	for rel := range relationUnion(suffix) {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		cur, err := e.vdb.Current().Relation(rel)
+		cur, err := actual.Relation(rel)
 		if err != nil {
 			return nil, nil, err
 		}

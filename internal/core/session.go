@@ -25,25 +25,29 @@ import (
 // synchronized and every cached artifact is shared read-only (the same
 // contract the batch engine relies on).
 //
-// # Invalidation
+// # Appends and invalidation
 //
-// The caches are only valid for the history version the session is
-// pinned to. Every call revalidates the pin against the engine's
-// versioned database: if the history has advanced (new statements were
-// applied), the session discards all cached state and re-pins to the
-// new version — stale snapshots or programs are never served.
-// Invalidate forces the same reset explicitly. As with SnapshotCache,
-// the underlying store must be quiescent during each call; advancing
-// the history between calls is what sessions are designed to survive.
+// The history is append-only, and every cached artifact is keyed by —
+// or derived from — a version at or below the tip the session last
+// saw: snapshots are states after their first i statements, query
+// results are keyed (version, program), solver outcomes are
+// content-addressed by the slicing formula. When the history advances
+// (Engine.Append during live serving), all of that remains exactly
+// valid, so the session re-pins to the new version and keeps its
+// caches — the optimistic cross-version reuse that makes a served
+// deployment's caches survive a stream of appends. Invalidate still
+// discards everything explicitly (e.g. if the underlying store was
+// swapped out-of-band).
 type Session struct {
 	e *Engine
 
 	mu      sync.Mutex
-	version int // NumVersions the caches were built against
+	version int // NumVersions the caches were last revalidated against
 	caches  *batchShared
 
 	calls         int
 	invalidations int
+	advances      int
 }
 
 // NewSession opens a session pinned to the engine's current history
@@ -65,17 +69,19 @@ func (s *Session) reset() {
 }
 
 // shared revalidates the version pin and returns the live cache
-// bundle. The bundle it returns is immutable as a bundle (its caches
-// are internally synchronized), so calls in flight during an
-// invalidation finish against the old, still-consistent bundle.
+// bundle. An advanced history re-pins without dropping anything: the
+// append-only store guarantees every cached snapshot, result, and
+// solver outcome stays correct (see the type comment). The bundle it
+// returns is immutable as a bundle (its caches are internally
+// synchronized), so calls in flight during an explicit invalidation
+// finish against the old, still-consistent bundle.
 func (s *Session) shared() *batchShared {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.calls++
 	if v := s.e.vdb.NumVersions(); v != s.version {
 		s.version = v
-		s.invalidations++
-		s.reset()
+		s.advances++
 	}
 	return s.caches
 }
@@ -108,8 +114,11 @@ type SessionStats struct {
 	// Calls counts evaluation entries through the session (including
 	// batch calls, each once).
 	Calls int
-	// Invalidations counts cache resets (explicit or version-driven).
+	// Invalidations counts explicit cache resets; Advances counts
+	// history advances survived with caches kept (optimistic
+	// cross-version reuse).
 	Invalidations int
+	Advances      int
 	// Version is the pinned history version.
 	Version int
 	// SnapshotHits/Misses report shared time-travel reuse across calls.
@@ -125,7 +134,7 @@ type SessionStats struct {
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := SessionStats{Calls: s.calls, Invalidations: s.invalidations, Version: s.version}
+	st := SessionStats{Calls: s.calls, Invalidations: s.invalidations, Advances: s.advances, Version: s.version}
 	st.SnapshotHits, st.SnapshotMisses = s.caches.snaps.Stats()
 	st.MemoHits, st.MemoMisses = s.caches.memo.Stats()
 	st.QueryHits, st.QueryMisses = s.caches.eval.stats()

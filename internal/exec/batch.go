@@ -442,19 +442,26 @@ func (n *vdiffNode) run(rc *runCtx, emit vecEmit) error {
 	})
 }
 
-// vhashJoinNode is the vectorized equi-join: right batches materialize
-// into the key-hashed build table, left batches probe it row-wise over
-// their selection, appending matches to an owned output batch that
-// flushes at capacity. Bucket order is right-stream order, so output
-// order matches the interpreter's nested loop exactly.
+// vhashJoinNode is the vectorized equi-join: the build branch
+// materializes into the key-hashed table, the other branch probes it
+// row-wise over its selection, appending matches to an owned output
+// batch that flushes at capacity. With the default right build, bucket
+// order is right-stream order and the left side streams, so output
+// order matches the interpreter's nested loop exactly; the left build
+// (chosen at compile time when the left input is estimated smaller)
+// buffers matches per left row and replays them in the same order.
 type vhashJoinNode struct {
 	l, r           vecNode
 	lKeys, rKeys   []int
 	lArity, rArity int
 	cfg            vecConfig
+	buildLeft      bool
 }
 
 func (n *vhashJoinNode) run(rc *runCtx, emit vecEmit) error {
+	if n.buildLeft {
+		return n.runBuildLeft(rc, emit)
+	}
 	table := map[uint64][]schema.Tuple{}
 	err := n.r.run(rc, func(b *batch) error {
 		for _, t := range materializeRows(b, n.rArity) {
@@ -524,6 +531,101 @@ func (n *vhashJoinNode) run(rc *runCtx, emit vecEmit) error {
 	})
 	if err != nil {
 		return err
+	}
+	return flush()
+}
+
+// runBuildLeft is the left-build variant: the left branch materializes
+// into the hash table (with row positions), right batches stream and
+// probe, and matches are grouped under their left row so the flush
+// order is interpreter-exact (left-major, right-stream-minor).
+func (n *vhashJoinNode) runBuildLeft(rc *runCtx, emit vecEmit) error {
+	type buildRow struct {
+		pos int
+		t   schema.Tuple
+	}
+	table := map[uint64][]buildRow{}
+	var left []schema.Tuple
+	err := n.l.run(rc, func(b *batch) error {
+		for _, t := range materializeRows(b, n.lArity) {
+			if h, ok := hashKeys(t, n.lKeys); ok {
+				table[h] = append(table[h], buildRow{pos: len(left), t: t})
+			}
+			left = append(left, t)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	matches := make([][]schema.Tuple, len(left))
+	err = n.r.run(rc, func(b *batch) error {
+		probe := func(r int) {
+			h, ok := hashKeyCols(b, n.rKeys, r)
+			if !ok {
+				return
+			}
+			var rt schema.Tuple // materialized lazily, shared by all matches
+			for _, br := range table[h] {
+				if !keysEqualCols(b, r, br.t, n.rKeys, n.lKeys) {
+					continue // hash collision between distinct keys
+				}
+				if rt == nil {
+					rt = make(schema.Tuple, n.rArity)
+					for c := 0; c < n.rArity; c++ {
+						rt[c] = b.cols[c][r]
+					}
+				}
+				matches[br.pos] = append(matches[br.pos], rt)
+			}
+		}
+		if b.sel == nil {
+			for r := 0; r < b.n; r++ {
+				probe(r)
+			}
+		} else {
+			for _, r := range b.sel {
+				probe(r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	out := newOwnedBatch(n.lArity+n.rArity, n.cfg.bs)
+	flush := func() error {
+		if out.n == 0 {
+			return nil
+		}
+		// The replay loop multiplies cardinalities without pulling from
+		// a ticking source, so it observes cancellation itself — once
+		// per emitted batch, the executor's granularity guarantee.
+		if err := rc.ctx.Err(); err != nil {
+			return err
+		}
+		out.sel = nil // consumers may have narrowed the previous emit
+		err := emit(out)
+		out.n = 0
+		return err
+	}
+	for pos, lt := range left {
+		for _, rt := range matches[pos] {
+			for c := 0; c < n.lArity; c++ {
+				out.cols[c][out.n] = lt[c]
+			}
+			for c := 0; c < n.rArity; c++ {
+				out.cols[n.lArity+c][out.n] = rt[c]
+			}
+			out.n++
+			if out.n == n.cfg.bs {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	return flush()
 }
@@ -798,6 +900,7 @@ func compileVecJoin(x *algebra.Join, db *storage.Database, cfg vecConfig) (vecNo
 		l: l, r: r,
 		lKeys: lKeys, rKeys: rKeys,
 		lArity: ls.Arity(), rArity: rs.Arity(),
-		cfg: cfg,
+		cfg:       cfg,
+		buildLeft: buildOnLeft(x, db),
 	}, joined, nil
 }

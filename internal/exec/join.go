@@ -5,8 +5,8 @@ import (
 	"github.com/mahif/mahif/internal/types"
 )
 
-// hashJoinNode is an equi-join: the right branch materializes into a
-// hash table on its key columns, the left probes it streaming. Key
+// hashJoinNode is an equi-join: the build branch materializes into a
+// hash table on its key columns, the other branch probes it. Key
 // hashing and equality follow the typed-value semantics of the
 // comparison operator (numerics compare across int/float; NULL keys
 // never join, matching SQL's NULL = NULL → unknown). It is only used
@@ -16,13 +16,23 @@ import (
 // errors the residual raises on NULL-key pairs would be silently
 // skipped here; those conditions take the nested-loop path, which is
 // interpreter-exact.
+//
+// The build side is chosen at compile time by estimated cardinality
+// (buildLeft when the left input is smaller). Output order is
+// interpreter-exact either way: the default right build streams the
+// left side in order; the left build buffers matches per left row and
+// replays them in left-major, right-stream-minor order.
 type hashJoinNode struct {
 	l, r           node
 	lKeys, rKeys   []int
 	lArity, rArity int
+	buildLeft      bool
 }
 
 func (n *hashJoinNode) run(ctx *runCtx, emit emitFn) error {
+	if n.buildLeft {
+		return n.runBuildLeft(ctx, emit)
+	}
 	// Build side: right branch, keyed by the typed hash of its key
 	// columns. Tuples are retained, so unowned scratch rows are cloned.
 	table := map[uint64][]schema.Tuple{}
@@ -62,6 +72,73 @@ func (n *hashJoinNode) run(ctx *runCtx, emit emitFn) error {
 		}
 		return nil
 	})
+}
+
+// runBuildLeft materializes the (smaller) left branch into the hash
+// table, streams the right branch against it, and groups each match
+// under its left row so the final emission order is exactly the
+// interpreter's nested loop: left-major, right-stream order within a
+// left row. Memory is O(|L| + matches) instead of O(|R|).
+func (n *hashJoinNode) runBuildLeft(ctx *runCtx, emit emitFn) error {
+	type buildRow struct {
+		pos int
+		t   schema.Tuple
+	}
+	table := map[uint64][]buildRow{}
+	var left []schema.Tuple
+	err := n.l.run(ctx, func(t schema.Tuple, owned bool) error {
+		if !owned {
+			t = t.Clone()
+		}
+		if h, ok := hashKeys(t, n.lKeys); ok {
+			table[h] = append(table[h], buildRow{pos: len(left), t: t})
+		}
+		// NULL-key rows can never match but must keep their position so
+		// emission order stays aligned.
+		left = append(left, t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	matches := make([][]schema.Tuple, len(left))
+	err = n.r.run(ctx, func(rt schema.Tuple, owned bool) error {
+		h, ok := hashKeys(rt, n.rKeys)
+		if !ok {
+			return nil
+		}
+		cloned := owned // an owned tuple needs no defensive copy
+		for _, br := range table[h] {
+			if !keysEqual(br.t, rt, n.lKeys, n.rKeys) {
+				continue // hash collision between distinct keys
+			}
+			if !cloned {
+				rt = rt.Clone()
+				cloned = true
+			}
+			matches[br.pos] = append(matches[br.pos], rt)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	buf := make(schema.Tuple, n.lArity+n.rArity)
+	for pos, lt := range left {
+		for _, rt := range matches[pos] {
+			if err := ctx.tick(); err != nil {
+				return err
+			}
+			copy(buf[:n.lArity], lt)
+			copy(buf[n.lArity:], rt)
+			if err := emit(buf, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // hashKeys hashes the key columns of t; ok is false when any key is

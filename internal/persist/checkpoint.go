@@ -1,0 +1,182 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Checkpoint file layout:
+//
+//	[8B magic "MAHIFCK1"][4B format][8B version][8B payload len]
+//	[payload: JSON database snapshot][4B CRC-32C of payload]
+//
+// The payload reuses the exact JSON value encoding of the wire format
+// (types.Value round-trips int/float/bool/string/NULL bit-exactly), so
+// a recovered database is byte-for-byte the one that was checkpointed.
+const checkpointFormat = 1
+
+// dbJSON is the checkpoint payload: relations in registration order so
+// the rebuilt database iterates deterministically.
+type dbJSON struct {
+	Relations []relJSON `json:"relations"`
+}
+
+type relJSON struct {
+	Name    string          `json:"name"`
+	Columns []colJSON       `json:"columns"`
+	Tuples  [][]types.Value `json:"tuples"`
+}
+
+type colJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// encodeDatabase renders db as the checkpoint JSON payload.
+func encodeDatabase(db *storage.Database) ([]byte, error) {
+	out := dbJSON{}
+	for _, name := range db.RelationNames() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		rj := relJSON{
+			Name:   rel.Schema.Relation,
+			Tuples: make([][]types.Value, len(rel.Tuples)),
+		}
+		for _, c := range rel.Schema.Columns {
+			rj.Columns = append(rj.Columns, colJSON{Name: c.Name, Type: c.Type.String()})
+		}
+		for i, t := range rel.Tuples {
+			rj.Tuples[i] = t
+		}
+		out.Relations = append(out.Relations, rj)
+	}
+	return json.Marshal(out)
+}
+
+// decodeDatabase rebuilds a database from checkpoint JSON.
+func decodeDatabase(payload []byte) (*storage.Database, error) {
+	var in dbJSON
+	if err := json.Unmarshal(payload, &in); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint payload: %v", ErrCorrupt, err)
+	}
+	db := storage.NewDatabase()
+	for _, rj := range in.Relations {
+		cols := make([]schema.Column, len(rj.Columns))
+		for i, cj := range rj.Columns {
+			kind, err := types.ParseKind(cj.Type)
+			if err != nil {
+				return nil, fmt.Errorf("%w: relation %s: %v", ErrCorrupt, rj.Name, err)
+			}
+			cols[i] = schema.Col(cj.Name, kind)
+		}
+		rel := storage.NewRelation(schema.New(rj.Name, cols...))
+		for _, row := range rj.Tuples {
+			if len(row) != len(cols) {
+				return nil, fmt.Errorf("%w: relation %s: tuple arity %d, schema arity %d",
+					ErrCorrupt, rj.Name, len(row), len(cols))
+			}
+			rel.Add(schema.Tuple(row))
+		}
+		db.AddRelation(rel)
+	}
+	return db, nil
+}
+
+// writeCheckpoint atomically writes the state after the first version
+// statements: temp file, fsync, rename, directory fsync. A crash at
+// any point leaves either no checkpoint or a complete one; recovery
+// deletes stray temp files.
+func writeCheckpoint(dir string, version int, db *storage.Database, sync bool) (int64, error) {
+	payload, err := encodeDatabase(db)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 0, 8+4+8+8+len(payload)+4)
+	buf = append(buf, checkpointMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, checkpointFormat)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(version))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+
+	final := checkpointPath(dir, version)
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if sync {
+		if err := syncDir(dir); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(buf)), nil
+}
+
+// loadCheckpoint reads and validates one checkpoint file, returning
+// the version it materializes and the rebuilt database. Damage is
+// reported as ErrCorrupt; the caller may fall back to an earlier
+// checkpoint.
+func loadCheckpoint(path string) (int, *storage.Database, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	const hdr = 8 + 4 + 8 + 8
+	if len(raw) < hdr+4 {
+		return 0, nil, fmt.Errorf("%w: checkpoint %s truncated (%d bytes)", ErrCorrupt, path, len(raw))
+	}
+	if string(raw[:8]) != checkpointMagic {
+		return 0, nil, fmt.Errorf("%w: checkpoint %s: bad magic", ErrCorrupt, path)
+	}
+	if format := binary.LittleEndian.Uint32(raw[8:12]); format != checkpointFormat {
+		return 0, nil, fmt.Errorf("%w: checkpoint %s: unsupported format %d", ErrCorrupt, path, format)
+	}
+	version := int(binary.LittleEndian.Uint64(raw[12:20]))
+	plen := binary.LittleEndian.Uint64(raw[20:28])
+	// Bound plen before any arithmetic: a corrupted length field must
+	// not wrap the sum below (or index past) the file size — corrupt
+	// checkpoints degrade to ErrCorrupt, never to a panic.
+	if plen > uint64(len(raw)) || uint64(len(raw)) != hdr+plen+4 {
+		return 0, nil, fmt.Errorf("%w: checkpoint %s: length mismatch", ErrCorrupt, path)
+	}
+	payload := raw[hdr : hdr+int(plen)]
+	want := binary.LittleEndian.Uint32(raw[hdr+int(plen):])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, fmt.Errorf("%w: checkpoint %s: checksum mismatch", ErrCorrupt, path)
+	}
+	db, err := decodeDatabase(payload)
+	if err != nil {
+		return 0, nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return version, db, nil
+}

@@ -1,0 +1,164 @@
+// Package persist is the durable history store: a segmented
+// append-only write-ahead log of SQL-encoded history statements plus
+// periodic snapshot checkpoints of the materialized database, with
+// crash recovery that loads the latest valid checkpoint, replays the
+// log tail, and truncates a torn final record.
+//
+// The paper's engine answers what-if queries over a transactional
+// history; persist makes that history survive the process. The WAL is
+// the history — one record per statement, record seq == history
+// version — so it is never pruned: time travel and reenactment need
+// the full statement sequence. Checkpoints bound recovery time and
+// accelerate deep time travel; the base state (version 0) is simply
+// the checkpoint at version 0.
+//
+// On-disk layout of a store directory:
+//
+//	checkpoint-00000000000000000000.ckpt   base state D0 (required)
+//	checkpoint-00000000000000001000.ckpt   state after statement 1000
+//	wal-00000000000000000001.log           statements 1..k
+//	wal-00000000000000000k+1.log           statements k+1.. (active)
+//
+// All integers are little-endian. Statements are encoded as the SQL
+// text their String rendering produces and parsed back through
+// internal/sql on recovery; the encoder verifies parseability at
+// append time so the WAL never holds an unreadable record.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Format constants. The magic strings version the layout as a whole;
+// bump them on incompatible changes.
+const (
+	segmentMagic    = "MAHIFWL1"
+	checkpointMagic = "MAHIFCK1"
+
+	// segmentHeaderSize is magic + first record seq.
+	segmentHeaderSize = 8 + 8
+	// recordHeaderSize is seq + payload length + CRC.
+	recordHeaderSize = 8 + 4 + 4
+	// maxRecordBytes caps one statement's SQL encoding; a length field
+	// beyond it is treated as a torn or corrupt record rather than an
+	// allocation request.
+	maxRecordBytes = 16 << 20
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports damage the store cannot safely recover from —
+// a torn record in the middle of the log, a sequence gap, a missing
+// base checkpoint. A torn *tail* is not corruption: it is the expected
+// signature of a crash mid-append and is truncated silently.
+var ErrCorrupt = errors.New("persist: corrupt store")
+
+// errTorn marks an incomplete or checksum-failing record. Recovery
+// treats it as the end of the committed log when it occurs at the tail
+// of the last segment, and as ErrCorrupt anywhere else.
+var errTorn = errors.New("persist: torn record")
+
+// appendRecord appends one WAL record — [seq][len][crc][payload] with
+// the CRC covering seq, len, and payload — to buf and returns the
+// extended slice.
+func appendRecord(buf []byte, seq uint64, payload []byte) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// recordSize returns the encoded size of a record with the given
+// payload length.
+func recordSize(payloadLen int) int64 { return int64(recordHeaderSize + payloadLen) }
+
+// readRecord reads one record from r. It returns io.EOF at a clean
+// record boundary and errTorn for an incomplete or checksum-failing
+// record (the caller decides whether a torn record is a truncatable
+// tail or corruption).
+func readRecord(r io.Reader) (seq uint64, payload []byte, err error) {
+	var hdr [recordHeaderSize]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, errTorn
+	}
+	seq = binary.LittleEndian.Uint64(hdr[0:8])
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	want := binary.LittleEndian.Uint32(hdr[12:16])
+	if length > maxRecordBytes {
+		return 0, nil, errTorn
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, errTorn
+	}
+	crc := crc32.Update(0, castagnoli, hdr[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return 0, nil, errTorn
+	}
+	return seq, payload, nil
+}
+
+// tailIsTruncatable reports whether the damage at the end of segment
+// raw bytes is a genuine torn tail: no complete, checksum-valid record
+// with a plausible sequence number exists at or past byte offset
+// `from`. A crash tears at most the suffix of sequential writes, so a
+// valid later record means fsynced history would be dropped by
+// truncation — that is corruption and must fail loudly instead.
+func tailIsTruncatable(raw []byte, from int64, nextSeq uint64) bool {
+	if from < 0 || from >= int64(len(raw)) {
+		return true
+	}
+	rest := raw[from:]
+	maxSeq := nextSeq + uint64(len(rest)/recordHeaderSize) + 1
+	for o := 0; o+recordHeaderSize <= len(rest); o++ {
+		seq := binary.LittleEndian.Uint64(rest[o:])
+		if seq < nextSeq || seq > maxSeq {
+			continue
+		}
+		length := binary.LittleEndian.Uint32(rest[o+8:])
+		if length > maxRecordBytes || o+recordHeaderSize+int(length) > len(rest) {
+			continue
+		}
+		want := binary.LittleEndian.Uint32(rest[o+12:])
+		crc := crc32.Update(0, castagnoli, rest[o:o+12])
+		crc = crc32.Update(crc, castagnoli, rest[o+recordHeaderSize:o+recordHeaderSize+int(length)])
+		if crc == want {
+			return false
+		}
+	}
+	return true
+}
+
+// appendSegmentHeader appends the segment header (magic + firstSeq).
+func appendSegmentHeader(buf []byte, firstSeq uint64) []byte {
+	buf = append(buf, segmentMagic...)
+	var seq [8]byte
+	binary.LittleEndian.PutUint64(seq[:], firstSeq)
+	return append(buf, seq[:]...)
+}
+
+// readSegmentHeader reads and validates a segment header.
+func readSegmentHeader(r io.Reader) (firstSeq uint64, err error) {
+	var hdr [segmentHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: short segment header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != segmentMagic {
+		return 0, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, hdr[:8])
+	}
+	return binary.LittleEndian.Uint64(hdr[8:16]), nil
+}

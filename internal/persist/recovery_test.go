@@ -1,0 +1,421 @@
+package persist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// copyDir clones a store directory — the moral equivalent of the page
+// cache surviving a kill -9.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// replayPrefix applies the first n committed statements over a fresh
+// base and renders the resulting state.
+func replayPrefix(t *testing.T, stmts []history.Statement, n int) string {
+	t.Helper()
+	vdb := storage.NewVersioned(testBase())
+	for _, st := range stmts[:n] {
+		// Re-encode and re-parse so the replay uses the same AST
+		// recovery would.
+		text, err := sql.RenderStatement(st)
+		if err != nil {
+			t.Fatalf("committed statement %q unrenderable: %v", st, err)
+		}
+		back, err := sql.ParseStatement(text)
+		if err != nil {
+			t.Fatalf("committed statement %q unparseable: %v", text, err)
+		}
+		if err := vdb.Apply(back); err != nil {
+			t.Fatalf("replaying %q: %v", st, err)
+		}
+	}
+	return dbState(vdb)
+}
+
+// TestRecoveryPrefixUnderRandomKill is the crash-safety property: for
+// random damage at the tail of the log — truncation at an arbitrary
+// byte offset (a torn write), bit flips inside the final record, a
+// corrupted or deleted checkpoint, a leftover checkpoint temp file —
+// recovery must yield a store whose history is an exact prefix of the
+// committed history, whose state equals replaying that prefix, and
+// which accepts further appends.
+func TestRecoveryPrefixUnderRandomKill(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+
+	// Build the committed store once: mixed statements, small segments
+	// (so damage lands in different segments across trials), periodic
+	// checkpoints.
+	s, dir := mustCreate(t, Options{SegmentBytes: 512, CheckpointEvery: 13})
+	ctx := context.Background()
+	var committed []history.Statement
+	for i := 0; i < 40; i++ {
+		st := randomStatement(rng)
+		if _, err := s.Append(ctx, []history.Statement{st}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		committed = append(committed, st)
+	}
+	s.Close()
+
+	for trial := 0; trial < trials; trial++ {
+		work := copyDir(t, dir)
+		segs, ckpts, err := listStore(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSeg := segmentPath(work, segs[len(segs)-1])
+		switch trial % 4 {
+		case 0: // torn write: truncate the last segment anywhere
+			fi, err := os.Stat(lastSeg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := rng.Int63n(fi.Size() + 1)
+			if cut < segmentHeaderSize {
+				cut = segmentHeaderSize
+			}
+			if err := os.Truncate(lastSeg, cut); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // bit flips inside the final record
+			raw, err := os.ReadFile(lastSeg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(raw) > segmentHeaderSize {
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					tail := len(raw) - 1 - rng.Intn(minInt(40, len(raw)-segmentHeaderSize))
+					raw[tail] ^= byte(1 << rng.Intn(8))
+				}
+				if err := os.WriteFile(lastSeg, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2: // mid-checkpoint crash: stray tmp + corrupt newest checkpoint
+			if err := os.WriteFile(filepath.Join(work, "checkpoint-99.ckpt.tmp"), []byte("partial"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			newest := ckpts[len(ckpts)-1]
+			if newest > 0 {
+				path := checkpointPath(work, newest)
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)/2] ^= 0xff
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 3: // deleted checkpoint + torn tail together
+			newest := ckpts[len(ckpts)-1]
+			if newest > 0 {
+				if err := os.Remove(checkpointPath(work, newest)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fi, err := os.Stat(lastSeg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() > segmentHeaderSize {
+				cut := segmentHeaderSize + rng.Int63n(fi.Size()-segmentHeaderSize+1)
+				if err := os.Truncate(lastSeg, cut); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		re, err := Open(work, Options{SegmentBytes: 512})
+		if err != nil {
+			t.Fatalf("trial %d: recovery failed: %v", trial, err)
+		}
+		got := historyStrings(re.Database())
+		if len(got) > len(committed) {
+			t.Fatalf("trial %d: recovered %d statements, committed only %d", trial, len(got), len(committed))
+		}
+		// In the tail-damage trials everything before the last segment
+		// is intact, so at most that segment's statements may be lost.
+		minKeep := 0
+		if n := len(segs); n > 0 {
+			minKeep = int(segs[len(segs)-1]) - 1
+		}
+		if trial%4 == 2 { // checkpoint damage only: nothing may be lost
+			minKeep = len(committed)
+		}
+		if len(got) < minKeep {
+			t.Fatalf("trial %d: recovered %d statements, damage could only reach back to %d", trial, len(got), minKeep)
+		}
+		for i := range got {
+			if got[i] != committed[i].String() {
+				t.Fatalf("trial %d: statement %d = %q, want %q (not a prefix)", trial, i, got[i], committed[i])
+			}
+		}
+		if want := replayPrefix(t, committed, len(got)); dbState(re.Database()) != want {
+			t.Fatalf("trial %d: recovered state does not match replay of its %d-statement prefix", trial, len(got))
+		}
+		// Post-recovery the store must be writable and re-recoverable.
+		if _, err := re.Append(ctx, []history.Statement{randomStatement(rng)}); err != nil {
+			t.Fatalf("trial %d: append after recovery: %v", trial, err)
+		}
+		after := dbState(re.Database())
+		ver := re.Version()
+		re.Close()
+		re2, err := Open(work, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: second recovery: %v", trial, err)
+		}
+		if re2.Version() != ver || dbState(re2.Database()) != after {
+			t.Fatalf("trial %d: second recovery diverged", trial)
+		}
+		re2.Close()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestRecoveryRejectsMidSegmentCorruption: a damaged record in the
+// LAST segment that is followed by valid records is not a torn tail —
+// truncating there would drop fsynced history, so recovery must fail
+// loudly instead.
+func TestRecoveryRejectsMidSegmentCorruption(t *testing.T) {
+	s, dir := mustCreate(t, Options{}) // one big segment, no rotation
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append(ctx, []history.Statement{randomStatement(rng)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _, err := listStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := segmentPath(dir, segs[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte early in the segment body: the first record's CRC
+	// breaks while later records stay valid.
+	raw[segmentHeaderSize+recordHeaderSize+3] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatalf("recovery silently truncated fsynced records after mid-segment damage")
+	}
+}
+
+// TestRecoveryDropsAheadCheckpointFromStats: a checkpoint ahead of the
+// (torn) log is dropped, and the surviving LastCheckpointVersion must
+// reflect disk, not the dropped file — the auto-checkpoint cadence
+// keys off it.
+func TestRecoveryDropsAheadCheckpointFromStats(t *testing.T) {
+	s, dir := mustCreate(t, Options{})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 6; i++ {
+		if _, err := s.Append(ctx, []history.Statement{randomStatement(rng)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Checkpoint(); err != nil { // checkpoint@6
+		t.Fatal(err)
+	}
+	s.Close()
+	// Tear the log back below the checkpoint.
+	segs, _, err := listStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := segmentPath(dir, segs[len(segs)-1])
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()*2/3); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after tear below checkpoint: %v", err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.LastCheckpointVersion > re.Version() {
+		t.Fatalf("LastCheckpointVersion %d reports a dropped checkpoint (version %d)",
+			st.LastCheckpointVersion, re.Version())
+	}
+	if Detect(dir) && st.LastCheckpointVersion != 0 {
+		t.Fatalf("only the base survives here, got LastCheckpointVersion=%d", st.LastCheckpointVersion)
+	}
+}
+
+// TestRecoveryRejectsMidLogCorruption: damage before the tail is not a
+// crash signature — it must fail loudly, never silently drop committed
+// middle statements.
+func TestRecoveryRejectsMidLogCorruption(t *testing.T) {
+	s, dir := mustCreate(t, Options{SegmentBytes: 256})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30; i++ {
+		if _, err := s.Append(ctx, []history.Statement{randomStatement(rng)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _, err := listStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	// Corrupt a record in the middle of the FIRST segment.
+	first := segmentPath(dir, segs[0])
+	raw, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[segmentHeaderSize+recordHeaderSize+2] ^= 0x01
+	if err := os.WriteFile(first, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatalf("recovery accepted mid-log corruption")
+	}
+}
+
+// TestGoldenRestartWhatIf pins the acceptance criterion at the engine
+// level: the JSON-rendered answer of a what-if query is byte-identical
+// before close and after crash recovery.
+func TestGoldenRestartWhatIf(t *testing.T) {
+	s, dir := mustCreate(t, Options{CheckpointEvery: 7})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		if _, err := s.Append(ctx, []history.Statement{randomStatement(rng)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mods := []history.Modification{history.Replace{
+		Pos:  2,
+		Stmt: sql.MustParseStatement("UPDATE orders SET price = price + 100.0 WHERE id >= 4"),
+	}}
+	answer := func(e *core.Engine) string {
+		d, _, err := e.WhatIfCtx(ctx, mods, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("whatif: %v", err)
+		}
+		raw, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	before := answer(core.New(s.Database()))
+	naiveBefore, _, err := core.New(s.Database()).NaiveCtx(ctx, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	after := answer(core.New(re.Database()))
+	if before != after {
+		t.Fatalf("what-if answer changed across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+	naiveAfter, _, err := core.New(re.Database()).NaiveCtx(ctx, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, _ := json.Marshal(naiveBefore)
+	rawA, _ := json.Marshal(naiveAfter)
+	if string(rawB) != string(rawA) {
+		t.Fatalf("naive answer changed across restart")
+	}
+}
+
+// TestRecoveryColdVsCheckpointed sanity-checks that checkpoints
+// actually bound replay (the bench measures the magnitude).
+func TestRecoveryColdVsCheckpointed(t *testing.T) {
+	build := func(every int) (string, func()) {
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("s%d", every))
+		s, err := Create(dir, testBase(), Options{CheckpointEvery: every})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 30; i++ {
+			if _, err := s.Append(ctx, []history.Statement{randomStatement(rng)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		return dir, func() {}
+	}
+	cold, _ := build(0)
+	warm, _ := build(10)
+	rc, err := Open(cold, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rw, err := Open(warm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if rc.RecoveryInfo().ReplayedStatements != 30 {
+		t.Fatalf("cold recovery replayed %d", rc.RecoveryInfo().ReplayedStatements)
+	}
+	if rw.RecoveryInfo().ReplayedStatements >= 30 || rw.RecoveryInfo().CheckpointVersion == 0 {
+		t.Fatalf("checkpointed recovery did not use its checkpoint: %+v", rw.RecoveryInfo())
+	}
+	if dbState(rc.Database()) != dbState(rw.Database()) {
+		t.Fatalf("cold and checkpointed recovery disagree")
+	}
+}

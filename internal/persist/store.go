@@ -1,0 +1,640 @@
+package persist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentBytes rotates the active WAL segment once it exceeds this
+	// size (default 4 MiB).
+	SegmentBytes int64
+	// CheckpointEvery writes a snapshot checkpoint automatically every
+	// that many appended statements (0 = manual checkpoints only).
+	CheckpointEvery int
+	// RetainCheckpoints keeps that many newest checkpoint files besides
+	// the base (default 3). The base checkpoint (version 0) is never
+	// deleted; in-memory checkpoints already loaded stay available for
+	// time travel regardless.
+	RetainCheckpoints int
+	// NoSync skips fsync on appends and checkpoints. Throughput mode
+	// for benchmarks and bulk ingest: a crash can lose acknowledged
+	// statements (recovery still yields a valid prefix).
+	NoSync bool
+	// Logf receives recovery warnings (torn-tail truncations, skipped
+	// corrupt checkpoints). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.RetainCheckpoints <= 0 {
+		o.RetainCheckpoints = 3
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Stats counts a store's durability traffic since open (recovery-time
+// figures live in RecoveryInfo).
+type Stats struct {
+	// Version is the durably committed history length.
+	Version int
+	// Appends and StatementsAppended count Append calls and the
+	// statements they committed; AppendErrors counts statements
+	// rejected (unencodable or failing to apply).
+	Appends            int64
+	StatementsAppended int64
+	AppendErrors       int64
+	// WALBytesWritten is the record bytes written this process.
+	WALBytesWritten int64
+	// Segments is the segment file count; Rotations counts segment
+	// rolls this process.
+	Segments  int
+	Rotations int64
+	// CheckpointsWritten counts checkpoints taken this process;
+	// LastCheckpoint* describe the newest one on disk.
+	CheckpointsWritten     int64
+	LastCheckpointVersion  int
+	LastCheckpointBytes    int64
+	LastCheckpointDuration time.Duration
+}
+
+// RecoveryInfo describes what Open found and did.
+type RecoveryInfo struct {
+	// Duration is the wall-clock cost of recovery (checkpoint load +
+	// tail replay).
+	Duration time.Duration
+	// Statements is the recovered history length; ReplayedStatements
+	// is how many had to be re-applied on top of CheckpointVersion.
+	Statements         int
+	CheckpointVersion  int
+	ReplayedStatements int
+	// Segments and CheckpointsLoaded count the files consumed.
+	Segments          int
+	CheckpointsLoaded int
+	// TruncatedRecords/TruncatedBytes report the torn tail discarded,
+	// if any.
+	TruncatedRecords int
+	TruncatedBytes   int64
+}
+
+// Store is a durable history store: a versioned in-memory database
+// whose every statement is committed to a segmented WAL before it
+// becomes visible, with snapshot checkpoints bounding recovery time.
+// One Store owns its directory exclusively. Append is safe for
+// concurrent use with readers of Database(); appends themselves are
+// serialized.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	vdb      *storage.VersionedDatabase
+	seg      *activeSegment
+	version  int
+	closed   bool
+	stats    Stats
+	recovery RecoveryInfo
+}
+
+// Detect reports whether dir contains a store (its base checkpoint).
+func Detect(dir string) bool {
+	_, err := os.Stat(checkpointPath(dir, 0))
+	return err == nil
+}
+
+// RemoveStore deletes every store file (segments, checkpoints, temp
+// files) from dir, leaving the directory itself and any foreign files
+// alone. Callers use it to roll back a failed first ingest so the
+// directory can be initialized again; it must not be called on a store
+// that is open.
+func RemoveStore(dir string) error {
+	segs, ckpts, err := listStore(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, seq := range segs {
+		if err := os.Remove(segmentPath(dir, seq)); err != nil {
+			return err
+		}
+	}
+	for _, v := range ckpts {
+		if err := os.Remove(checkpointPath(dir, v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create initializes dir (created if missing, must not already hold a
+// store) with base as the state before any history statement, writing
+// the base checkpoint and an empty first segment.
+func Create(dir string, base *storage.Database, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, ckpts, err := listStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 || len(ckpts) > 0 {
+		return nil, fmt.Errorf("persist: %s already contains a store (use Open)", dir)
+	}
+	if _, err := writeCheckpoint(dir, 0, base, !opts.NoSync); err != nil {
+		return nil, fmt.Errorf("persist: writing base checkpoint: %w", err)
+	}
+	seg, err := createSegment(dir, 1, !opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, vdb: storage.NewVersioned(base), seg: seg}
+	s.stats.Segments = 1
+	return s, nil
+}
+
+// Open recovers the store in dir: it loads the newest valid checkpoint,
+// replays the WAL tail on top of it, truncates a torn final record,
+// and registers every loaded checkpoint with the versioned database so
+// time travel starts warm.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	segs, ckptVers, err := listStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	// Checkpoints: the base is mandatory; later ones are best-effort
+	// (a corrupt file falls back to the previous checkpoint, at worst
+	// the base).
+	var base *storage.Database
+	checkpoints := map[int]*storage.Database{}
+	for _, v := range ckptVers {
+		ver, db, err := loadCheckpoint(checkpointPath(dir, v))
+		if err != nil {
+			if v == 0 {
+				return nil, fmt.Errorf("persist: base checkpoint: %w", err)
+			}
+			opts.logf("persist: skipping checkpoint %d: %v", v, err)
+			continue
+		}
+		if ver != v {
+			return nil, fmt.Errorf("%w: checkpoint file %d claims version %d", ErrCorrupt, v, ver)
+		}
+		if v == 0 {
+			base = db
+		} else {
+			checkpoints[v] = db
+		}
+		s.recovery.CheckpointsLoaded++
+	}
+	if base == nil {
+		return nil, fmt.Errorf("%w: %s has no base checkpoint (version 0)", ErrCorrupt, dir)
+	}
+
+	// WAL scan: statements 1..T with strict seq continuity; a torn or
+	// unreadable record is a truncatable tail only at the very end of
+	// the last segment.
+	log, lastSeg, lastSize, lastRecStart, err := s.scanSegments(segs)
+	if err != nil {
+		return nil, err
+	}
+	s.recovery.Segments = len(segs)
+	s.recovery.Statements = len(log)
+	s.version = len(log)
+
+	// Choose the newest checkpoint not past the log tip and build the
+	// current state from it. A checkpoint beyond the tip (possible when
+	// the tail was torn below it, e.g. after NoSync ingest) describes
+	// statements the log cannot prove, so it is unusable — drop it and
+	// recover from an earlier one.
+	best := 0
+	for v := range checkpoints {
+		if v > len(log) {
+			opts.logf("persist: dropping checkpoint %d: ahead of the %d-statement log", v, len(log))
+			delete(checkpoints, v)
+			_ = os.Remove(checkpointPath(dir, v))
+			s.recovery.CheckpointsLoaded--
+			continue
+		}
+		if v > best {
+			best = v
+		}
+	}
+	s.recovery.CheckpointVersion = best
+	cur := base
+	if best > 0 {
+		cur = checkpoints[best]
+	}
+	current := cur.Clone()
+	for i := best; i < len(log); i++ {
+		if err := log[i].Apply(current); err != nil {
+			if i != len(log)-1 {
+				return nil, fmt.Errorf("%w: statement %d (%s) fails to replay: %v", ErrCorrupt, i+1, log[i], err)
+			}
+			// A valid append never leaves an unappliable record behind —
+			// this can only be a crash artifact from the append path's
+			// abort window (the record was written, the apply failed, the
+			// truncation never ran). Drop it like a torn tail.
+			opts.logf("persist: dropping final statement %d (%s): fails to apply: %v", i+1, log[i], err)
+			s.recovery.TruncatedRecords++
+			s.recovery.TruncatedBytes += lastSize - lastRecStart
+			if err := os.Truncate(segmentPath(dir, lastSeg), lastRecStart); err != nil {
+				return nil, err
+			}
+			log = log[:len(log)-1]
+			lastSize = lastRecStart
+			break
+		}
+	}
+	s.recovery.Statements = len(log)
+	s.recovery.ReplayedStatements = len(log) - best
+	s.version = len(log)
+
+	mutators := make([]storage.Mutator, len(log))
+	for i, st := range log {
+		mutators[i] = st
+	}
+	s.vdb = storage.RestoreVersioned(base, mutators, checkpoints, current)
+
+	// Reopen (or create) the active segment at the validated offset.
+	if len(segs) == 0 {
+		seg, err := createSegment(dir, uint64(s.version)+1, !opts.NoSync)
+		if err != nil {
+			return nil, err
+		}
+		s.seg = seg
+		segs = []uint64{seg.firstSeq}
+	} else {
+		seg, err := openSegmentForAppend(segmentPath(dir, lastSeg), lastSeg, lastSize)
+		if err != nil {
+			return nil, err
+		}
+		s.seg = seg
+	}
+	s.stats.Segments = len(segs)
+	// Report only checkpoints that survived validation (corrupt or
+	// ahead-of-log ones were skipped or deleted above), so the auto-
+	// checkpoint cadence and /metrics reflect what is actually on disk.
+	for v := range checkpoints {
+		if v > s.stats.LastCheckpointVersion {
+			s.stats.LastCheckpointVersion = v
+		}
+	}
+	s.recovery.Duration = time.Since(start)
+	return s, nil
+}
+
+// scanSegments reads every WAL record in order, returning the decoded
+// history, the first-seq of the last segment, the validated byte size
+// of the last segment (the truncation point for a torn tail), and the
+// offset at which its final accepted record begins (the truncation
+// point if that record later fails to apply).
+func (s *Store) scanSegments(segs []uint64) (log []history.Statement, lastSeg uint64, lastSize, lastRecStart int64, err error) {
+	nextSeq := uint64(1)
+	for si, firstSeq := range segs {
+		last := si == len(segs)-1
+		if firstSeq != nextSeq {
+			return nil, 0, 0, 0, fmt.Errorf("%w: segment %d starts at seq %d, want %d",
+				ErrCorrupt, firstSeq, firstSeq, nextSeq)
+		}
+		path := segmentPath(s.dir, firstSeq)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		hdrSeq, err := readSegmentHeader(f)
+		if err != nil {
+			f.Close()
+			return nil, 0, 0, 0, fmt.Errorf("segment %s: %w", path, err)
+		}
+		if hdrSeq != firstSeq {
+			f.Close()
+			return nil, 0, 0, 0, fmt.Errorf("%w: segment %s header seq %d != name seq %d",
+				ErrCorrupt, path, hdrSeq, firstSeq)
+		}
+		size := int64(segmentHeaderSize)
+		recStart := size
+		for {
+			seq, payload, rerr := readRecord(f)
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			if rerr != nil {
+				if !last {
+					f.Close()
+					return nil, 0, 0, 0, fmt.Errorf("%w: unreadable record mid-log in segment %s", ErrCorrupt, path)
+				}
+				// The damaged record starts at `size`. It is a truncatable
+				// torn tail only if nothing valid follows it — a complete
+				// record past the damage means committed history would be
+				// dropped, which is corruption, not a crash signature.
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					f.Close()
+					return nil, 0, 0, 0, err
+				}
+				if !tailIsTruncatable(raw, size+1, nextSeq) {
+					f.Close()
+					return nil, 0, 0, 0, fmt.Errorf("%w: damaged record %d in %s is followed by valid records", ErrCorrupt, nextSeq, path)
+				}
+				end := int64(len(raw))
+				s.recovery.TruncatedRecords++
+				s.recovery.TruncatedBytes += end - size
+				s.opts.logf("persist: truncating torn tail of %s (%d bytes)", path, end-size)
+				if err := os.Truncate(path, size); err != nil {
+					f.Close()
+					return nil, 0, 0, 0, err
+				}
+				break
+			}
+			if seq != nextSeq {
+				f.Close()
+				return nil, 0, 0, 0, fmt.Errorf("%w: segment %s: record seq %d, want %d",
+					ErrCorrupt, path, seq, nextSeq)
+			}
+			st, perr := sql.ParseStatement(string(payload))
+			if perr != nil {
+				if !last {
+					f.Close()
+					return nil, 0, 0, 0, fmt.Errorf("%w: unparseable statement %d mid-log: %v", ErrCorrupt, seq, perr)
+				}
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					f.Close()
+					return nil, 0, 0, 0, err
+				}
+				if !tailIsTruncatable(raw, size+recordSize(len(payload)), nextSeq+1) {
+					f.Close()
+					return nil, 0, 0, 0, fmt.Errorf("%w: unparseable statement %d in %s is followed by valid records", ErrCorrupt, seq, path)
+				}
+				s.recovery.TruncatedRecords++
+				s.recovery.TruncatedBytes += recordSize(len(payload))
+				s.opts.logf("persist: dropping unparseable final statement %d: %v", seq, perr)
+				if err := os.Truncate(path, size); err != nil {
+					f.Close()
+					return nil, 0, 0, 0, err
+				}
+				break
+			}
+			log = append(log, st)
+			recStart = size
+			size += recordSize(len(payload))
+			nextSeq++
+		}
+		f.Close()
+		lastSeg, lastSize, lastRecStart = firstSeq, size, recStart
+	}
+	return log, lastSeg, lastSize, lastRecStart, nil
+}
+
+// Database returns the recovered versioned database. Reads through it
+// are safe while appends are in flight.
+func (s *Store) Database() *storage.VersionedDatabase { return s.vdb }
+
+// Version returns the durably committed history length.
+func (s *Store) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Version = s.version
+	return st
+}
+
+// RecoveryInfo reports what Open found (zero value for a Create'd
+// store).
+func (s *Store) RecoveryInfo() RecoveryInfo { return s.recovery }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// EncodeStatement renders st as its WAL payload, verifying the SQL
+// round-trips through the parser so recovery can always read it back.
+// Statements built programmatically from constructs without a SQL
+// rendering are rejected here, before any byte hits the log.
+func EncodeStatement(st history.Statement) ([]byte, error) {
+	text, err := sql.RenderStatement(st)
+	if err != nil {
+		return nil, fmt.Errorf("persist: statement is not WAL-encodable: %w", err)
+	}
+	if _, err := sql.ParseStatement(text); err != nil {
+		return nil, fmt.Errorf("persist: statement %q is not WAL-encodable: %w", text, err)
+	}
+	return []byte(text), nil
+}
+
+// Append commits stmts to the history: each statement is written to
+// the WAL, applied to the in-memory database, and becomes visible to
+// readers immediately; the batch is fsynced once before Append
+// returns (group commit), which is the durability point. A statement
+// that fails to encode or apply aborts the batch: earlier statements
+// stay committed, the failed statement's record is rolled back off the
+// log, and the error is returned with the surviving version.
+func (s *Store) Append(ctx context.Context, stmts []history.Statement) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.version, fmt.Errorf("persist: store is closed")
+	}
+	if len(stmts) == 0 {
+		return s.version, fmt.Errorf("persist: empty append")
+	}
+	s.stats.Appends++
+	// Every return path below that leaves new records behind must fsync
+	// first: an aborted batch still reports its earlier statements as
+	// committed, and committed means durable.
+	committed := 0
+	commit := func() error {
+		if s.opts.NoSync || committed == 0 {
+			return nil
+		}
+		return s.seg.sync()
+	}
+	var scratch []byte
+	for _, st := range stmts {
+		if err := ctx.Err(); err != nil {
+			if serr := commit(); serr != nil {
+				return s.version, fmt.Errorf("persist: wal sync: %w", serr)
+			}
+			return s.version, err
+		}
+		payload, err := EncodeStatement(st)
+		if err != nil {
+			s.stats.AppendErrors++
+			if serr := commit(); serr != nil {
+				return s.version, fmt.Errorf("persist: wal sync: %w", serr)
+			}
+			return s.version, err
+		}
+		offset := s.seg.size
+		scratch = appendRecord(scratch[:0], uint64(s.version)+1, payload)
+		if err := s.seg.write(scratch); err != nil {
+			// The write may have landed partially; roll the file back so
+			// the log ends at a record boundary, and make the earlier
+			// records of this batch durable (the write error dominates
+			// any sync error here).
+			_ = s.seg.truncateTo(offset)
+			_ = commit()
+			return s.version, fmt.Errorf("persist: wal write: %w", err)
+		}
+		if err := s.vdb.Apply(st); err != nil {
+			// WAL-first means the record exists but the statement does
+			// not: abort it so recovery replays exactly the committed
+			// history.
+			s.stats.AppendErrors++
+			if terr := s.seg.truncateTo(offset); terr != nil {
+				return s.version, fmt.Errorf("persist: %v; and failed to roll back its record: %w", err, terr)
+			}
+			if !s.opts.NoSync {
+				_ = s.seg.sync()
+			}
+			return s.version, err
+		}
+		committed++
+		s.version++
+		s.stats.StatementsAppended++
+		s.stats.WALBytesWritten += recordSize(len(payload))
+	}
+	if !s.opts.NoSync {
+		if err := s.seg.sync(); err != nil {
+			return s.version, fmt.Errorf("persist: wal sync: %w", err)
+		}
+	}
+	if err := s.maybeRotate(); err != nil {
+		return s.version, err
+	}
+	if s.opts.CheckpointEvery > 0 && s.version-s.stats.LastCheckpointVersion >= s.opts.CheckpointEvery {
+		if _, err := s.checkpointLocked(); err != nil {
+			return s.version, fmt.Errorf("persist: auto checkpoint: %w", err)
+		}
+	}
+	return s.version, nil
+}
+
+// maybeRotate rolls the active segment once it exceeds SegmentBytes.
+func (s *Store) maybeRotate() error {
+	if s.seg.size < s.opts.SegmentBytes {
+		return nil
+	}
+	if err := s.seg.sync(); err != nil {
+		return err
+	}
+	if err := s.seg.close(); err != nil {
+		return err
+	}
+	seg, err := createSegment(s.dir, uint64(s.version)+1, !s.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	s.seg = seg
+	s.stats.Segments++
+	s.stats.Rotations++
+	return nil
+}
+
+// CheckpointInfo describes one written checkpoint.
+type CheckpointInfo struct {
+	Version  int
+	Bytes    int64
+	Duration time.Duration
+}
+
+// Checkpoint writes a snapshot of the current state, registers it for
+// time travel, and prunes old checkpoint files beyond the retention
+// count (the base is always kept).
+func (s *Store) Checkpoint() (CheckpointInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CheckpointInfo{}, fmt.Errorf("persist: store is closed")
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() (CheckpointInfo, error) {
+	start := time.Now()
+	ver, db := s.vdb.TipSnapshot()
+	n, err := writeCheckpoint(s.dir, ver, db, !s.opts.NoSync)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	// The snapshot we just wrote also serves future time travel.
+	if err := s.vdb.AddCheckpoint(ver, db); err != nil {
+		return CheckpointInfo{}, err
+	}
+	info := CheckpointInfo{Version: ver, Bytes: n, Duration: time.Since(start)}
+	s.stats.CheckpointsWritten++
+	s.stats.LastCheckpointVersion = ver
+	s.stats.LastCheckpointBytes = n
+	s.stats.LastCheckpointDuration = info.Duration
+	s.pruneCheckpoints()
+	return info, nil
+}
+
+// pruneCheckpoints deletes checkpoint files beyond the newest
+// RetainCheckpoints (version 0 is never deleted). Best effort: a
+// failed delete is ignored; recovery tolerates any mix.
+func (s *Store) pruneCheckpoints() {
+	_, ckpts, err := listStore(s.dir)
+	if err != nil {
+		return
+	}
+	var nonBase []int
+	for _, v := range ckpts {
+		if v > 0 {
+			nonBase = append(nonBase, v)
+		}
+	}
+	for len(nonBase) > s.opts.RetainCheckpoints {
+		_ = os.Remove(checkpointPath(s.dir, nonBase[0]))
+		nonBase = nonBase[1:]
+	}
+}
+
+// Close syncs and closes the active segment. The store cannot be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.opts.NoSync {
+		if err := s.seg.sync(); err != nil {
+			s.seg.close()
+			return err
+		}
+	}
+	return s.seg.close()
+}

@@ -1,0 +1,23 @@
+package persist
+
+import (
+	"testing"
+
+	"github.com/mahif/mahif/internal/workload"
+)
+
+func TestWorkloadStatementsEncodable(t *testing.T) {
+	ds := workload.Taxi(200, 1)
+	w, err := workload.Generate(ds, workload.Config{
+		Updates: 60, Mods: 2, DependentPct: 30, AffectedPct: 10,
+		InsertPct: 15, DeletePct: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range w.History {
+		if _, err := EncodeStatement(st); err != nil {
+			t.Fatalf("statement %d: %v", i, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"strings"
 
 	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/persist"
 	"github.com/mahif/mahif/internal/schema"
 	"github.com/mahif/mahif/internal/sql"
 	"github.com/mahif/mahif/internal/storage"
@@ -21,23 +24,11 @@ import (
 // The history is applied statement by statement, so the engine's redo
 // log matches the script.
 func LoadEngine(dataSpecs []string, historyPath string) (*core.Engine, error) {
-	db := storage.NewDatabase()
-	for _, spec := range dataSpecs {
-		name, file, ok := strings.Cut(spec, "=")
-		if !ok {
-			return nil, fmt.Errorf("bad -data %q (want relation=file.csv)", spec)
-		}
-		rel, err := LoadCSV(name, file)
-		if err != nil {
-			return nil, err
-		}
-		db.AddRelation(rel)
-	}
-	raw, err := os.ReadFile(historyPath)
+	db, err := LoadBase(dataSpecs)
 	if err != nil {
 		return nil, err
 	}
-	hist, err := sql.ParseStatements(string(raw))
+	hist, err := LoadHistory(historyPath)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +39,84 @@ func LoadEngine(dataSpecs []string, historyPath string) (*core.Engine, error) {
 		}
 	}
 	return core.New(vdb), nil
+}
+
+// LoadBase builds the pre-history database state from CSV specs
+// ("relation=file.csv", header row required).
+func LoadBase(dataSpecs []string) (*storage.Database, error) {
+	db := storage.NewDatabase()
+	for _, spec := range dataSpecs {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad CSV spec %q (want relation=file.csv)", spec)
+		}
+		rel, err := LoadCSV(name, file)
+		if err != nil {
+			return nil, err
+		}
+		db.AddRelation(rel)
+	}
+	return db, nil
+}
+
+// LoadHistory parses a SQL history script.
+func LoadHistory(path string) ([]history.Statement, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := sql.ParseStatements(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	return []history.Statement(hist), nil
+}
+
+// InitStore creates a durable store in dir: the CSV snapshots become
+// the base state (checkpoint 0) and the optional history script is
+// committed through the WAL, so the directory alone reproduces the
+// engine on every later start. A failed ingest rolls the store files
+// back out of dir — a partial first ingest would otherwise block
+// re-initialization while silently serving a truncated history.
+func InitStore(dir string, csvSpecs []string, historyPath string, opts persist.Options) (*core.Engine, *persist.Store, error) {
+	if len(csvSpecs) == 0 {
+		return nil, nil, fmt.Errorf("initializing %s: at least one relation=file.csv is required", dir)
+	}
+	base, err := LoadBase(csvSpecs)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Parse the whole script before creating anything on disk.
+	var hist []history.Statement
+	if historyPath != "" {
+		if hist, err = LoadHistory(historyPath); err != nil {
+			return nil, nil, err
+		}
+	}
+	store, err := persist.Create(dir, base, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(hist) > 0 {
+		if _, err := store.Append(context.Background(), hist); err != nil {
+			store.Close()
+			if rerr := persist.RemoveStore(dir); rerr != nil {
+				return nil, nil, fmt.Errorf("ingesting history: %v (and rolling back %s failed: %w)", err, dir, rerr)
+			}
+			return nil, nil, fmt.Errorf("ingesting history: %w", err)
+		}
+	}
+	return core.NewDurable(store), store, nil
+}
+
+// OpenStore recovers the durable store in dir and wraps it in an
+// engine whose appends commit WAL-first.
+func OpenStore(dir string, opts persist.Options) (*core.Engine, *persist.Store, error) {
+	store, err := persist.Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewDurable(store), store, nil
 }
 
 // LoadCSV reads one relation from a CSV file with a header row.

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders a Prometheus text exposition (format 0.0.4) of
+// the session pool's cache counters plus the durable store's WAL and
+// checkpoint counters when the server is backed by one. Hand-rolled on
+// purpose: the counter set is small and a client dependency would be
+// the only one in the module.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	m := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	m("mahif_history_version", "Number of statements in the transactional history.", "gauge")
+	fmt.Fprintf(&b, "mahif_history_version %d\n", s.engine.Version())
+
+	m("mahif_session_calls_total", "Evaluation entries through each session.", "counter")
+	m("mahif_session_invalidations_total", "Explicit cache resets per session.", "counter")
+	m("mahif_session_advances_total", "History advances survived with caches kept (optimistic cross-version reuse).", "counter")
+	m("mahif_session_snapshot_hits_total", "Time-travel snapshot cache hits per session.", "counter")
+	m("mahif_session_snapshot_misses_total", "Time-travel snapshot cache misses per session.", "counter")
+	m("mahif_session_memo_hits_total", "Solver-outcome memo hits per session.", "counter")
+	m("mahif_session_memo_misses_total", "Solver-outcome memo misses per session.", "counter")
+	m("mahif_session_query_hits_total", "Compiled reenactment-result cache hits per session.", "counter")
+	m("mahif_session_query_misses_total", "Compiled reenactment-result cache misses per session.", "counter")
+	for i, st := range s.SessionStats() {
+		l := fmt.Sprintf("{session=\"%d\"}", i)
+		fmt.Fprintf(&b, "mahif_session_calls_total%s %d\n", l, st.Calls)
+		fmt.Fprintf(&b, "mahif_session_invalidations_total%s %d\n", l, st.Invalidations)
+		fmt.Fprintf(&b, "mahif_session_advances_total%s %d\n", l, st.Advances)
+		fmt.Fprintf(&b, "mahif_session_snapshot_hits_total%s %d\n", l, st.SnapshotHits)
+		fmt.Fprintf(&b, "mahif_session_snapshot_misses_total%s %d\n", l, st.SnapshotMisses)
+		fmt.Fprintf(&b, "mahif_session_memo_hits_total%s %d\n", l, st.MemoHits)
+		fmt.Fprintf(&b, "mahif_session_memo_misses_total%s %d\n", l, st.MemoMisses)
+		fmt.Fprintf(&b, "mahif_session_query_hits_total%s %d\n", l, st.QueryHits)
+		fmt.Fprintf(&b, "mahif_session_query_misses_total%s %d\n", l, st.QueryMisses)
+	}
+
+	if s.opts.Store != nil {
+		st := s.opts.Store.Stats()
+		ri := s.opts.Store.RecoveryInfo()
+		m("mahif_wal_appends_total", "Append calls committed to the WAL.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_appends_total %d\n", st.Appends)
+		m("mahif_wal_statements_appended_total", "Statements committed to the WAL.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_statements_appended_total %d\n", st.StatementsAppended)
+		m("mahif_wal_append_errors_total", "Statements rejected by the append path.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_append_errors_total %d\n", st.AppendErrors)
+		m("mahif_wal_bytes_written_total", "WAL record bytes written since start.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_bytes_written_total %d\n", st.WALBytesWritten)
+		m("mahif_wal_segments", "WAL segment files.", "gauge")
+		fmt.Fprintf(&b, "mahif_wal_segments %d\n", st.Segments)
+		m("mahif_wal_rotations_total", "WAL segment rotations since start.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_rotations_total %d\n", st.Rotations)
+		m("mahif_checkpoints_written_total", "Snapshot checkpoints written since start.", "counter")
+		fmt.Fprintf(&b, "mahif_checkpoints_written_total %d\n", st.CheckpointsWritten)
+		m("mahif_checkpoint_last_version", "History version of the newest checkpoint.", "gauge")
+		fmt.Fprintf(&b, "mahif_checkpoint_last_version %d\n", st.LastCheckpointVersion)
+		m("mahif_checkpoint_last_bytes", "Size of the newest checkpoint written this process.", "gauge")
+		fmt.Fprintf(&b, "mahif_checkpoint_last_bytes %d\n", st.LastCheckpointBytes)
+		m("mahif_recovery_duration_seconds", "Wall-clock cost of the last crash recovery.", "gauge")
+		fmt.Fprintf(&b, "mahif_recovery_duration_seconds %g\n", ri.Duration.Seconds())
+		m("mahif_recovery_replayed_statements", "Statements replayed on top of the recovery checkpoint.", "gauge")
+		fmt.Fprintf(&b, "mahif_recovery_replayed_statements %d\n", ri.ReplayedStatements)
+		m("mahif_recovery_truncated_records", "Torn-tail records discarded by the last recovery.", "gauge")
+		fmt.Fprintf(&b, "mahif_recovery_truncated_records %d\n", ri.TruncatedRecords)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

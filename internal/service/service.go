@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/persist"
 )
 
 // Options tunes a Server.
@@ -24,6 +25,10 @@ type Options struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Store, when set, is the durability layer behind the engine; it
+	// only feeds the /metrics exposition (the engine routes appends
+	// through it by construction).
+	Store *persist.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -80,20 +85,58 @@ func (s *Server) SessionStats() []core.SessionStats {
 
 // Handler returns the v1 API:
 //
-//	POST /v1/whatif   one what-if query        → WhatIfResponse
-//	POST /v1/batch    a scenario batch         → BatchResponse
-//	GET  /v1/history  the transactional history → HistoryResponse
-//	GET  /healthz     liveness                  → 200 "ok"
+//	POST /v1/whatif   one what-if query            → WhatIfResponse
+//	POST /v1/batch    a scenario batch             → BatchResponse
+//	GET  /v1/history  the transactional history    → HistoryResponse
+//	POST /v1/history  append statements (live)     → AppendResponse
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness                     → 200 "ok"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
+	mux.HandleFunc("POST /v1/history", s.handleAppend)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleAppend commits new history statements. Sessions keep their
+// caches (the history is append-only; see core.Session), so serving
+// continues warm across the advance. On a durable engine the response
+// is written only after the WAL fsync.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	stmts, err := DecodeStatements(req.Statements)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	ver, err := s.engine.AppendCtx(ctx, stmts)
+	if err != nil {
+		// Statements before the failing one stay committed; the error
+		// carries the detail, the version the survivors.
+		writeJSON(w, statusFor(err), struct {
+			ErrorResponse
+			Version int `json:"version"`
+		}{ErrorResponse{Error: err.Error()}, ver})
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Version:  ver,
+		Appended: len(stmts),
+		Durable:  s.engine.Durable(),
+	})
 }
 
 // requestCtx derives the evaluation context: the request context

@@ -141,6 +141,43 @@ type BatchResponse struct {
 	Stats   *core.BatchStats      `json:"stats,omitempty"`
 }
 
+// AppendRequest is the body of POST /v1/history: new statements to
+// commit to the end of the transactional history, as SQL text.
+type AppendRequest struct {
+	Statements []string `json:"statements"`
+	// TimeoutMs tightens (never extends) the server's per-request
+	// timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// DecodeStatements parses the SQL statements of an append request.
+func DecodeStatements(stmts []string) ([]history.Statement, error) {
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("no statements")
+	}
+	out := make([]history.Statement, len(stmts))
+	for i, text := range stmts {
+		st, err := sql.ParseStatement(text)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// AppendResponse is the body of a successful POST /v1/history.
+type AppendResponse struct {
+	// Version is the history length after the append.
+	Version int `json:"version"`
+	// Appended is how many statements this request committed.
+	Appended int `json:"appended"`
+	// Durable reports whether the statements were committed to a
+	// write-ahead log before this response (false for a memory-only
+	// server).
+	Durable bool `json:"durable"`
+}
+
 // HistoryResponse is the body of GET /v1/history.
 type HistoryResponse struct {
 	// Version is the number of applied statements.

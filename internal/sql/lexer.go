@@ -141,6 +141,22 @@ func (l *lexer) lexNumber() error {
 		}
 		break
 	}
+	// Exponent suffix (1e30, 2.5E-7, 1e+300): only when digits follow,
+	// so an identifier hugging a number ("25e") is left to the word
+	// lexer. Floats render through strconv 'g', which uses this form
+	// for very large and very small magnitudes.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		p := l.pos + 1
+		if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+			p++
+		}
+		if p < len(l.src) && unicode.IsDigit(rune(l.src[p])) {
+			l.pos = p
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+		}
+	}
 	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
 	return nil
 }

@@ -280,6 +280,20 @@ func (p *parser) parseInsert() (history.Statement, error) {
 		}
 		return &history.InsertQuery{Rel: rel, Query: q}, nil
 	}
+	// Parenthesized query — the rendering InsertQuery.String produces
+	// ("INSERT INTO r (SELECT ...)"), accepted so statements round-trip
+	// through the WAL. The grammar has no column lists, so "(" after
+	// the relation name is unambiguous.
+	if p.acceptOp("(") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &history.InsertQuery{Rel: rel, Query: q}, nil
+	}
 	return nil, p.errf("expected VALUES or SELECT after INSERT INTO %s", rel)
 }
 
@@ -573,7 +587,7 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 	switch t.kind {
 	case tokNumber:
 		p.pos++
-		if strings.Contains(t.text, ".") {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return nil, p.errf("bad number %q", t.text)

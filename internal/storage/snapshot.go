@@ -23,8 +23,10 @@ import (
 // treated as read-only. The reenactment path of the engine only reads
 // them (Alg. 2 evaluates queries over D and materializes fresh results);
 // anything that needs to mutate the state must Clone first, which is the
-// copy-on-write boundary. The cache also assumes the underlying store is
-// quiescent — no concurrent Apply — for its lifetime.
+// copy-on-write boundary. The underlying store may advance concurrently
+// (live append): the history is append-only, so every cached snapshot —
+// including one taken at what was then the tip — remains the correct
+// state after its first i statements forever.
 type SnapshotCache struct {
 	vdb *VersionedDatabase
 
@@ -71,8 +73,8 @@ func (c *SnapshotCache) Snapshot(i int) (*Database, error) {
 // error to an innocent concurrent client. Hit/miss counters record
 // completed shares and builds only, never abandoned attempts.
 func (c *SnapshotCache) SnapshotCtx(ctx context.Context, i int) (*Database, error) {
-	if i < 0 || i > len(c.vdb.log) {
-		return nil, fmt.Errorf("storage: snapshot %d out of range [0,%d]", i, len(c.vdb.log))
+	if n := c.vdb.NumVersions(); i < 0 || i > n {
+		return nil, fmt.Errorf("storage: snapshot %d out of range [0,%d]", i, n)
 	}
 	for {
 		c.mu.Lock()
@@ -126,13 +128,15 @@ func (c *SnapshotCache) SnapshotCtx(ctx context.Context, i int) (*Database, erro
 // once created, so when one lands exactly on i it is returned without
 // copying; otherwise it is cloned and the log replayed forward.
 func (c *SnapshotCache) build(ctx context.Context, i int) (*Database, error) {
-	v := c.vdb
-	if i == len(v.log) {
-		// The requested version is the live current state; freeze a
-		// private copy once so the shared snapshot cannot alias it.
-		return v.current.Clone(), nil
+	start, db, log, private, err := c.vdb.replayPlan(i)
+	if err != nil {
+		return nil, err
 	}
-	start, db := v.nearestCheckpoint(i)
+	if private {
+		// The requested version was the tip: replayPlan froze a private
+		// copy of the live state, so the shared snapshot cannot alias it.
+		return db, nil
+	}
 	c.mu.Lock()
 	for at, snap := range c.ready {
 		if at <= i && at > start {
@@ -143,7 +147,7 @@ func (c *SnapshotCache) build(ctx context.Context, i int) (*Database, error) {
 	if start == i {
 		return db, nil
 	}
-	return v.replayCtx(ctx, start, db, i)
+	return replayCtx(ctx, log, start, db, i)
 }
 
 // Stats reports how many Snapshot calls were served from the cache

@@ -3,6 +3,7 @@ package storage
 import (
 	"context"
 	"fmt"
+	"sync"
 )
 
 // Mutator is anything that transforms a database in place — in practice
@@ -23,7 +24,14 @@ type Mutator interface {
 //
 // Version i denotes the state after the first i statements, so
 // Version(0) == D0 and Version(len(log)) == Current().
+//
+// The store is safe for concurrent use with one writer: Apply may run
+// while other goroutines reconstruct versions or read the log. The
+// history is strictly append-only — versions ≤ an observed NumVersions
+// are immutable forever — which is what lets snapshot caches and
+// sessions keep serving warm state across live appends.
 type VersionedDatabase struct {
+	mu      sync.RWMutex
 	base    *Database
 	current *Database
 	log     []Mutator
@@ -45,12 +53,40 @@ func NewVersioned(initial *Database) *VersionedDatabase {
 	}
 }
 
+// RestoreVersioned reconstructs a versioned database from recovered
+// parts — the durable store's crash-recovery constructor. Unlike
+// NewVersioned it takes ownership of its arguments without cloning:
+// base must be the state before log[0], every checkpoints[i] the state
+// after the first i statements, and current the state after the whole
+// log. The caller must not retain references that it later mutates.
+func RestoreVersioned(base *Database, log []Mutator, checkpoints map[int]*Database, current *Database) *VersionedDatabase {
+	if checkpoints == nil {
+		checkpoints = map[int]*Database{}
+	}
+	return &VersionedDatabase{
+		base:        base,
+		current:     current,
+		log:         log,
+		checkpoints: checkpoints,
+	}
+}
+
 // SetCheckpointEvery enables snapshot checkpoints every n statements
 // (0 disables). It affects only future Apply calls.
-func (v *VersionedDatabase) SetCheckpointEvery(n int) { v.checkpointEvery = n }
+func (v *VersionedDatabase) SetCheckpointEvery(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.checkpointEvery = n
+}
 
 // Apply executes m against the current state and appends it to the log.
 func (v *VersionedDatabase) Apply(m Mutator) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.applyLocked(m)
+}
+
+func (v *VersionedDatabase) applyLocked(m Mutator) error {
 	if err := m.Apply(v.current); err != nil {
 		return fmt.Errorf("storage: applying %s: %w", m, err)
 	}
@@ -61,27 +97,66 @@ func (v *VersionedDatabase) Apply(m Mutator) error {
 	return nil
 }
 
-// ApplyAll executes a sequence of mutations.
+// ApplyAll executes a sequence of mutations atomically with respect to
+// concurrent readers: no version between the first and last statement
+// becomes the observable tip.
 func (v *VersionedDatabase) ApplyAll(ms ...Mutator) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for _, m := range ms {
-		if err := v.Apply(m); err != nil {
+		if err := v.applyLocked(m); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// NumVersions returns the number of applied statements.
-func (v *VersionedDatabase) NumVersions() int { return len(v.log) }
+// AddCheckpoint registers db as the materialized state after the first
+// i statements, accelerating later Version reconstructions. The caller
+// asserts the invariant (db really is version i) and hands over
+// ownership — the store never mutates checkpoints, and neither may the
+// caller afterwards. Used by the durable store when it writes or loads
+// snapshot checkpoints.
+func (v *VersionedDatabase) AddCheckpoint(i int, db *Database) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i < 0 || i > len(v.log) {
+		return fmt.Errorf("storage: checkpoint %d out of range [0,%d]", i, len(v.log))
+	}
+	v.checkpoints[i] = db
+	return nil
+}
 
-// Current returns the live current state (not a copy).
+// NumVersions returns the number of applied statements.
+func (v *VersionedDatabase) NumVersions() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.log)
+}
+
+// Current returns the live current state (not a copy). The returned
+// database is mutated in place by Apply, so callers must either
+// guarantee quiescence (no concurrent appends) or use TipSnapshot /
+// Version for a stable view.
 func (v *VersionedDatabase) Current() *Database { return v.current }
 
-// Base returns the snapshot before any statement ran (not a copy).
+// TipSnapshot atomically returns the current version number and a
+// private copy of the state at that version — the consistent read a
+// concurrent reader needs while appends are in flight.
+func (v *VersionedDatabase) TipSnapshot() (int, *Database) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.log), v.current.Clone()
+}
+
+// Base returns the snapshot before any statement ran (not a copy; the
+// base is immutable).
 func (v *VersionedDatabase) Base() *Database { return v.base }
 
 // Log returns the applied statements in order.
 func (v *VersionedDatabase) Log() []Mutator {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([]Mutator, len(v.log))
 	copy(out, v.log)
 	return out
@@ -98,19 +173,42 @@ func (v *VersionedDatabase) Version(i int) (*Database, error) {
 // cancellation between statements, so reconstructing a deep version can
 // be abandoned promptly.
 func (v *VersionedDatabase) VersionCtx(ctx context.Context, i int) (*Database, error) {
-	if i < 0 || i > len(v.log) {
-		return nil, fmt.Errorf("storage: version %d out of range [0,%d]", i, len(v.log))
+	start, db, log, private, err := v.replayPlan(i)
+	if err != nil {
+		return nil, err
 	}
-	if i == len(v.log) {
-		return v.current.Clone(), nil
+	if private {
+		return db, nil // already a private tip clone
 	}
-	start, db := v.nearestCheckpoint(i)
-	return v.replayCtx(ctx, start, db, i)
+	// replayCtx clones db even when start == i, preserving the
+	// private-copy contract for exact checkpoint hits.
+	return replayCtx(ctx, log, start, db, i)
 }
 
-// nearestCheckpoint returns the latest materialized state at or before
-// version i: the base, or a snapshot checkpoint.
-func (v *VersionedDatabase) nearestCheckpoint(i int) (int, *Database) {
+// replayPlan resolves, under the read lock, everything a replay to
+// version i needs: the nearest materialized state at or before i and a
+// stable view of the log. When i is the tip it returns a private clone
+// directly (private == true); otherwise db is shared and immutable
+// (the base or a checkpoint). The log slice header captured here stays
+// valid under concurrent appends — the history is append-only and
+// append never mutates the occupied prefix of the backing array.
+func (v *VersionedDatabase) replayPlan(i int) (start int, db *Database, log []Mutator, private bool, err error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if i < 0 || i > len(v.log) {
+		return 0, nil, nil, false, fmt.Errorf("storage: version %d out of range [0,%d]", i, len(v.log))
+	}
+	if i == len(v.log) {
+		return i, v.current.Clone(), nil, true, nil
+	}
+	start, db = v.nearestCheckpointLocked(i)
+	return start, db, v.log, false, nil
+}
+
+// nearestCheckpointLocked returns the latest materialized state at or
+// before version i: the base, or a snapshot checkpoint. Caller holds at
+// least the read lock. The returned database is shared and immutable.
+func (v *VersionedDatabase) nearestCheckpointLocked(i int) (int, *Database) {
 	start, db := 0, v.base
 	for at, snap := range v.checkpoints {
 		if at <= i && at > start {
@@ -123,14 +221,14 @@ func (v *VersionedDatabase) nearestCheckpoint(i int) (int, *Database) {
 // replayCtx clones db — the state after the first `start` statements —
 // and applies log entries start..i to reach version i, checking ctx
 // between statements.
-func (v *VersionedDatabase) replayCtx(ctx context.Context, start int, db *Database, i int) (*Database, error) {
+func replayCtx(ctx context.Context, log []Mutator, start int, db *Database, i int) (*Database, error) {
 	out := db.Clone()
 	for j := start; j < i; j++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := v.log[j].Apply(out); err != nil {
-			return nil, fmt.Errorf("storage: replaying statement %d (%s): %w", j, v.log[j], err)
+		if err := log[j].Apply(out); err != nil {
+			return nil, fmt.Errorf("storage: replaying statement %d (%s): %w", j, log[j], err)
 		}
 	}
 	return out, nil

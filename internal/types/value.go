@@ -130,7 +130,14 @@ func (v Value) String() string {
 	case KindInt:
 		return strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		// Render integral floats with an explicit ".0" (mirroring the
+		// JSON wire format) so the SQL rendering round-trips to a float
+		// rather than collapsing into the int domain.
+		out := strconv.FormatFloat(v.f, 'g', -1, 64)
+		if !strings.ContainsAny(out, ".eE") {
+			out += ".0"
+		}
+		return out
 	case KindString:
 		// SQL-escape embedded quotes so renderings stay parseable.
 		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"

@@ -233,6 +233,12 @@ func NewVersioned(initial *Database) *VersionedDatabase { return storage.NewVers
 // redo log is the transactional history.
 func NewEngine(vdb *VersionedDatabase) *Engine { return core.New(vdb) }
 
+// NewDurableEngine builds an engine over a durable history store
+// (internal/persist via cmd/mahifd, or any core.DurableStore): appends
+// commit to the store's write-ahead log before they become visible,
+// so a restarted process recovers the exact acknowledged history.
+func NewDurableEngine(store core.DurableStore) *Engine { return core.NewDurable(store) }
+
 // Sentinel errors for invalid what-if queries, returned (wrapped) by
 // WhatIf/Naive and the other evaluation entry points; test with
 // errors.Is.
