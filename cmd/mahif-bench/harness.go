@@ -16,6 +16,7 @@ type harness struct {
 	large   int
 	seed    int64
 	updates []int
+	quick   bool // smoke-run scale: shrink histories and sweeps
 }
 
 // dataset ids used across the sweeps, mirroring §13.1.

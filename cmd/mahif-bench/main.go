@@ -33,6 +33,7 @@ func main() {
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	updates := flag.String("updates", "10,20,50,100,200", "history lengths (U) for the sweeps")
+	quick := flag.Bool("quick", false, "shrink experiment scale for smoke runs (CI)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.StringVar(&execOut, "execout", execOut, "output path for the exec experiment's JSON report")
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mahif-bench:", err)
 		os.Exit(2)
 	}
-	h := &harness{rows: *rows, large: *large, seed: *seed, updates: us}
+	h := &harness{rows: *rows, large: *large, seed: *seed, updates: us, quick: *quick}
 
 	experiments := map[string]func(){
 		"fig14": h.fig14, "fig15": h.fig15, "fig16": h.fig16, "fig17": h.fig17,

@@ -23,6 +23,7 @@ var persistOut = "BENCH_persist.json"
 type appendResult struct {
 	BatchSize   int     `json:"batch_size"`
 	Sync        bool    `json:"sync"`
+	Indexed     bool    `json:"indexed"`
 	Statements  int     `json:"statements"`
 	Seconds     float64 `json:"seconds"`
 	StmtsPerSec float64 `json:"stmts_per_sec"`
@@ -88,41 +89,57 @@ func (h *harness) persistExp() {
 	ctx := context.Background()
 
 	// Append throughput: WAL write + fsync + in-memory apply, which is
-	// what a live POST /v1/history pays.
-	const appendN = 2000
+	// what a live POST /v1/history pays. One extra cell disables the
+	// tip's maintained indexes — the ablation isolating how much of the
+	// append rate the indexed incremental application contributes.
+	appendN := 2000
+	if h.quick {
+		appendN = 200
+	}
 	stmts, base := h.persistStatements(appendN)
-	header("Persist: append throughput — Taxi",
-		"batch", "sync", "stmts", "sec", "stmts/s", "MB/s")
+	type appendCfg struct {
+		sync, indexed bool
+		batch         int
+	}
+	var cfgs []appendCfg
 	for _, sync := range []bool{true, false} {
 		for _, batch := range []int{1, 16, 128} {
-			dir := filepath.Join(tmp, fmt.Sprintf("append-%d-%v", batch, sync))
-			store, err := persist.Create(dir, base, persist.Options{NoSync: !sync})
-			if err != nil {
+			cfgs = append(cfgs, appendCfg{sync: sync, indexed: true, batch: batch})
+		}
+	}
+	cfgs = append(cfgs, appendCfg{sync: false, indexed: false, batch: 16})
+	header("Persist: append throughput — Taxi",
+		"batch", "sync", "indexed", "stmts", "sec", "stmts/s", "MB/s")
+	for _, cfg := range cfgs {
+		dir := filepath.Join(tmp, fmt.Sprintf("append-%d-%v-%v", cfg.batch, cfg.sync, cfg.indexed))
+		store, err := persist.Create(dir, base, persist.Options{NoSync: !cfg.sync})
+		if err != nil {
+			panic(err)
+		}
+		store.Database().SetTipIndexing(cfg.indexed)
+		start := time.Now()
+		for i := 0; i < len(stmts); i += cfg.batch {
+			end := min(i+cfg.batch, len(stmts))
+			if _, err := store.Append(ctx, stmts[i:end]); err != nil {
 				panic(err)
 			}
-			start := time.Now()
-			for i := 0; i < len(stmts); i += batch {
-				end := min(i+batch, len(stmts))
-				if _, err := store.Append(ctx, stmts[i:end]); err != nil {
-					panic(err)
-				}
-			}
-			sec := time.Since(start).Seconds()
-			st := store.Stats()
-			store.Close()
-			res := appendResult{
-				BatchSize:   batch,
-				Sync:        sync,
-				Statements:  len(stmts),
-				Seconds:     sec,
-				StmtsPerSec: float64(len(stmts)) / sec,
-				WALBytes:    st.WALBytesWritten,
-				MBPerSec:    float64(st.WALBytesWritten) / sec / (1 << 20),
-			}
-			report.Append = append(report.Append, res)
-			fmt.Printf("%-10d %12v %12d %12.2f %12.0f %12.2f\n",
-				batch, sync, res.Statements, res.Seconds, res.StmtsPerSec, res.MBPerSec)
 		}
+		sec := time.Since(start).Seconds()
+		st := store.Stats()
+		store.Close()
+		res := appendResult{
+			BatchSize:   cfg.batch,
+			Sync:        cfg.sync,
+			Indexed:     cfg.indexed,
+			Statements:  len(stmts),
+			Seconds:     sec,
+			StmtsPerSec: float64(len(stmts)) / sec,
+			WALBytes:    st.WALBytesWritten,
+			MBPerSec:    float64(st.WALBytesWritten) / sec / (1 << 20),
+		}
+		report.Append = append(report.Append, res)
+		fmt.Printf("%-10d %12v %12v %12d %12.2f %12.0f %12.2f\n",
+			cfg.batch, cfg.sync, cfg.indexed, res.Statements, res.Seconds, res.StmtsPerSec, res.MBPerSec)
 	}
 
 	// Checkpoint cost as the materialized state grows.
@@ -162,9 +179,15 @@ func (h *harness) persistExp() {
 	// Cold recovery: open time vs history length, with and without
 	// checkpoints (0 = replay everything from the base).
 	header("Persist: cold recovery", "stmts", "ckpt-every", "sec", "replayed")
-	for _, n := range []int{500, 2000, 8000} {
+	recoverNs := []int{500, 2000, 8000}
+	every := []int{0, 1000}
+	if h.quick {
+		recoverNs = []int{200}
+		every = []int{0, 100}
+	}
+	for _, n := range recoverNs {
 		stmts, base := h.persistStatements(n)
-		for _, every := range []int{0, 1000} {
+		for _, every := range every {
 			dir := filepath.Join(tmp, fmt.Sprintf("recover-%d-%d", n, every))
 			store, err := persist.Create(dir, base, persist.Options{NoSync: true, CheckpointEvery: every})
 			if err != nil {

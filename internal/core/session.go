@@ -123,6 +123,9 @@ type SessionStats struct {
 	Version int
 	// SnapshotHits/Misses report shared time-travel reuse across calls.
 	SnapshotHits, SnapshotMisses int
+	// SnapshotEvictions counts completed snapshots dropped by the
+	// retention bound; SnapshotResident is the count currently held.
+	SnapshotEvictions, SnapshotResident int
 	// MemoHits/Misses report solver-outcome reuse across calls.
 	MemoHits, MemoMisses int64
 	// QueryHits/Misses report compiled reenactment-result reuse across
@@ -136,6 +139,8 @@ func (s *Session) Stats() SessionStats {
 	defer s.mu.Unlock()
 	st := SessionStats{Calls: s.calls, Invalidations: s.invalidations, Advances: s.advances, Version: s.version}
 	st.SnapshotHits, st.SnapshotMisses = s.caches.snaps.Stats()
+	st.SnapshotEvictions = s.caches.snaps.Evictions()
+	st.SnapshotResident = s.caches.snaps.Resident()
 	st.MemoHits, st.MemoMisses = s.caches.memo.Stats()
 	st.QueryHits, st.QueryMisses = s.caches.eval.stats()
 	return st

@@ -197,8 +197,10 @@ func Eval(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
 }
 
 // scanNode streams a base relation. Emitted tuples are owned=true:
-// they alias live store tuples, which are immutable by the documented
-// scan invariant.
+// they alias store tuples, which are stable for the duration of the
+// query by the documented scan invariant (snapshots are deep clones;
+// states applied to in place are privately owned while mutating, per
+// storage.ApplyMutator's ownership contract).
 type scanNode struct {
 	rel   string
 	arity int

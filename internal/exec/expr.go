@@ -94,6 +94,38 @@ func compileScalar(e expr.Expr, s *schema.Schema) (scalarFn, error) {
 		// machinery, never in executable reenactment queries.
 		return nil, fmt.Errorf("exec: symbolic variable %q in executable expression", x.Name)
 	case *expr.Arith:
+		// col ∘ const and const ∘ col fuse to a single closure (the
+		// dominant SET-clause shape on the incremental update path);
+		// evaluation order and error behavior match the generic form —
+		// the column load's arity check runs first, the constant cannot
+		// error. Unresolvable columns take the generic path so the
+		// compile-time error is identical.
+		if lc, lok := x.L.(*expr.Col); lok {
+			if rc, rok := x.R.(*expr.Const); rok {
+				if idx := s.ColIndex(lc.Name); idx >= 0 {
+					fn := types.ArithConst(x.Op, rc.V)
+					return func(row schema.Tuple) (types.Value, error) {
+						if idx >= len(row) {
+							return types.Null(), fmt.Errorf("exec: row arity %d below attribute index %d", len(row), idx)
+						}
+						return fn(row[idx])
+					}, nil
+				}
+			}
+		}
+		if lc, lok := x.L.(*expr.Const); lok {
+			if rc, rok := x.R.(*expr.Col); rok {
+				if idx := s.ColIndex(rc.Name); idx >= 0 {
+					op, k := x.Op, lc.V
+					return func(row schema.Tuple) (types.Value, error) {
+						if idx >= len(row) {
+							return types.Null(), fmt.Errorf("exec: row arity %d below attribute index %d", len(row), idx)
+						}
+						return types.Arith(op, k, row[idx])
+					}, nil
+				}
+			}
+		}
 		l, err := compileScalar(x.L, s)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,43 @@
+package exec
+
+import (
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// RowPred is a compiled condition under SQL WHERE semantics evaluated
+// tuple-at-a-time: NULL and non-boolean results count as not satisfied,
+// never as errors (mirrors expr.Satisfied exactly; the differential
+// tests pin the compiled forms to the interpreter). Column references
+// are resolved to ordinals against the schema the predicate was
+// compiled for, so the closure runs against any layout-equal relation.
+type RowPred func(row schema.Tuple) (bool, error)
+
+// RowScalar is a compiled scalar expression evaluated tuple-at-a-time
+// (same layout contract as RowPred).
+type RowScalar func(row schema.Tuple) (types.Value, error)
+
+// CompileRowPred compiles a condition to a RowPred. It exposes the
+// executor's tuple-at-a-time predicate compiler to the incremental
+// statement-application path of package history, which evaluates
+// residual predicates over index-selected candidate rows instead of
+// full scans. An error means the expression is outside the compilable
+// subset; callers fall back to the interpreter.
+func CompileRowPred(e expr.Expr, s *schema.Schema) (RowPred, error) {
+	f, err := compileWhere(e, s)
+	if err != nil {
+		return nil, err
+	}
+	return RowPred(f), nil
+}
+
+// CompileRowScalar compiles a scalar expression to a RowScalar (the
+// SET-clause evaluator of the incremental update path).
+func CompileRowScalar(e expr.Expr, s *schema.Schema) (RowScalar, error) {
+	f, err := compileScalar(e, s)
+	if err != nil {
+		return nil, err
+	}
+	return RowScalar(f), nil
+}

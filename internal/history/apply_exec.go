@@ -47,6 +47,56 @@ type progMemo struct {
 	// pay one compile attempt per layout, not one per replayed Apply.
 	sch  *schema.Schema
 	prog *exec.Program
+
+	// Indexed-apply caches (see apply_indexed.go). The analysis — the
+	// index-independent half of the plan — is guarded by schema layout
+	// like the program above. The bound plan additionally depends on
+	// WHICH indexes exist, so its key is the IndexSet's identity and
+	// availability epoch: a plan bound when an index existed (or was
+	// known absent) is stale the moment availability changes — builds,
+	// drops, and invalidations all bump the epoch — and schema layout
+	// alone could never detect that. Only successful bindings are
+	// cached; a nil bind re-checks on the next Apply (it is a handful
+	// of map lookups) so an index built later is picked up without any
+	// epoch traffic.
+	anaSch    *schema.Schema
+	ana       *applyAnalysis
+	bindIx    *storage.IndexSet
+	bindEpoch uint64
+	bound     *boundPlan
+}
+
+// analysis returns the cached indexed-apply analysis for a
+// layout-equal schema, computing and caching it (nil included) on
+// layout change.
+func (m *progMemo) analysis(sch *schema.Schema, build func() *applyAnalysis) *applyAnalysis {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.anaSch != nil && m.anaSch.Equal(sch) {
+		return m.ana
+	}
+	m.anaSch, m.ana = sch, build()
+	// A new layout invalidates any bound plan regardless of epoch.
+	m.bindIx, m.bound = nil, nil
+	return m.ana
+}
+
+// bind returns the plan bound against ix at its current availability
+// epoch, rebinding when the set or its epoch moved.
+func (m *progMemo) bind(a *applyAnalysis, ix *storage.IndexSet, relName string, rel *storage.Relation) *boundPlan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bound != nil && m.bindIx == ix && m.bindEpoch == ix.Epoch() {
+		return m.bound
+	}
+	m.bindIx, m.bound = nil, nil
+	p := bindPlan(a, ix, relName, rel)
+	if p != nil {
+		// Binding may have built indexes (bumping the epoch); key the
+		// cache on the post-build epoch.
+		m.bindIx, m.bindEpoch, m.bound = ix, ix.Epoch(), p
+	}
+	return p
 }
 
 // program returns the cached outcome for a layout-equal schema, or

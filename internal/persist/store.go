@@ -250,8 +250,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		cur = checkpoints[best]
 	}
 	current := cur.Clone()
+	// A recovery-private index set accelerates the replay loop the same
+	// way the tip's maintained indexes accelerate live appends. current
+	// is a private clone until RestoreVersioned takes ownership, so the
+	// indexed path's in-place rewrites cannot be observed.
+	rix := storage.NewIndexSet()
 	for i := best; i < len(log); i++ {
-		if err := log[i].Apply(current); err != nil {
+		if err := storage.ApplyMutator(log[i], current, rix); err != nil {
 			if i != len(log)-1 {
 				return nil, fmt.Errorf("%w: statement %d (%s) fails to replay: %v", ErrCorrupt, i+1, log[i], err)
 			}

@@ -25,6 +25,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m("mahif_session_advances_total", "History advances survived with caches kept (optimistic cross-version reuse).", "counter")
 	m("mahif_session_snapshot_hits_total", "Time-travel snapshot cache hits per session.", "counter")
 	m("mahif_session_snapshot_misses_total", "Time-travel snapshot cache misses per session.", "counter")
+	m("mahif_session_snapshot_evictions_total", "Completed snapshots dropped by the retention bound per session.", "counter")
+	m("mahif_session_snapshot_resident", "Completed snapshots currently held per session.", "gauge")
 	m("mahif_session_memo_hits_total", "Solver-outcome memo hits per session.", "counter")
 	m("mahif_session_memo_misses_total", "Solver-outcome memo misses per session.", "counter")
 	m("mahif_session_query_hits_total", "Compiled reenactment-result cache hits per session.", "counter")
@@ -36,6 +38,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "mahif_session_advances_total%s %d\n", l, st.Advances)
 		fmt.Fprintf(&b, "mahif_session_snapshot_hits_total%s %d\n", l, st.SnapshotHits)
 		fmt.Fprintf(&b, "mahif_session_snapshot_misses_total%s %d\n", l, st.SnapshotMisses)
+		fmt.Fprintf(&b, "mahif_session_snapshot_evictions_total%s %d\n", l, st.SnapshotEvictions)
+		fmt.Fprintf(&b, "mahif_session_snapshot_resident%s %d\n", l, st.SnapshotResident)
 		fmt.Fprintf(&b, "mahif_session_memo_hits_total%s %d\n", l, st.MemoHits)
 		fmt.Fprintf(&b, "mahif_session_memo_misses_total%s %d\n", l, st.MemoMisses)
 		fmt.Fprintf(&b, "mahif_session_query_hits_total%s %d\n", l, st.QueryHits)

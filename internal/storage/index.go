@@ -52,17 +52,37 @@ func (ix *TupleIndex) Add(t schema.Tuple) {
 }
 
 // Remove decrements the multiplicity of t if it is present with a
-// positive count and reports whether it did.
+// positive count and reports whether it did. An entry whose count
+// reaches zero is compacted away (and its bucket deleted when it was
+// the last entry), so add/remove churn — the steady state of
+// incremental index maintenance — cannot accumulate tombstones that
+// degrade probe cost and Distinct accounting.
 func (ix *TupleIndex) Remove(t schema.Tuple) bool {
-	bucket := ix.buckets[t.Hash()]
+	h := t.Hash()
+	bucket := ix.buckets[h]
 	for i := range bucket {
 		if bucket[i].count > 0 && bucket[i].tuple.Equal(t) {
 			bucket[i].count--
 			ix.size--
+			if bucket[i].count == 0 {
+				ix.compact(h, bucket, i)
+			}
 			return true
 		}
 	}
 	return false
+}
+
+// compact swap-deletes the emptied entry at index i of bucket h.
+func (ix *TupleIndex) compact(h uint64, bucket []indexEntry, i int) {
+	last := len(bucket) - 1
+	bucket[i] = bucket[last]
+	bucket[last] = indexEntry{} // release the tuple reference
+	if last == 0 {
+		delete(ix.buckets, h)
+	} else {
+		ix.buckets[h] = bucket[:last]
+	}
 }
 
 // RemoveRow is the batch-probe form of Remove for the vectorized
@@ -76,6 +96,9 @@ func (ix *TupleIndex) RemoveRow(cols [][]types.Value, row int, h uint64) bool {
 		if bucket[i].count > 0 && tupleEqualsRow(bucket[i].tuple, cols, row) {
 			bucket[i].count--
 			ix.size--
+			if bucket[i].count == 0 {
+				ix.compact(h, bucket, i)
+			}
 			return true
 		}
 	}
@@ -111,7 +134,9 @@ func (ix *TupleIndex) Count(t schema.Tuple) int {
 // duplicates).
 func (ix *TupleIndex) Len() int { return ix.size }
 
-// Distinct returns the number of distinct tuples.
+// Distinct returns the number of distinct tuples. Remove compacts
+// emptied entries, so every resident entry has positive count and the
+// bucket sizes are the exact distinct count.
 func (ix *TupleIndex) Distinct() int {
 	n := 0
 	for _, bucket := range ix.buckets {

@@ -27,14 +27,26 @@ import (
 // (live append): the history is append-only, so every cached snapshot —
 // including one taken at what was then the tip — remains the correct
 // state after its first i statements forever.
+// Retention is bounded: completed snapshots beyond the limit are
+// evicted least-recently-used. Without a bound, a session that issues
+// a naive query after every append pins a fresh tip clone per version
+// forever (each version is touched exactly once, so no amount of reuse
+// saves it). Eviction only ever drops completed entries — in-flight
+// builds and their waiters are untouched — and an evicted version is
+// simply rebuilt on next demand, so the bound trades replay time for
+// memory, never correctness.
 type SnapshotCache struct {
 	vdb *VersionedDatabase
 
 	mu      sync.Mutex
+	limit   int // max completed snapshots retained; 0 = unbounded
 	entries map[int]*snapshotEntry
 	ready   map[int]*Database // completed snapshots, for prefix reuse
+	lastUse map[int]int64     // version → tick of last touch (LRU order)
+	tick    int64
 	hits    int
 	misses  int
+	evicted int
 }
 
 // snapshotEntry builds one version exactly once: the caller that
@@ -47,12 +59,57 @@ type snapshotEntry struct {
 	err  error
 }
 
-// NewSnapshotCache builds a cache over vdb.
+// DefaultSnapshotCacheLimit bounds a new cache's resident completed
+// snapshots. Batches touch a handful of versions, so the default is
+// generous for them while keeping long-lived append+query sessions
+// from growing without bound.
+const DefaultSnapshotCacheLimit = 64
+
+// NewSnapshotCache builds a cache over vdb with the default retention
+// bound. Use SetLimit to tune or disable it.
 func NewSnapshotCache(vdb *VersionedDatabase) *SnapshotCache {
 	return &SnapshotCache{
 		vdb:     vdb,
+		limit:   DefaultSnapshotCacheLimit,
 		entries: map[int]*snapshotEntry{},
 		ready:   map[int]*Database{},
+		lastUse: map[int]int64{},
+	}
+}
+
+// SetLimit changes the maximum number of completed snapshots retained
+// (0 = unbounded), evicting immediately if the cache is over the new
+// bound.
+func (c *SnapshotCache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictLocked()
+}
+
+// touchLocked records a use of version i for LRU ordering.
+func (c *SnapshotCache) touchLocked(i int) {
+	c.tick++
+	c.lastUse[i] = c.tick
+}
+
+// evictLocked drops least-recently-used completed snapshots until the
+// cache is within its bound.
+func (c *SnapshotCache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.ready) > c.limit {
+		victim, oldest := -1, int64(0)
+		for v := range c.ready {
+			if u := c.lastUse[v]; victim < 0 || u < oldest {
+				victim, oldest = v, u
+			}
+		}
+		delete(c.ready, victim)
+		delete(c.lastUse, victim)
+		delete(c.entries, victim)
+		c.evicted++
 	}
 }
 
@@ -91,6 +148,8 @@ func (c *SnapshotCache) SnapshotCtx(ctx context.Context, i int) (*Database, erro
 				c.mu.Lock()
 				c.ready[i] = e.db
 				c.misses++
+				c.touchLocked(i)
+				c.evictLocked()
 				c.mu.Unlock()
 			}
 			close(e.done)
@@ -105,6 +164,7 @@ func (c *SnapshotCache) SnapshotCtx(ctx context.Context, i int) (*Database, erro
 			if ok && e.err == nil {
 				c.mu.Lock()
 				c.hits++
+				c.touchLocked(i)
 				c.mu.Unlock()
 			}
 			return e.db, e.err
@@ -143,6 +203,11 @@ func (c *SnapshotCache) build(ctx context.Context, i int) (*Database, error) {
 			start, db = at, snap
 		}
 	}
+	if start > 0 {
+		if _, ok := c.ready[start]; ok {
+			c.touchLocked(start) // keep hot replay bases resident
+		}
+	}
 	c.mu.Unlock()
 	if start == i {
 		return db, nil
@@ -157,4 +222,19 @@ func (c *SnapshotCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions reports how many completed snapshots the retention bound
+// has dropped.
+func (c *SnapshotCache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// Resident reports how many completed snapshots are currently held.
+func (c *SnapshotCache) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ready)
 }

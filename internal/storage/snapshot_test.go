@@ -160,3 +160,71 @@ func TestSnapshotConcurrent(t *testing.T) {
 		t.Errorf("hits+misses = %d, want %d", hits+misses, 16*13)
 	}
 }
+
+// TestSnapshotEvictionBound drives the append-then-query pattern that
+// motivated retention: each version is touched once, so nothing is ever
+// reused and an unbounded cache would pin one clone per version
+// forever. The bound must hold throughout, evicted versions must
+// rebuild correctly on re-demand, and recently used versions must
+// survive over stale ones.
+func TestSnapshotEvictionBound(t *testing.T) {
+	v := newBumpStore(t, 20)
+	c := NewSnapshotCache(v)
+	c.SetLimit(4)
+	for i := 0; i <= 20; i++ {
+		if _, err := c.Snapshot(i); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Resident(); got > 4 {
+			t.Fatalf("after Snapshot(%d): Resident = %d exceeds limit 4", i, got)
+		}
+	}
+	if got := c.Evictions(); got != 17 {
+		t.Errorf("Evictions = %d, want 17 (21 builds over a 4-slot bound)", got)
+	}
+	// Version 0 was evicted long ago: re-demand rebuilds it correctly
+	// and counts as a miss, not a hit.
+	_, missesBefore := c.Stats()
+	db, err := c.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Relation("t")
+	if got := r.Tuples[0][0].AsInt(); got != 100 {
+		t.Errorf("rebuilt Snapshot(0) = %d, want 100", got)
+	}
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Errorf("rebuild after eviction counted as a hit")
+	}
+	// LRU order: touch 18, then build a fresh version; 18 must survive
+	// the eviction that admits it.
+	if _, err := c.Snapshot(18); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Snapshot(5); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	_, has18 := c.ready[18]
+	c.mu.Unlock()
+	if !has18 {
+		t.Error("recently touched version 18 was evicted ahead of staler residents")
+	}
+	// Tightening the limit evicts immediately.
+	c.SetLimit(1)
+	if got := c.Resident(); got != 1 {
+		t.Errorf("after SetLimit(1): Resident = %d", got)
+	}
+	// Unbounded (0) stops evicting.
+	c.SetLimit(0)
+	evicted := c.Evictions()
+	for i := 0; i <= 20; i++ {
+		if _, err := c.Snapshot(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Resident() != 21 || c.Evictions() != evicted {
+		t.Errorf("unbounded cache evicted: Resident=%d Evictions=%d (was %d)",
+			c.Resident(), c.Evictions(), evicted)
+	}
+}

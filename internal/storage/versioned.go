@@ -17,6 +17,43 @@ type Mutator interface {
 	String() string
 }
 
+// IndexedMutator is a Mutator that can apply itself incrementally
+// through the secondary indexes of an IndexSet, touching only the rows
+// its predicate selects and maintaining the indexes delta-wise, instead
+// of scanning and rematerializing the whole relation.
+type IndexedMutator interface {
+	Mutator
+	// ApplyIndexed executes the mutation against db using (and
+	// maintaining) ix. It must be observationally identical to Apply.
+	// It may mutate db's resident tuples in place, so it requires the
+	// ownership contract documented on ApplyMutator.
+	ApplyIndexed(db *Database, ix *IndexSet) error
+}
+
+// ApplyMutator routes m through its indexed-application path when both
+// the mutator and the index set support it. A mutator outside the
+// indexed subset applies plainly, after which ix can no longer vouch
+// for any position, so it is invalidated wholesale.
+//
+// Ownership contract: the indexed path may rewrite db's resident
+// tuples in place, so db's tuples must be privately owned by the
+// caller — no other goroutine or retained reference may read them
+// concurrently or expect them to stay stable. Every caller in this
+// package satisfies that by construction: the live tip is only shared
+// through deep clones (TipSnapshot, Version, checkpoints, replayPlan's
+// tip freeze), replay states are private clones until returned, and
+// recovery replays into a private clone of the restart state. Current()
+// documents the same quiescence requirement for external readers.
+func ApplyMutator(m Mutator, db *Database, ix *IndexSet) error {
+	if ix != nil {
+		if im, ok := m.(IndexedMutator); ok {
+			return im.ApplyIndexed(db, ix)
+		}
+		ix.InvalidateAll()
+	}
+	return m.Apply(db)
+}
+
 // VersionedDatabase is an in-memory stand-in for a DBMS with time
 // travel: it retains the base snapshot D0 (the state before the first
 // statement of the history), a redo log of applied statements, optional
@@ -40,6 +77,11 @@ type VersionedDatabase struct {
 	// statements, trading memory for faster Version() reconstruction.
 	checkpointEvery int
 	checkpoints     map[int]*Database
+
+	// tipIx holds the maintained secondary indexes of the current
+	// state, guarded by mu like the state itself (readers never touch
+	// it). nil disables tip indexing (ablation knob).
+	tipIx *IndexSet
 }
 
 // NewVersioned starts version tracking from the given initial state.
@@ -50,6 +92,7 @@ func NewVersioned(initial *Database) *VersionedDatabase {
 		base:        initial.Clone(),
 		current:     initial.Clone(),
 		checkpoints: map[int]*Database{},
+		tipIx:       NewIndexSet(),
 	}
 }
 
@@ -68,6 +111,22 @@ func RestoreVersioned(base *Database, log []Mutator, checkpoints map[int]*Databa
 		current:     current,
 		log:         log,
 		checkpoints: checkpoints,
+		tipIx:       NewIndexSet(),
+	}
+}
+
+// SetTipIndexing enables or disables maintained secondary indexes on
+// the current state (on by default; the off switch is the benchmark
+// ablation knob). Disabling drops any built indexes.
+func (v *VersionedDatabase) SetTipIndexing(on bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if on {
+		if v.tipIx == nil {
+			v.tipIx = NewIndexSet()
+		}
+	} else {
+		v.tipIx = nil
 	}
 }
 
@@ -87,7 +146,7 @@ func (v *VersionedDatabase) Apply(m Mutator) error {
 }
 
 func (v *VersionedDatabase) applyLocked(m Mutator) error {
-	if err := m.Apply(v.current); err != nil {
+	if err := ApplyMutator(m, v.current, v.tipIx); err != nil {
 		return fmt.Errorf("storage: applying %s: %w", m, err)
 	}
 	v.log = append(v.log, m)
@@ -223,11 +282,15 @@ func (v *VersionedDatabase) nearestCheckpointLocked(i int) (int, *Database) {
 // between statements.
 func replayCtx(ctx context.Context, log []Mutator, start int, db *Database, i int) (*Database, error) {
 	out := db.Clone()
+	// A replay-private index set accelerates the statement loop the
+	// same way the tip's maintained indexes accelerate Apply; it is
+	// discarded with the replay, so it never outlives its state.
+	ix := NewIndexSet()
 	for j := start; j < i; j++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := log[j].Apply(out); err != nil {
+		if err := ApplyMutator(log[j], out, ix); err != nil {
 			return nil, fmt.Errorf("storage: replaying statement %d (%s): %w", j, log[j], err)
 		}
 	}

@@ -287,6 +287,50 @@ func Arith(op Op, a, b Value) (Value, error) {
 	return Null(), fmt.Errorf("types: unknown operator")
 }
 
+// ArithConst returns an evaluator for v ∘ k with the constant right
+// operand baked in, semantically identical to Arith(op, v, k) on every
+// input. The int and float Add/Sub cases — the dominant SET-clause
+// shapes on the statement-application hot path — skip the general
+// dispatch; mixed kinds, NULLs, Mul/Div, and non-numeric operands all
+// fall back to Arith so the error and NULL behavior cannot drift.
+func ArithConst(op Op, k Value) func(Value) (Value, error) {
+	switch {
+	case k.kind == KindInt && op == OpAdd:
+		n := k.i
+		return func(v Value) (Value, error) {
+			if v.kind == KindInt {
+				return Value{kind: KindInt, i: v.i + n}, nil
+			}
+			return Arith(op, v, k)
+		}
+	case k.kind == KindInt && op == OpSub:
+		n := k.i
+		return func(v Value) (Value, error) {
+			if v.kind == KindInt {
+				return Value{kind: KindInt, i: v.i - n}, nil
+			}
+			return Arith(op, v, k)
+		}
+	case k.kind == KindFloat && op == OpAdd:
+		f := k.f
+		return func(v Value) (Value, error) {
+			if v.kind == KindFloat {
+				return finiteFloat(v.f + f)
+			}
+			return Arith(op, v, k)
+		}
+	case k.kind == KindFloat && op == OpSub:
+		f := k.f
+		return func(v Value) (Value, error) {
+			if v.kind == KindFloat {
+				return finiteFloat(v.f - f)
+			}
+			return Arith(op, v, k)
+		}
+	}
+	return func(v Value) (Value, error) { return Arith(op, v, k) }
+}
+
 func finiteFloat(f float64) (Value, error) {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		return Null(), fmt.Errorf("types: arithmetic result %v outside the finite float domain", f)

@@ -287,3 +287,30 @@ func TestArithFiniteDomain(t *testing.T) {
 		t.Errorf("finite product rejected: %v, %v", v, err)
 	}
 }
+
+// TestArithConstMatchesArith pins the specialized constant-operand
+// evaluator to the generic one over the full kind cross-product,
+// including the specialized int/float Add/Sub fast cases, NULL
+// propagation, division by zero, overflow, and non-numeric operands:
+// same value, same error presence, for every (op, v, k).
+func TestArithConstMatchesArith(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(7), Int(-3), Float(0), Float(2.5), Float(-1.7e308),
+		Float(1.7e308), String("x"), Bool(true),
+	}
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv} {
+		for _, k := range vals {
+			fn := ArithConst(op, k)
+			for _, v := range vals {
+				want, wantErr := Arith(op, v, k)
+				got, gotErr := fn(v)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%v %s %v: error divergence: generic=%v const=%v", v, op, k, wantErr, gotErr)
+				}
+				if wantErr == nil && !want.Equal(got) && !(want.IsNull() && got.IsNull()) {
+					t.Fatalf("%v %s %v: generic=%v const=%v", v, op, k, want, got)
+				}
+			}
+		}
+	}
+}
