@@ -57,6 +57,14 @@ func TestRandomizedCrossValidation(t *testing.T) {
 // executor's batch boundaries (0, 1, ~1023–1025 rows) alongside the
 // small fast sizes, so the end-to-end differential also crosses batch
 // edges, not only the unit tests.
+//
+// A quarter of scenarios run in "wide" mode, which stresses the typed
+// columnar lanes specifically: NULL-heavy columns (typed lanes with
+// null bitmaps), all-NULL columns, float cells inside the int-declared
+// k/v columns (per-cell kind deviation drops the column to the boxed
+// fallback lane), and integers around the 2^53 float-precision
+// boundary and the int64 extremes (where the executor's integer
+// comparison plans diverge from a float round-trip).
 func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mahif.History) {
 	t.Helper()
 	cols := []mahif.Column{
@@ -67,6 +75,38 @@ func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mah
 	db := mahif.NewDatabase()
 	r := mahif.NewRelation(mahif.NewSchema("r", cols...))
 	groups := []string{"a", "b", "c"}
+	wide := rng.Intn(4) == 0
+	allNull := wide && rng.Intn(6) == 0
+	intCell := func() mahif.Value {
+		if allNull {
+			return mahif.Null()
+		}
+		if !wide {
+			return mahif.Int(int64(rng.Intn(50)))
+		}
+		switch rng.Intn(12) {
+		case 0, 1:
+			return mahif.Null()
+		case 2:
+			return mahif.Int(1 << 53) // first float64 rounding plateau
+		case 3:
+			return mahif.Int(1<<53 + 1)
+		case 4:
+			return mahif.Int(-(1<<53 + 1))
+		case 5:
+			return mahif.Int(9223372036854775807)
+		case 6:
+			return mahif.Float(float64(rng.Intn(50)) + 0.5) // kind deviation → boxed lane
+		default:
+			return mahif.Int(int64(rng.Intn(50)))
+		}
+	}
+	strCell := func() mahif.Value {
+		if allNull || (wide && rng.Intn(5) == 0) {
+			return mahif.Null()
+		}
+		return mahif.Str(groups[rng.Intn(len(groups))])
+	}
 	var rows int
 	switch rng.Intn(8) {
 	case 0:
@@ -77,11 +117,7 @@ func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mah
 		rows = 30 + rng.Intn(30)
 	}
 	for i := 0; i < rows; i++ {
-		r.Add(mahif.NewTuple(
-			mahif.Int(int64(rng.Intn(50))),
-			mahif.Int(int64(rng.Intn(50))),
-			mahif.Str(groups[rng.Intn(len(groups))]),
-		))
+		r.Add(mahif.NewTuple(intCell(), intCell(), strCell()))
 	}
 	db.AddRelation(r)
 	db.AddRelation(mahif.NewRelation(mahif.NewSchema("w", cols...)))
@@ -99,10 +135,30 @@ func randomScenario(t *testing.T, rng *rand.Rand) (*mahif.VersionedDatabase, mah
 	return vdb, hist
 }
 
+// randomCondConst draws a comparison constant: usually small (so
+// conditions select something), occasionally at the 2^53 boundary or
+// negative-huge, where an integer column compared through float64
+// could misorder if the executor's comparison plan were built from a
+// lossy round-trip.
+func randomCondConst(rng *rand.Rand) string {
+	switch rng.Intn(16) {
+	case 0:
+		return "9007199254740992" // 2^53
+	case 1:
+		return "9007199254740993"
+	case 2:
+		return "-9007199254740993"
+	case 3:
+		return "9223372036854775807"
+	default:
+		return fmt.Sprint(rng.Intn(50))
+	}
+}
+
 func randomCondSQL(rng *rand.Rand) string {
 	col := []string{"k", "v"}[rng.Intn(2)]
 	op := []string{">=", "<", "="}[rng.Intn(3)]
-	base := fmt.Sprintf("%s %s %d", col, op, rng.Intn(50))
+	base := fmt.Sprintf("%s %s %s", col, op, randomCondConst(rng))
 	switch rng.Intn(3) {
 	case 0:
 		return base + fmt.Sprintf(" AND g = '%s'", []string{"a", "b", "c"}[rng.Intn(3)])
@@ -122,9 +178,13 @@ func randomStatement(rng *rand.Rand, i int) mahif.Statement {
 		return mahif.MustParseStatement(fmt.Sprintf(
 			`DELETE FROM %s WHERE %s`, rel, randomCondSQL(rng)))
 	case 1:
+		v1 := fmt.Sprint(rng.Intn(50))
+		if rng.Intn(8) == 0 {
+			v1 = "NULL" // NULL through the full INSERT → reenact → delta path
+		}
 		return mahif.MustParseStatement(fmt.Sprintf(
-			`INSERT INTO %s VALUES (%d, %d, 'a'), (%d, %d, 'b')`,
-			rel, 100+i, rng.Intn(50), 200+i, rng.Intn(50)))
+			`INSERT INTO %s VALUES (%d, %s, 'a'), (%d, %d, 'b')`,
+			rel, 100+i, v1, 200+i, rng.Intn(50)))
 	case 2:
 		// Cross-relation INSERT…SELECT (w fed from r or vice versa).
 		src := "r"
@@ -235,10 +295,15 @@ func TestDifferentialExecutor(t *testing.T) {
 // past 987654321 were added with the vectorized executor: under the
 // enlarged size distribution they cover batch-boundary relations
 // (0/1/1023–1025 rows), all-filtered histories, INSERT…SELECT-heavy
-// logs, and every modification kind.
+// logs, and every modification kind. The third group was added with
+// the typed columnar lanes and lands in the generator's wide mode:
+// NULL-heavy and all-NULL columns, kind-deviant cells forcing the
+// boxed fallback lane, 2^53-boundary and int64-extreme values, and
+// comparison constants at the same boundaries.
 func FuzzDifferentialExecutor(f *testing.F) {
 	for _, seed := range []int64{1, 2, 3, 42, 1234, 987654321,
-		7, 99, 2024, 31337, 55555, 424242, 8675309, 1 << 40} {
+		7, 99, 2024, 31337, 55555, 424242, 8675309, 1 << 40,
+		11, 13, 31, 47, 1415, 2021, 4096, 271828} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

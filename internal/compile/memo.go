@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,22 +24,49 @@ import (
 // the Model witness map) as read-only, which every engine call site
 // already does.
 type Memo struct {
-	// A plain mutex: even lookups write (hit/miss accounting), so a
-	// reader/writer split would buy nothing.
-	mu     sync.Mutex
-	m      map[string]*Outcome
-	hits   int64
-	misses int64
+	// A plain mutex: even lookups write (hit/miss and recency
+	// accounting), so a reader/writer split would buy nothing.
+	mu        sync.Mutex
+	m         map[string]*list.Element // of memoEntry
+	lru       *list.List               // front = most recently used
+	cap       int
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-// NewMemo builds an empty memo.
-func NewMemo() *Memo { return &Memo{m: map[string]*Outcome{}} }
+type memoEntry struct {
+	key string
+	out *Outcome
+}
+
+// DefaultMemoEntries bounds a memo built by NewMemo. Outcomes are
+// small (a verdict plus a witness map), so the bound exists to keep a
+// session-lifetime memo from growing with the number of distinct
+// formulas ever seen, not to fight memory pressure; eviction is LRU.
+const DefaultMemoEntries = 4096
+
+// NewMemo builds an empty memo bounded at DefaultMemoEntries.
+func NewMemo() *Memo { return NewMemoCap(DefaultMemoEntries) }
+
+// NewMemoCap builds an empty memo holding at most cap outcomes
+// (cap <= 0 means unbounded).
+func NewMemoCap(cap int) *Memo {
+	return &Memo{m: map[string]*list.Element{}, lru: list.New(), cap: cap}
+}
 
 // Stats reports lookup hits and misses so far.
 func (m *Memo) Stats() (hits, misses int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.hits, m.misses
+}
+
+// Evictions reports outcomes dropped by the LRU bound so far.
+func (m *Memo) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
 }
 
 // Len returns the number of cached outcomes.
@@ -51,19 +79,31 @@ func (m *Memo) Len() int {
 func (m *Memo) lookup(key string) (*Outcome, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out, ok := m.m[key]
-	if ok {
-		m.hits++
-	} else {
+	el, ok := m.m[key]
+	if !ok {
 		m.misses++
+		return nil, false
 	}
-	return out, ok
+	m.hits++
+	m.lru.MoveToFront(el)
+	return el.Value.(memoEntry).out, true
 }
 
 func (m *Memo) store(key string, out *Outcome) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.m[key] = out
+	if el, ok := m.m[key]; ok {
+		el.Value = memoEntry{key: key, out: out}
+		m.lru.MoveToFront(el)
+		return
+	}
+	m.m[key] = m.lru.PushFront(memoEntry{key: key, out: out})
+	for m.cap > 0 && m.lru.Len() > m.cap {
+		back := m.lru.Back()
+		delete(m.m, back.Value.(memoEntry).key)
+		m.lru.Remove(back)
+		m.evictions++
+	}
 }
 
 // memoKey fingerprints one satisfiability query. The condition is

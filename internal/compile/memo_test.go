@@ -113,3 +113,30 @@ func TestMemoConcurrent(t *testing.T) {
 		t.Errorf("Len() = %d, want 5 distinct conditions", memo.Len())
 	}
 }
+
+func TestMemoLRUBound(t *testing.T) {
+	m := NewMemoCap(3)
+	for i := 0; i < 4; i++ {
+		m.store(string(rune('a'+i)), &Outcome{})
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if m.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", m.Evictions())
+	}
+	if _, ok := m.lookup("a"); ok {
+		t.Fatalf("oldest key survived the bound")
+	}
+	// Touch "b" so "c" becomes the LRU victim of the next insert.
+	if _, ok := m.lookup("b"); !ok {
+		t.Fatalf("key b missing")
+	}
+	m.store("e", &Outcome{})
+	if _, ok := m.lookup("c"); ok {
+		t.Fatalf("recency not honored: c should have been evicted before b")
+	}
+	if _, ok := m.lookup("b"); !ok {
+		t.Fatalf("recently used key b evicted")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -31,8 +32,19 @@ type evalCache struct {
 	mu           sync.Mutex
 	progs        map[string]*progEntry
 	results      map[resultKey]*evalEntry
+	lru          *list.List // of resultKey; front = most recently used
+	evictions    int
 	hits, misses int
 }
+
+// defaultQueryCacheEntries bounds the materialized-result cache. Each
+// entry is a whole relation, and the key includes the time-travel
+// version, so a session serving a stream of appends would otherwise
+// accumulate one copy per (version, program) forever. Eviction is LRU
+// over completed entries only: an entry whose materialization is still
+// in flight has workers parked on its done channel and must survive
+// until it resolves.
+const defaultQueryCacheEntries = 256
 
 // progEntry compiles one fingerprint exactly once. prog is nil when
 // the query is outside the compilable subset (the evaluation then runs
@@ -61,21 +73,72 @@ type evalEntry struct {
 	done chan struct{}
 	rel  *storage.Relation
 	err  error
+
+	// elem is the entry's recency-list node; guarded by evalCache.mu.
+	elem *list.Element
+}
+
+// completed reports whether the entry's materialization has resolved
+// (its creator closed done). Only completed entries are evictable.
+func (e *evalEntry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 func newEvalCache() *evalCache {
 	return &evalCache{
 		progs:   map[string]*progEntry{},
 		results: map[resultKey]*evalEntry{},
+		lru:     list.New(),
+	}
+}
+
+// removeLocked drops an entry from the map and the recency list.
+// Caller holds c.mu.
+func (c *evalCache) removeLocked(key resultKey, e *evalEntry) {
+	delete(c.results, key)
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// enforceBoundLocked evicts least-recently-used completed entries until
+// the cache fits its bound. In-flight entries are skipped (and bumped,
+// so the scan does not revisit them); if every resident entry is in
+// flight the cache temporarily overshoots. Caller holds c.mu.
+func (c *evalCache) enforceBoundLocked() {
+	for scan := c.lru.Len(); c.lru.Len() > defaultQueryCacheEntries && scan > 0; scan-- {
+		back := c.lru.Back()
+		key := back.Value.(resultKey)
+		e := c.results[key]
+		if e == nil || e.elem != back {
+			c.lru.Remove(back) // stale node; the entry was removed already
+			continue
+		}
+		if !e.completed() {
+			c.lru.MoveToFront(back)
+			continue
+		}
+		c.removeLocked(key, e)
+		c.evictions++
 	}
 }
 
 // program returns the compile-once program for q under the given
 // executor kind (nil when q cannot be compiled). Programs are keyed per
 // (kind, fingerprint): a session serving both compiled and vectorized
-// requests holds one program of each.
-func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string, kind ExecutorKind) *exec.Program {
+// requests holds one program of each. The NoColumnar ablation compiles
+// to a distinct plan, so it keys separately too.
+func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string, kind ExecutorKind, vec exec.VecOptions) *exec.Program {
 	key := string(kind) + "\x00" + fp
+	if vec.NoColumnar {
+		key = "boxed\x00" + key
+	}
 	c.mu.Lock()
 	pe, ok := c.progs[key]
 	if !ok {
@@ -84,7 +147,7 @@ func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string, ki
 	}
 	c.mu.Unlock()
 	pe.once.Do(func() {
-		if prog, err := compileFor(kind, q, db); err == nil {
+		if prog, err := compileFor(kind, q, db, vec); err == nil {
 			pe.prog = prog
 		}
 	})
@@ -97,19 +160,21 @@ func (c *evalCache) program(q algebra.Query, db *storage.Database, fp string, ki
 // than cached, so long-lived caches (sessions) stay consistent; a
 // caller that joined a cancelled materialization retries under its own
 // context instead of inheriting the foreign failure.
-func (c *evalCache) eval(ctx context.Context, q algebra.Query, db *storage.Database, ver int, kind ExecutorKind) (*storage.Relation, error) {
+func (c *evalCache) eval(ctx context.Context, q algebra.Query, db *storage.Database, ver int, kind ExecutorKind, vec exec.VecOptions) (*storage.Relation, error) {
 	fp := algebra.Fingerprint(q)
 	key := resultKey{ver: ver, fp: fp}
 	var prog *exec.Program
 	if kind != ExecInterpreter {
-		prog = c.program(q, db, fp, kind)
+		prog = c.program(q, db, fp, kind, vec)
 	}
 	for {
 		c.mu.Lock()
 		e, ok := c.results[key]
 		if !ok {
 			e = &evalEntry{done: make(chan struct{})}
+			e.elem = c.lru.PushFront(key)
 			c.results[key] = e
+			c.enforceBoundLocked()
 		}
 		c.mu.Unlock()
 		if !ok {
@@ -139,13 +204,16 @@ func (c *evalCache) eval(ctx context.Context, q algebra.Query, db *storage.Datab
 			if ok && e.err == nil {
 				c.mu.Lock()
 				c.hits++
+				if c.results[key] == e && e.elem != nil {
+					c.lru.MoveToFront(e.elem)
+				}
 				c.mu.Unlock()
 			}
 			return e.rel, e.err
 		}
 		c.mu.Lock()
 		if c.results[key] == e {
-			delete(c.results, key)
+			c.removeLocked(key, e)
 		}
 		c.mu.Unlock()
 		if err := ctx.Err(); err != nil {
@@ -158,6 +226,18 @@ func (c *evalCache) stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+func (c *evalCache) evicted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+func (c *evalCache) resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
 }
 
 // batchShared bundles the caches one batch evaluation — or one

@@ -320,3 +320,52 @@ func BenchmarkWhatIfSequentialLoop(b *testing.B) {
 		}
 	}
 }
+
+func TestEvalCacheLRUBound(t *testing.T) {
+	c := newEvalCache()
+	add := func(ver int, done bool) resultKey {
+		key := resultKey{ver: ver, fp: "q"}
+		e := &evalEntry{done: make(chan struct{})}
+		if done {
+			close(e.done)
+		}
+		c.mu.Lock()
+		e.elem = c.lru.PushFront(key)
+		c.results[key] = e
+		c.enforceBoundLocked()
+		c.mu.Unlock()
+		return key
+	}
+	// An in-flight entry inserted first must survive any amount of
+	// later traffic: workers are parked on its done channel.
+	inflight := add(-1, false)
+	const extra = 10
+	for i := 0; i < defaultQueryCacheEntries+extra; i++ {
+		add(i, true)
+	}
+	if got := c.resident(); got != defaultQueryCacheEntries {
+		t.Fatalf("resident = %d, want %d", got, defaultQueryCacheEntries)
+	}
+	// The in-flight entry occupies a slot, so one extra completed entry
+	// was evicted to make room for it.
+	if got := c.evicted(); got != extra+1 {
+		t.Fatalf("evictions = %d, want %d", got, extra+1)
+	}
+	c.mu.Lock()
+	_, ok := c.results[inflight]
+	c.mu.Unlock()
+	if !ok {
+		t.Fatalf("in-flight entry was evicted")
+	}
+	// The oldest completed entries are the ones that went.
+	c.mu.Lock()
+	_, oldest := c.results[resultKey{ver: 0, fp: "q"}]
+	_, newest := c.results[resultKey{ver: defaultQueryCacheEntries + extra - 1, fp: "q"}]
+	c.mu.Unlock()
+	if oldest {
+		t.Fatalf("oldest completed entry survived the bound")
+	}
+	if !newest {
+		t.Fatalf("newest entry was evicted")
+	}
+}

@@ -71,6 +71,10 @@ type Options struct {
 	// symbolic variables) transparently fall back to the interpreter,
 	// so the choice never changes observable results — only speed.
 	Executor ExecutorKind
+	// Vec tunes the vectorized executor (batch size, scan parallelism,
+	// the NoColumnar typed-lane ablation). Ignored by the other
+	// backends.
+	Vec exec.VecOptions
 }
 
 // DefaultOptions enables every optimization (the paper's R+PS+DS).
@@ -401,7 +405,7 @@ func (e *Engine) whatIfPair(ctx context.Context, pair *history.PaddedPair, opts 
 	if err != nil {
 		return nil, nil, err
 	}
-	ev := evaluator{ctx: ctx, ec: shared.eval, ver: ver, kind: normalizeExecutor(opts.Executor)}
+	ev := evaluator{ctx: ctx, ec: shared.eval, ver: ver, kind: normalizeExecutor(opts.Executor), vec: opts.Vec}
 	stats.TotalStatements = len(suffix.Orig)
 
 	// Relations to answer for; taint analysis prunes provably-empty
@@ -622,6 +626,7 @@ type evaluator struct {
 	ec   *evalCache
 	ver  int
 	kind ExecutorKind
+	vec  exec.VecOptions
 }
 
 // evalCtx returns the evaluator's context (Background when the
@@ -636,7 +641,7 @@ func (ev evaluator) evalCtx() context.Context {
 func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relation, error) {
 	ctx := ev.evalCtx()
 	if ev.ec != nil {
-		return ev.ec.eval(ctx, q, db, ev.ver, ev.kind)
+		return ev.ec.eval(ctx, q, db, ev.ver, ev.kind, ev.vec)
 	}
 	if ev.kind == ExecInterpreter {
 		// The tree-walking oracle is not ctx-aware; bound its damage by
@@ -646,7 +651,7 @@ func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relati
 		}
 		return algebra.Eval(q, db)
 	}
-	prog, err := compileFor(ev.kind, q, db)
+	prog, err := compileFor(ev.kind, q, db, ev.vec)
 	if err != nil {
 		// Outside the compilable subset: the interpreter is the
 		// reference semantics, so this can only be slower, never wrong.
@@ -660,9 +665,9 @@ func (ev evaluator) eval(q algebra.Query, db *storage.Database) (*storage.Relati
 
 // compileFor lowers q with the backend kind selects (vectorized unless
 // the tuple-at-a-time compiled executor was requested explicitly).
-func compileFor(kind ExecutorKind, q algebra.Query, db *storage.Database) (*exec.Program, error) {
+func compileFor(kind ExecutorKind, q algebra.Query, db *storage.Database, vec exec.VecOptions) (*exec.Program, error) {
 	if kind == ExecCompiled {
 		return exec.Compile(q, db)
 	}
-	return exec.CompileVec(q, db, exec.VecOptions{})
+	return exec.CompileVec(q, db, vec)
 }

@@ -126,11 +126,15 @@ type SessionStats struct {
 	// SnapshotEvictions counts completed snapshots dropped by the
 	// retention bound; SnapshotResident is the count currently held.
 	SnapshotEvictions, SnapshotResident int
-	// MemoHits/Misses report solver-outcome reuse across calls.
+	// MemoHits/Misses report solver-outcome reuse across calls;
+	// MemoEvictions counts outcomes dropped by the memo's LRU bound.
 	MemoHits, MemoMisses int64
+	MemoEvictions        int64
 	// QueryHits/Misses report compiled reenactment-result reuse across
-	// calls.
-	QueryHits, QueryMisses int
+	// calls; QueryEvictions counts completed results dropped by the LRU
+	// bound, and QueryResident is the count currently held.
+	QueryHits, QueryMisses        int
+	QueryEvictions, QueryResident int
 }
 
 // Stats snapshots the session's cache counters.
@@ -142,7 +146,10 @@ func (s *Session) Stats() SessionStats {
 	st.SnapshotEvictions = s.caches.snaps.Evictions()
 	st.SnapshotResident = s.caches.snaps.Resident()
 	st.MemoHits, st.MemoMisses = s.caches.memo.Stats()
+	st.MemoEvictions = s.caches.memo.Evictions()
 	st.QueryHits, st.QueryMisses = s.caches.eval.stats()
+	st.QueryEvictions = s.caches.eval.evicted()
+	st.QueryResident = s.caches.eval.resident()
 	return st
 }
 

@@ -207,13 +207,24 @@ func baseCondition(u, uNew history.Statement, modified bool) expr.Expr {
 			return expr.True
 		}
 		if modified {
-			return a.Where // θ_u filters the modified history's input
+			return nullInclusive(a.Where) // θ_u filters the modified history's input
 		}
-		return b.Where // θ_u' filters the original history's input
+		return nullInclusive(b.Where) // θ_u' filters the original history's input
 	case *history.InsertValues, *history.InsertQuery:
 		return nil
 	}
 	return expr.True
+}
+
+// nullInclusive widens a delete condition θ to θ ∨ (θ IS NULL). The
+// engine deletes a tuple whenever ¬θ is not TRUE, so a θ that evaluates
+// to NULL removes the tuple just like TRUE does (the documented
+// deviation in history.Delete). A slicing filter built from bare θ
+// would drop those tuples from the slice — silently excluding affected
+// tuples from the delta — because σ keeps only rows where the filter is
+// TRUE.
+func nullInclusive(w expr.Expr) expr.Expr {
+	return expr.Simplify(expr.OrOf(w, &expr.IsNull{E: w}))
 }
 
 // queryReadRelations lists relations read by INSERT…SELECT statements

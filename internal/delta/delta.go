@@ -26,18 +26,19 @@ type Result struct {
 }
 
 // Compute returns Δ(oldRel, newRel). The multiset arithmetic runs over
-// the hash-based tuple indexes (no per-tuple string keys); only the
-// surviving delta tuples pay for a canonical key, to sort the output.
+// the hash-based tuple indexes via the bucket-aligned Diff (no
+// per-tuple string keys and no re-hashing); only the surviving delta
+// tuples pay for a canonical key, to sort the output.
 func Compute(oldRel, newRel *storage.Relation) *Result {
 	out := &Result{Relation: oldRel.Schema.Relation, Schema: oldRel.Schema}
 	oldIx, newIx := oldRel.Index(), newRel.Index()
-	oldIx.Range(func(t schema.Tuple, n int) {
-		for d := n - newIx.Count(t); d > 0; d-- {
+	oldIx.Diff(newIx, func(t schema.Tuple, d int) {
+		for ; d > 0; d-- {
 			out.Minus = append(out.Minus, t)
 		}
 	})
-	newIx.Range(func(t schema.Tuple, n int) {
-		for d := n - oldIx.Count(t); d > 0; d-- {
+	newIx.Diff(oldIx, func(t schema.Tuple, d int) {
+		for ; d > 0; d-- {
 			out.Plus = append(out.Plus, t)
 		}
 	})

@@ -25,6 +25,11 @@ type VecOptions struct {
 	// (≤ 0: 8192). Below it the scan runs sequentially — fan-out and
 	// merge overhead would dominate.
 	MinParallelRows int
+	// NoColumnar disables the typed column lanes: scans transpose into
+	// boxed Value columns and every kernel takes its generic path — the
+	// pre-columnar executor, kept as an ablation knob for benchmarks and
+	// differential tests.
+	NoColumnar bool
 }
 
 // defaultMinParallelRows is the parallel-scan cutover when
@@ -36,10 +41,11 @@ type vecConfig struct {
 	bs          int
 	workers     int
 	minParallel int
+	columnar    bool
 }
 
 func (o VecOptions) config() vecConfig {
-	c := vecConfig{bs: o.BatchSize, workers: o.Workers, minParallel: o.MinParallelRows}
+	c := vecConfig{bs: o.BatchSize, workers: o.Workers, minParallel: o.MinParallelRows, columnar: !o.NoColumnar}
 	if c.bs <= 0 {
 		c.bs = DefaultBatchSize
 	}
@@ -176,29 +182,37 @@ func (st *vFilterState) apply(p *vecPool, b *batch) (*batch, error) {
 
 // vProjectOp evaluates one kernel per computed output column; identity
 // columns (src[i] >= 0, the bulk of every reenactment projection) pass
-// through by aliasing the input column slice — zero work per row, where
-// the tuple path copied every column of every surviving tuple at every
-// projection of the chain.
+// through by aliasing the input column's lanes — zero work per row,
+// where the tuple path copied every column of every surviving tuple at
+// every projection of the chain. Computed columns matching the
+// reenacted-UPDATE shape (IF θ THEN f(col) ELSE col) carry a typedIf
+// producer that keeps the output on a typed lane when the input lanes
+// allow it; ifs[i] == nil or an inapplicable lane falls back to the
+// boxed kernel fns[i].
 type vProjectOp struct {
 	fns []vecScalarFn
 	src []int
+	ifs []*typedIf
 }
 
 type vProjectState struct {
 	op      vProjectOp
 	out     *batch
-	scratch [][]types.Value
+	scratch []storage.ColVec
+	bs      int
 }
 
 func (o vProjectOp) newState(cfg vecConfig) vopState {
-	st := &vProjectState{op: o, out: &batch{cols: make([][]types.Value, len(o.fns))}}
-	st.scratch = make([][]types.Value, len(o.fns))
-	for i, fn := range o.fns {
-		if fn != nil {
-			st.scratch[i] = make([]types.Value, cfg.bs)
-		}
+	// Boxed scratch (49 KB of scannable Values per computed column) is
+	// allocated lazily on the first batch that actually takes the boxed
+	// fallback — when typedIf keeps a column on typed lanes, the run
+	// never pays for it.
+	return &vProjectState{
+		op:      o,
+		out:     &batch{cols: make([]storage.ColVec, len(o.fns))},
+		scratch: make([]storage.ColVec, len(o.fns)),
+		bs:      cfg.bs,
 	}
-	return st
 }
 
 func (st *vProjectState) apply(p *vecPool, b *batch) (*batch, error) {
@@ -209,11 +223,24 @@ func (st *vProjectState) apply(p *vecPool, b *batch) (*batch, error) {
 			out.cols[i] = b.cols[st.op.src[i]]
 			continue
 		}
-		col := st.scratch[i]
-		if err := fn(p, b, b.sel, col); err != nil {
+		sc := &st.scratch[i]
+		if spec := st.op.ifs[i]; spec != nil {
+			handled, err := spec.apply(p, b, sc)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				out.cols[i] = *sc
+				continue
+			}
+		}
+		if sc.Vals == nil {
+			sc.Vals = make([]types.Value, st.bs)
+		}
+		if err := fn(p, b, b.sel, sc.Vals); err != nil {
 			return nil, err
 		}
-		out.cols[i] = col
+		out.cols[i] = storage.ColVec{Kind: types.KindNull, Vals: sc.Vals}
 	}
 	return out, nil
 }
@@ -230,9 +257,15 @@ type vpipeNode struct {
 	// outArity is the chain's output arity — projections in the fused
 	// chain change it; parallel workers freeze batches at this width.
 	outArity int
-	ch       chain
-	cfg      vecConfig
-	runs     sync.Pool // recycled *chainRun
+	// kinds is the declared column kind per scan column — the typed-lane
+	// hints for the batch transpose (nil: columnar lanes disabled, every
+	// column boxed). A column whose runtime cells deviate from its
+	// declared kind falls back to the boxed lane per batch, so stale
+	// hints cannot produce wrong data.
+	kinds []types.Kind
+	ch    chain
+	cfg   vecConfig
+	runs  sync.Pool // recycled *chainRun
 }
 
 func (n *vpipeNode) run(rc *runCtx, emit vecEmit) error {
@@ -249,7 +282,7 @@ func (n *vpipeNode) run(rc *runCtx, emit vecEmit) error {
 	}
 	cr := n.ch.getRun(&n.runs, n.cfg)
 	defer n.runs.Put(cr)
-	return runVecChunk(rc, tuples, n.arity, cr, n.cfg.bs, emit)
+	return runVecChunk(rc, tuples, n.arity, n.kinds, cr, n.cfg.bs, emit)
 }
 
 func (n *vpipeNode) runParallel(rc *runCtx, tuples []schema.Tuple, emit vecEmit) error {
@@ -263,7 +296,7 @@ func (n *vpipeNode) runParallel(rc *runCtx, tuples []schema.Tuple, emit vecEmit)
 			defer wg.Done()
 			cr := n.ch.getRun(&n.runs, n.cfg)
 			defer n.runs.Put(cr)
-			errs[w] = runVecChunk(rc, part, n.arity, cr, n.cfg.bs, func(b *batch) error {
+			errs[w] = runVecChunk(rc, part, n.arity, n.kinds, cr, n.cfg.bs, func(b *batch) error {
 				results[w] = append(results[w], freezeBatch(b, n.outArity))
 				return nil
 			})
@@ -286,15 +319,17 @@ func (n *vpipeNode) runParallel(rc *runCtx, tuples []schema.Tuple, emit vecEmit)
 }
 
 // runVecChunk drives one contiguous tuple range through a chain run,
-// transposing bs rows at a time into a column-major source batch.
-// Cancellation is observed between batches — every ≤ bs source rows —
-// independent of the tuple path's 4096-tuple tick cadence.
-func runVecChunk(rc *runCtx, tuples []schema.Tuple, arity int, cr *chainRun, bs int, emit vecEmit) error {
+// transposing bs rows at a time into a column-major source batch —
+// directly onto typed lanes when kinds supplies per-column hints, boxed
+// otherwise. Cancellation is observed between batches — every ≤ bs
+// source rows — independent of the tuple path's 4096-tuple tick
+// cadence.
+func runVecChunk(rc *runCtx, tuples []schema.Tuple, arity int, kinds []types.Kind, cr *chainRun, bs int, emit vecEmit) error {
 	if len(tuples) == 0 {
 		return nil
 	}
 	if cr.src == nil {
-		cr.src = newOwnedBatch(arity, bs)
+		cr.src = &batch{cols: make([]storage.ColVec, arity)}
 	}
 	src := cr.src
 	for start := 0; start < len(tuples); start += bs {
@@ -309,10 +344,11 @@ func runVecChunk(rc *runCtx, tuples []schema.Tuple, arity int, cr *chainRun, bs 
 			}
 		}
 		for c := 0; c < arity; c++ {
-			col := src.cols[c]
-			for i, t := range rows {
-				col[i] = t[c]
+			want := types.KindNull
+			if kinds != nil {
+				want = kinds[c]
 			}
+			src.cols[c].FillFromTuples(rows, c, want)
 		}
 		src.n, src.sel = len(rows), nil
 		out, err := cr.apply(src)
@@ -334,6 +370,7 @@ func runVecChunk(rc *runCtx, tuples []schema.Tuple, arity int, cr *chainRun, bs 
 type vsingletonNode struct {
 	tuples []schema.Tuple
 	arity  int
+	kinds  []types.Kind
 	ch     chain
 	cfg    vecConfig
 	runs   sync.Pool
@@ -342,7 +379,7 @@ type vsingletonNode struct {
 func (n *vsingletonNode) run(rc *runCtx, emit vecEmit) error {
 	cr := n.ch.getRun(&n.runs, n.cfg)
 	defer n.runs.Put(cr)
-	return runVecChunk(rc, n.tuples, n.arity, cr, n.cfg.bs, emit)
+	return runVecChunk(rc, n.tuples, n.arity, n.kinds, cr, n.cfg.bs, emit)
 }
 
 // vchainNode applies a fused σ/Π chain to the output of a non-scan
@@ -500,10 +537,10 @@ func (n *vhashJoinNode) run(rc *runCtx, emit vecEmit) error {
 					continue // hash collision between distinct keys
 				}
 				for c := 0; c < n.lArity; c++ {
-					out.cols[c][out.n] = b.cols[c][r]
+					out.cols[c].Vals[out.n] = b.cols[c].Value(r)
 				}
 				for c := 0; c < n.rArity; c++ {
-					out.cols[n.lArity+c][out.n] = rt[c]
+					out.cols[n.lArity+c].Vals[out.n] = rt[c]
 				}
 				out.n++
 				if out.n == n.cfg.bs {
@@ -574,7 +611,7 @@ func (n *vhashJoinNode) runBuildLeft(rc *runCtx, emit vecEmit) error {
 				if rt == nil {
 					rt = make(schema.Tuple, n.rArity)
 					for c := 0; c < n.rArity; c++ {
-						rt[c] = b.cols[c][r]
+						rt[c] = b.cols[c].Value(r)
 					}
 				}
 				matches[br.pos] = append(matches[br.pos], rt)
@@ -614,10 +651,10 @@ func (n *vhashJoinNode) runBuildLeft(rc *runCtx, emit vecEmit) error {
 	for pos, lt := range left {
 		for _, rt := range matches[pos] {
 			for c := 0; c < n.lArity; c++ {
-				out.cols[c][out.n] = lt[c]
+				out.cols[c].Vals[out.n] = lt[c]
 			}
 			for c := 0; c < n.rArity; c++ {
-				out.cols[n.lArity+c][out.n] = rt[c]
+				out.cols[n.lArity+c].Vals[out.n] = rt[c]
 			}
 			out.n++
 			if out.n == n.cfg.bs {
@@ -630,25 +667,25 @@ func (n *vhashJoinNode) runBuildLeft(rc *runCtx, emit vecEmit) error {
 	return flush()
 }
 
-// hashKeyCols hashes the key columns of row r; ok is false when any key
-// is NULL.
+// hashKeyCols hashes the key columns of row r lane-wise (no boxing);
+// ok is false when any key is NULL.
 func hashKeyCols(b *batch, keys []int, r int) (h uint64, ok bool) {
 	h = schema.HashSeed
 	for _, kc := range keys {
-		v := b.cols[kc][r]
-		if v.IsNull() {
+		h, ok = b.cols[kc].HashCell(h, r)
+		if !ok {
 			return 0, false
 		}
-		h = schema.HashValue(h, v)
 	}
 	return h, true
 }
 
 // keysEqualCols verifies key equality of batch row r against build
-// tuple rt (joinKeyEqual's widened-numeric semantics).
+// tuple rt (joinKeyEqual's widened-numeric semantics). Cells box here:
+// verification runs only on hash hits.
 func keysEqualCols(b *batch, r int, rt schema.Tuple, lKeys, rKeys []int) bool {
 	for i := range lKeys {
-		if !joinKeyEqual(b.cols[lKeys[i]][r], rt[rKeys[i]]) {
+		if !joinKeyEqual(b.cols[lKeys[i]].Value(r), rt[rKeys[i]]) {
 			return false
 		}
 	}
@@ -691,7 +728,7 @@ func (n *vnlJoinNode) run(rc *runCtx, emit vecEmit) error {
 	err = n.l.run(rc, func(b *batch) error {
 		inner := func(r int) error {
 			for c := 0; c < n.lArity; c++ {
-				buf[c] = b.cols[c][r]
+				buf[c] = b.cols[c].Value(r)
 			}
 			for _, rt := range right {
 				ticks++
@@ -709,7 +746,7 @@ func (n *vnlJoinNode) run(rc *runCtx, emit vecEmit) error {
 					continue
 				}
 				for c, v := range buf {
-					out.cols[c][out.n] = v
+					out.cols[c].Vals[out.n] = v
 				}
 				out.n++
 				if out.n == n.cfg.bs {
@@ -792,7 +829,7 @@ func compileVecNode(q algebra.Query, db *storage.Database, cfg vecConfig) (vecNo
 		if err != nil {
 			return nil, nil, err
 		}
-		return &vpipeNode{rel: x.Rel, arity: r.Schema.Arity(), outArity: r.Schema.Arity(), cfg: cfg}, r.Schema, nil
+		return &vpipeNode{rel: x.Rel, arity: r.Schema.Arity(), outArity: r.Schema.Arity(), kinds: colKinds(r.Schema, cfg), cfg: cfg}, r.Schema, nil
 
 	case *algebra.Select:
 		in, s, err := compileVecNode(x.In, db, cfg)
@@ -812,6 +849,7 @@ func compileVecNode(q algebra.Query, db *storage.Database, cfg vecConfig) (vecNo
 		}
 		fns := make([]vecScalarFn, len(x.Exprs))
 		src := make([]int, len(x.Exprs))
+		ifs := make([]*typedIf, len(x.Exprs))
 		passthrough := len(x.Exprs) == s.Arity()
 		cols := make([]schema.Column, len(x.Exprs))
 		for i, ne := range x.Exprs {
@@ -830,13 +868,21 @@ func compileVecNode(q algebra.Query, db *storage.Database, cfg vecConfig) (vecNo
 				return nil, nil, err
 			}
 			fns[i] = fn
+			if cfg.columnar {
+				if ifx, ok := ne.E.(*expr.If); ok {
+					ifs[i], err = recognizeTypedIf(ifx, s)
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+			}
 		}
 		out := schema.New(s.Relation, cols...)
 		if passthrough {
 			// Pure rename: the node disappears from the pipeline.
 			return in, out, nil
 		}
-		return appendOp(in, vProjectOp{fns: fns, src: src}, out.Arity(), cfg), out, nil
+		return appendOp(in, vProjectOp{fns: fns, src: src, ifs: ifs}, out.Arity(), cfg), out, nil
 
 	case *algebra.Union:
 		l, ls, err := compileVecNode(x.L, db, cfg)
@@ -867,9 +913,22 @@ func compileVecNode(q algebra.Query, db *storage.Database, cfg vecConfig) (vecNo
 		return compileVecJoin(x, db, cfg)
 
 	case *algebra.Singleton:
-		return &vsingletonNode{tuples: x.Tuples, arity: x.Sch.Arity(), cfg: cfg}, x.Sch, nil
+		return &vsingletonNode{tuples: x.Tuples, arity: x.Sch.Arity(), kinds: colKinds(x.Sch, cfg), cfg: cfg}, x.Sch, nil
 	}
 	return nil, nil, fmt.Errorf("exec: unknown query node %T", q)
+}
+
+// colKinds extracts the declared per-column kinds of s as typed-lane
+// hints for the scan transpose, or nil when columnar lanes are off.
+func colKinds(s *schema.Schema, cfg vecConfig) []types.Kind {
+	if !cfg.columnar {
+		return nil
+	}
+	kinds := make([]types.Kind, s.Arity())
+	for i, c := range s.Columns {
+		kinds[i] = c.Type
+	}
+	return kinds
 }
 
 // compileVecJoin applies the same hash-vs-nested-loop rule as the tuple

@@ -6,6 +6,7 @@ import (
 
 	"github.com/mahif/mahif/internal/expr"
 	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
 	"github.com/mahif/mahif/internal/types"
 )
 
@@ -16,17 +17,19 @@ import (
 const DefaultBatchSize = 1024
 
 // batch is a fixed-capacity, column-major block of rows flowing through
-// the vectorized pipeline: cols[c][r] is column c of row r. A non-nil
-// sel lists the row indices (ascending, unique) that are still live
-// after filtering; nil means all n rows are live. Values at unselected
-// positions of computed columns are garbage and must never be read.
+// the vectorized pipeline: cols[c] is the column vector of column c,
+// typed wherever the source column is single-kind (storage.ColVec) and
+// boxed otherwise. A non-nil sel lists the row indices (ascending,
+// unique) that are still live after filtering; nil means all n rows
+// are live. Cells at unselected positions of computed columns are
+// garbage and must never be read.
 //
 // Ownership: a batch and its columns are valid only for the duration of
 // the consumer's emit call — producers reuse the backing storage for
 // the next batch. Consumers that retain data (join builds, difference
 // builds, the materializing sink) copy rows out via materializeRows.
 type batch struct {
-	cols [][]types.Value
+	cols []storage.ColVec
 	n    int
 	sel  []int
 }
@@ -39,13 +42,15 @@ func (b *batch) live() int {
 	return b.n
 }
 
-// newOwnedBatch allocates a batch with arity columns of capacity bs
-// backed by one flat allocation.
+// newOwnedBatch allocates a batch with arity boxed columns of capacity
+// bs backed by one flat allocation. Join and nested-loop outputs use
+// it: their rows interleave cells from both sides, so they stay on the
+// boxed lane.
 func newOwnedBatch(arity, bs int) *batch {
 	flat := make([]types.Value, arity*bs)
-	cols := make([][]types.Value, arity)
+	cols := make([]storage.ColVec, arity)
 	for c := range cols {
-		cols[c] = flat[c*bs : (c+1)*bs : (c+1)*bs]
+		cols[c] = storage.ColVec{Kind: types.KindNull, Vals: flat[c*bs : (c+1)*bs : (c+1)*bs]}
 	}
 	return &batch{cols: cols}
 }
@@ -53,7 +58,7 @@ func newOwnedBatch(arity, bs int) *batch {
 // materializeRows copies the live rows of b into freshly allocated
 // row-major tuples backed by a single flat arena (one allocation per
 // batch instead of one per row — the sink-side alloc win of the
-// vectorized executor).
+// vectorized executor). Typed lanes box here, at the boundary.
 func materializeRows(b *batch, arity int) []schema.Tuple {
 	live := b.live()
 	if live == 0 {
@@ -65,65 +70,48 @@ func materializeRows(b *batch, arity int) []schema.Tuple {
 		rows[i] = schema.Tuple(flat[i*arity : (i+1)*arity : (i+1)*arity])
 	}
 	for c := 0; c < arity; c++ {
-		col := b.cols[c]
+		col := &b.cols[c]
 		if b.sel == nil {
 			for i := 0; i < b.n; i++ {
-				flat[i*arity+c] = col[i]
+				flat[i*arity+c] = col.Value(i)
 			}
 		} else {
 			for i, r := range b.sel {
-				flat[i*arity+c] = col[r]
+				flat[i*arity+c] = col.Value(r)
 			}
 		}
 	}
 	return rows
 }
 
-// freezeBatch compacts the live rows of b into an owned column-major
-// batch (sel == nil). Parallel scan workers freeze their output batches
-// so the ordered merge can buffer them while the worker's scratch moves
-// on to the next batch.
+// freezeBatch compacts the live rows of b into an owned batch
+// (sel == nil), preserving each column's lane. Parallel scan workers
+// freeze their output batches so the ordered merge can buffer them
+// while the worker's scratch moves on to the next batch.
 func freezeBatch(b *batch, arity int) *batch {
 	live := b.live()
-	flat := make([]types.Value, live*arity)
-	cols := make([][]types.Value, arity)
+	cols := make([]storage.ColVec, arity)
 	for c := range cols {
-		col := flat[c*live : (c+1)*live : (c+1)*live]
-		src := b.cols[c]
-		if b.sel == nil {
-			copy(col, src[:live])
-		} else {
-			for i, r := range b.sel {
-				col[i] = src[r]
-			}
-		}
-		cols[c] = col
+		cols[c].CompactFrom(&b.cols[c], b.sel, live)
 	}
 	return &batch{cols: cols, n: live}
 }
 
 // hashRows computes the typed tuple hash (schema.Tuple.Hash) of every
-// live row of b into hs, folding column by column for locality. hs must
-// have capacity ≥ b.n.
+// live row of b into hs, folding column by column for locality — typed
+// lanes hash without boxing. hs must have capacity ≥ b.n.
 func hashRows(b *batch, hs []uint64) {
 	if b.sel == nil {
 		for r := 0; r < b.n; r++ {
 			hs[r] = schema.HashSeed
 		}
-		for _, col := range b.cols {
-			for r := 0; r < b.n; r++ {
-				hs[r] = schema.HashValue(hs[r], col[r])
-			}
-		}
-		return
-	}
-	for _, r := range b.sel {
-		hs[r] = schema.HashSeed
-	}
-	for _, col := range b.cols {
+	} else {
 		for _, r := range b.sel {
-			hs[r] = schema.HashValue(hs[r], col[r])
+			hs[r] = schema.HashSeed
 		}
+	}
+	for c := range b.cols {
+		b.cols[c].FoldHash(hs, b.sel, b.n)
 	}
 }
 
@@ -211,14 +199,7 @@ func compileVecScalar(e expr.Expr, s *schema.Schema) (vecScalarFn, error) {
 			return nil, fmt.Errorf("exec: attribute %q not in schema %s", x.Name, s)
 		}
 		return func(_ *vecPool, b *batch, sel []int, out []types.Value) error {
-			src := b.cols[idx]
-			if sel == nil {
-				copy(out[:b.n], src[:b.n])
-			} else {
-				for _, r := range sel {
-					out[r] = src[r]
-				}
-			}
+			b.cols[idx].BoxInto(out, sel, b.n)
 			return nil
 		}, nil
 	case *expr.Var:
@@ -314,9 +295,8 @@ func compileVecScalar(e expr.Expr, s *schema.Schema) (vecScalarFn, error) {
 					}
 					selT := p.getSel()
 					defer p.putSel(selT)
-					src := b.cols[idx]
+					b.cols[idx].BoxInto(out, sel, b.n)
 					if sel == nil {
-						copy(out[:b.n], src[:b.n])
 						for r := 0; r < b.n; r++ {
 							if tr[r] == tTrue {
 								selT = append(selT, r)
@@ -324,7 +304,6 @@ func compileVecScalar(e expr.Expr, s *schema.Schema) (vecScalarFn, error) {
 						}
 					} else {
 						for _, r := range sel {
-							out[r] = src[r]
 							if tr[r] == tTrue {
 								selT = append(selT, r)
 							}
@@ -433,30 +412,46 @@ func compileVecArithFast(x *expr.Arith, s *schema.Schema) vecScalarFn {
 		}
 	}
 	return func(_ *vecPool, b *batch, sel []int, out []types.Value) error {
-		src := b.cols[idx]
+		src := &b.cols[idx]
+		if src.Kind == types.KindInt && src.Nulls == nil {
+			// Typed lane, no NULLs: the whole loop is an integer op and a
+			// box per cell, no kind branches.
+			ints := src.Ints
+			if sel == nil {
+				for r := 0; r < b.n; r++ {
+					out[r] = types.Int(fast(ints[r]))
+				}
+			} else {
+				for _, r := range sel {
+					out[r] = types.Int(fast(ints[r]))
+				}
+			}
+			return nil
+		}
+		one := func(r int) error {
+			v := src.Value(r)
+			if v.Kind() == types.KindInt {
+				out[r] = types.Int(fast(v.AsInt()))
+				return nil
+			}
+			v, err := slow(v)
+			if err != nil {
+				return err
+			}
+			out[r] = v
+			return nil
+		}
 		if sel == nil {
 			for r := 0; r < b.n; r++ {
-				if v := src[r]; v.Kind() == types.KindInt {
-					out[r] = types.Int(fast(v.AsInt()))
-					continue
-				}
-				v, err := slow(src[r])
-				if err != nil {
+				if err := one(r); err != nil {
 					return err
 				}
-				out[r] = v
 			}
 		} else {
 			for _, r := range sel {
-				if v := src[r]; v.Kind() == types.KindInt {
-					out[r] = types.Int(fast(v.AsInt()))
-					continue
-				}
-				v, err := slow(src[r])
-				if err != nil {
+				if err := one(r); err != nil {
 					return err
 				}
-				out[r] = v
 			}
 		}
 		return nil
@@ -495,7 +490,7 @@ func compileVecCond(e expr.Expr, s *schema.Schema) (vecCondFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func(p *vecPool, b *batch, sel []int, out []truth) error {
+		generic := func(p *vecPool, b *batch, sel []int, out []truth) error {
 			if err := l(p, b, sel, out); err != nil {
 				return err
 			}
@@ -537,7 +532,12 @@ func compileVecCond(e expr.Expr, s *schema.Schema) (vecCondFn, error) {
 				}
 			}
 			return nil
-		}, nil
+		}
+		if fa := recognizeFusedAnd(x, s); fa != nil {
+			fa.generic = generic
+			return fa.eval, nil
+		}
+		return generic, nil
 	case *expr.Or:
 		l, err := compileVecCondStrict(x.L, s)
 		if err != nil {
@@ -621,14 +621,27 @@ func compileVecCond(e expr.Expr, s *schema.Schema) (vecCondFn, error) {
 		if col, ok := x.E.(*expr.Col); ok {
 			if idx := s.ColIndex(col.Name); idx >= 0 {
 				return func(_ *vecPool, b *batch, sel []int, out []truth) error {
-					src := b.cols[idx]
+					src := &b.cols[idx]
+					if src.Kind != types.KindNull && src.Nulls == nil {
+						// Typed lane without a mask: no cell is NULL.
+						if sel == nil {
+							for r := 0; r < b.n; r++ {
+								out[r] = tFalse
+							}
+						} else {
+							for _, r := range sel {
+								out[r] = tFalse
+							}
+						}
+						return nil
+					}
 					if sel == nil {
 						for r := 0; r < b.n; r++ {
-							out[r] = boolTruth(src[r].IsNull())
+							out[r] = boolTruth(src.IsNull(r))
 						}
 					} else {
 						for _, r := range sel {
-							out[r] = boolTruth(src[r].IsNull())
+							out[r] = boolTruth(src.IsNull(r))
 						}
 					}
 					return nil
@@ -795,14 +808,41 @@ func compileVecCmp(x *expr.Cmp, s *schema.Schema) (vecCondFn, error) {
 	}, nil
 }
 
+// cmpTruthLUT maps an ordered-comparison outcome (-1, 0, +1, shifted
+// by one) to the truth the operator yields — the per-op switch of
+// cmpOrdered hoisted out of the cell loop, so the typed comparison
+// kernels are a subtract, a table load, and a store per cell.
+func cmpTruthLUT(op expr.CmpOp) ([3]truth, bool) {
+	switch op {
+	case expr.CmpEq:
+		return [3]truth{tFalse, tTrue, tFalse}, true
+	case expr.CmpNe:
+		return [3]truth{tTrue, tFalse, tTrue}, true
+	case expr.CmpLt:
+		return [3]truth{tTrue, tFalse, tFalse}, true
+	case expr.CmpLe:
+		return [3]truth{tTrue, tTrue, tFalse}, true
+	case expr.CmpGt:
+		return [3]truth{tFalse, tFalse, tTrue}, true
+	case expr.CmpGe:
+		return [3]truth{tFalse, tTrue, tTrue}, true
+	}
+	return [3]truth{}, false
+}
+
 // compileVecColConstCmp is the vectorized column-vs-constant comparison
-// (nil when no specialization applies). The loop bodies are written out
-// per constant kind and selection shape — no per-row closure dispatch —
-// and runtime kinds outside the specialized domain delegate per row to
-// evalCmpTruth, keeping the semantics of the generic path exactly.
+// (nil when no specialization applies). Typed int/float/string lanes
+// compare in tight loops with the operator's truth table hoisted out;
+// boxed lanes and runtime kinds outside the specialized domain take
+// the per-cell loop that delegates to evalCmpTruth, keeping the
+// semantics of the generic path exactly.
 func compileVecColConstCmp(op expr.CmpOp, col *expr.Col, cv types.Value, s *schema.Schema) vecCondFn {
 	idx := s.ColIndex(col.Name)
 	if idx < 0 {
+		return nil
+	}
+	lut, lok := cmpTruthLUT(op)
+	if !lok {
 		return nil
 	}
 	switch {
@@ -811,103 +851,206 @@ func compileVecColConstCmp(op expr.CmpOp, col *expr.Col, cv types.Value, s *sche
 		if math.IsNaN(cf) {
 			return nil
 		}
+		ip, ipOK := intCmpPlanFor(op, cf)
+		if !ipOK {
+			return nil
+		}
 		return func(_ *vecPool, b *batch, sel []int, out []truth) error {
-			src := b.cols[idx]
-			if sel == nil {
-				for r := 0; r < b.n; r++ {
-					v := src[r]
-					if v.IsNumeric() {
-						if f := v.AsFloat(); !math.IsNaN(f) {
-							t, err := cmpOrdered(op, f, cf)
-							if err != nil {
-								return err
+			src := &b.cols[idx]
+			switch src.Kind {
+			case types.KindInt:
+				// Integer-threshold form: two integer compares per cell
+				// instead of convert + float compare + LUT (see
+				// intCmpPlan).
+				ints := src.Ints
+				lo, hi, tIn, tOut := ip.lo, ip.hi, ip.tIn, ip.tOut
+				if src.Nulls == nil {
+					if sel == nil {
+						for r := 0; r < b.n; r++ {
+							t := tOut
+							if a := ints[r]; a >= lo && a <= hi {
+								t = tIn
 							}
 							out[r] = t
+						}
+					} else {
+						for _, r := range sel {
+							t := tOut
+							if a := ints[r]; a >= lo && a <= hi {
+								t = tIn
+							}
+							out[r] = t
+						}
+					}
+					return nil
+				}
+				nulls := src.Nulls
+				if sel == nil {
+					for r := 0; r < b.n; r++ {
+						if nulls[r] {
+							out[r] = tNull
 							continue
 						}
-					} else if v.IsNull() {
-						out[r] = tNull
-						continue
+						t := tOut
+						if a := ints[r]; a >= lo && a <= hi {
+							t = tIn
+						}
+						out[r] = t
 					}
-					t, err := evalCmpTruth(op, v, cv)
-					if err != nil {
-						return err
+				} else {
+					for _, r := range sel {
+						if nulls[r] {
+							out[r] = tNull
+							continue
+						}
+						t := tOut
+						if a := ints[r]; a >= lo && a <= hi {
+							t = tIn
+						}
+						out[r] = t
 					}
-					out[r] = t
 				}
 				return nil
-			}
-			for _, r := range sel {
-				v := src[r]
-				if v.IsNumeric() {
-					if f := v.AsFloat(); !math.IsNaN(f) {
-						t, err := cmpOrdered(op, f, cf)
+			case types.KindFloat:
+				// A NaN cell (constructible, though outside the value
+				// domain) delegates so the oracle's semantics apply.
+				fs, nulls := src.Floats, src.Nulls
+				one := func(r int) error {
+					if nulls != nil && nulls[r] {
+						out[r] = tNull
+						return nil
+					}
+					f := fs[r]
+					if math.IsNaN(f) {
+						t, err := evalCmpTruth(op, types.Float(f), cv)
 						if err != nil {
 							return err
 						}
 						out[r] = t
-						continue
+						return nil
 					}
-				} else if v.IsNull() {
-					out[r] = tNull
-					continue
+					out[r] = lut[orderAgainst(f, cf)]
+					return nil
 				}
-				t, err := evalCmpTruth(op, v, cv)
-				if err != nil {
-					return err
+				if sel == nil {
+					for r := 0; r < b.n; r++ {
+						if err := one(r); err != nil {
+							return err
+						}
+					}
+				} else {
+					for _, r := range sel {
+						if err := one(r); err != nil {
+							return err
+						}
+					}
 				}
-				out[r] = t
+				return nil
 			}
-			return nil
+			return cmpCellsGeneric(op, src, cv, sel, b.n, out)
 		}
 	case cv.Kind() == types.KindString:
 		cs := cv.AsString()
 		return func(_ *vecPool, b *batch, sel []int, out []truth) error {
-			src := b.cols[idx]
-			if sel == nil {
-				for r := 0; r < b.n; r++ {
-					v := src[r]
-					if v.Kind() == types.KindString {
-						t, err := cmpOrdered(op, v.AsString(), cs)
-						if err != nil {
-							return err
+			src := &b.cols[idx]
+			if src.Kind == types.KindString {
+				strs, nulls := src.Strs, src.Nulls
+				if sel == nil {
+					for r := 0; r < b.n; r++ {
+						if nulls != nil && nulls[r] {
+							out[r] = tNull
+							continue
 						}
-						out[r] = t
-						continue
+						out[r] = lut[orderStrings(strs[r], cs)]
 					}
-					if v.IsNull() {
-						out[r] = tNull
-						continue
+				} else {
+					for _, r := range sel {
+						if nulls != nil && nulls[r] {
+							out[r] = tNull
+							continue
+						}
+						out[r] = lut[orderStrings(strs[r], cs)]
 					}
-					t, err := evalCmpTruth(op, v, cv)
-					if err != nil {
-						return err
-					}
-					out[r] = t
 				}
 				return nil
 			}
-			for _, r := range sel {
-				v := src[r]
-				if v.Kind() == types.KindString {
-					t, err := cmpOrdered(op, v.AsString(), cs)
-					if err != nil {
-						return err
-					}
-					out[r] = t
-					continue
-				}
-				if v.IsNull() {
-					out[r] = tNull
-					continue
-				}
-				t, err := evalCmpTruth(op, v, cv)
+			return cmpCellsGeneric(op, src, cv, sel, b.n, out)
+		}
+	}
+	return nil
+}
+
+// orderAgainst three-way-compares two non-NaN floats, shifted into LUT
+// index space {0, 1, 2}.
+func orderAgainst(a, b float64) int {
+	o := 1
+	if a < b {
+		o = 0
+	} else if a > b {
+		o = 2
+	}
+	return o
+}
+
+// orderStrings is orderAgainst for strings.
+func orderStrings(a, b string) int {
+	o := 1
+	if a < b {
+		o = 0
+	} else if a > b {
+		o = 2
+	}
+	return o
+}
+
+// cmpCellsGeneric is the boxed/off-domain cell loop of the
+// column-vs-constant comparison: NULL cells yield tNull, numeric cells
+// against numeric constants take the inline ordered compare, and
+// everything else delegates to evalCmpTruth — the exact behavior of
+// the pre-columnar kernel.
+func cmpCellsGeneric(op expr.CmpOp, src *storage.ColVec, cv types.Value, sel []int, n int, out []truth) error {
+	cellCmp := func(r int) error {
+		v := src.Value(r)
+		if v.IsNull() {
+			out[r] = tNull
+			return nil
+		}
+		if v.IsNumeric() && cv.IsNumeric() {
+			if f := v.AsFloat(); !math.IsNaN(f) {
+				t, err := cmpOrdered(op, f, cv.AsFloat())
 				if err != nil {
 					return err
 				}
 				out[r] = t
+				return nil
 			}
+		}
+		if v.Kind() == types.KindString && cv.Kind() == types.KindString {
+			t, err := cmpOrdered(op, v.AsString(), cv.AsString())
+			if err != nil {
+				return err
+			}
+			out[r] = t
 			return nil
+		}
+		t, err := evalCmpTruth(op, v, cv)
+		if err != nil {
+			return err
+		}
+		out[r] = t
+		return nil
+	}
+	if sel == nil {
+		for r := 0; r < n; r++ {
+			if err := cellCmp(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range sel {
+		if err := cellCmp(r); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -15,12 +15,19 @@ import (
 // Checkpoint file layout:
 //
 //	[8B magic "MAHIFCK1"][4B format][8B version][8B payload len]
-//	[payload: JSON database snapshot][4B CRC-32C of payload]
+//	[payload: database snapshot][4B CRC-32C of payload]
 //
-// The payload reuses the exact JSON value encoding of the wire format
-// (types.Value round-trips int/float/bool/string/NULL bit-exactly), so
-// a recovered database is byte-for-byte the one that was checkpointed.
-const checkpointFormat = 1
+// Two payload formats exist. Format 1 is the original JSON snapshot
+// (reusing the wire encoding of types.Value, which round-trips
+// int/float/bool/string/NULL bit-exactly). Format 2 is the binary
+// columnar snapshot of checkpoint_columnar.go — typed pages with null
+// bitmaps, a fraction of the bytes for numeric-heavy relations. New
+// checkpoints are written as format 2; recovery accepts both, so
+// checkpoints taken before the codec change keep working.
+const (
+	checkpointFormatJSON     = 1
+	checkpointFormatColumnar = 2
+)
 
 // dbJSON is the checkpoint payload: relations in registration order so
 // the rebuilt database iterates deterministically.
@@ -96,13 +103,13 @@ func decodeDatabase(payload []byte) (*storage.Database, error) {
 // any point leaves either no checkpoint or a complete one; recovery
 // deletes stray temp files.
 func writeCheckpoint(dir string, version int, db *storage.Database, sync bool) (int64, error) {
-	payload, err := encodeDatabase(db)
+	payload, err := encodeDatabaseColumnar(db)
 	if err != nil {
 		return 0, err
 	}
 	buf := make([]byte, 0, 8+4+8+8+len(payload)+4)
 	buf = append(buf, checkpointMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, checkpointFormat)
+	buf = binary.LittleEndian.AppendUint32(buf, checkpointFormatColumnar)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(version))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
 	buf = append(buf, payload...)
@@ -158,7 +165,8 @@ func loadCheckpoint(path string) (int, *storage.Database, error) {
 	if string(raw[:8]) != checkpointMagic {
 		return 0, nil, fmt.Errorf("%w: checkpoint %s: bad magic", ErrCorrupt, path)
 	}
-	if format := binary.LittleEndian.Uint32(raw[8:12]); format != checkpointFormat {
+	format := binary.LittleEndian.Uint32(raw[8:12])
+	if format != checkpointFormatJSON && format != checkpointFormatColumnar {
 		return 0, nil, fmt.Errorf("%w: checkpoint %s: unsupported format %d", ErrCorrupt, path, format)
 	}
 	version := int(binary.LittleEndian.Uint64(raw[12:20]))
@@ -174,7 +182,12 @@ func loadCheckpoint(path string) (int, *storage.Database, error) {
 	if crc32.Checksum(payload, castagnoli) != want {
 		return 0, nil, fmt.Errorf("%w: checkpoint %s: checksum mismatch", ErrCorrupt, path)
 	}
-	db, err := decodeDatabase(payload)
+	var db *storage.Database
+	if format == checkpointFormatColumnar {
+		db, err = decodeDatabaseColumnar(payload)
+	} else {
+		db, err = decodeDatabase(payload)
+	}
 	if err != nil {
 		return 0, nil, fmt.Errorf("checkpoint %s: %w", path, err)
 	}

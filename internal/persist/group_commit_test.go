@@ -1,0 +1,99 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/sql"
+)
+
+// TestGroupCommitConcurrentAppends hammers Append from many goroutines
+// on a sync-enabled store: every statement must commit exactly once,
+// every batch must be counted as either leading an fsync or coalescing
+// onto one, and a reopen must recover the full history.
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	s, dir := mustCreate(t, Options{})
+	const workers = 8
+	const batches = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*batches)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				stmts := []history.Statement{
+					sql.MustParseStatement(fmt.Sprintf(
+						"INSERT INTO orders VALUES (%d, 1.5, 'g', true)", 1000+w*100+b)),
+					sql.MustParseStatement(fmt.Sprintf(
+						"UPDATE orders SET price = price + 1.0 WHERE id = %d", w)),
+				}
+				if _, err := s.Append(context.Background(), stmts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("Append: %v", err)
+	}
+
+	const want = workers * batches * 2
+	st := s.Stats()
+	if st.Version != want {
+		t.Fatalf("version = %d, want %d", st.Version, want)
+	}
+	if st.StatementsAppended != want {
+		t.Fatalf("StatementsAppended = %d, want %d", st.StatementsAppended, want)
+	}
+	// Every batch either led an fsync or rode on one; both counters
+	// together must account for every Append call.
+	if got := st.GroupCommits + st.SyncsCoalesced; got != workers*batches {
+		t.Fatalf("GroupCommits(%d) + SyncsCoalesced(%d) = %d, want %d",
+			st.GroupCommits, st.SyncsCoalesced, got, workers*batches)
+	}
+	if st.GroupCommits < 1 {
+		t.Fatalf("no batch led an fsync")
+	}
+
+	state := dbState(s.Database())
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if r.Version() != want {
+		t.Fatalf("recovered version = %d, want %d", r.Version(), want)
+	}
+	if got := dbState(r.Database()); got != state {
+		t.Fatalf("recovered state differs from live state")
+	}
+}
+
+// TestGroupCommitSerialAppendCounts pins the counters' meaning in the
+// uncontended case: a lone appender always leads its own fsync.
+func TestGroupCommitSerialAppendCounts(t *testing.T) {
+	s, _ := mustCreate(t, Options{})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		stmt := sql.MustParseStatement(fmt.Sprintf(
+			"INSERT INTO orders VALUES (%d, 2.0, 's', false)", 500+i))
+		if _, err := s.Append(context.Background(), []history.Statement{stmt}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.GroupCommits != 5 || st.SyncsCoalesced != 0 {
+		t.Fatalf("serial appends: GroupCommits = %d, SyncsCoalesced = %d, want 5, 0",
+			st.GroupCommits, st.SyncsCoalesced)
+	}
+}

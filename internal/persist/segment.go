@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 )
 
@@ -72,12 +73,20 @@ func listStore(dir string) (segments []uint64, checkpoints []int, err error) {
 	return segments, checkpoints, nil
 }
 
-// activeSegment is the segment file currently appended to.
+// activeSegment is the segment file currently appended to. Writes and
+// truncations run under the store mutex; sync and close additionally
+// hold syncMu, because a group-commit leader fsyncs outside the store
+// mutex and may race a rotation closing the file it captured — the
+// closed flag turns that into a no-op (rotation syncs before closing,
+// so a closed segment is already durable).
 type activeSegment struct {
 	f        *os.File
 	path     string
 	firstSeq uint64
 	size     int64
+
+	syncMu sync.Mutex
+	closed bool
 }
 
 // createSegment creates and headers a fresh segment whose first record
@@ -146,9 +155,24 @@ func (s *activeSegment) truncateTo(size int64) error {
 	return nil
 }
 
-func (s *activeSegment) sync() error { return s.f.Sync() }
+func (s *activeSegment) sync() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.f.Sync()
+}
 
-func (s *activeSegment) close() error { return s.f.Close() }
+func (s *activeSegment) close() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
 
 // syncDir fsyncs a directory so renames and creations within it are
 // durable. Only "directories cannot be fsynced here" errors (EINVAL /

@@ -75,6 +75,12 @@ type Stats struct {
 	LastCheckpointVersion  int
 	LastCheckpointBytes    int64
 	LastCheckpointDuration time.Duration
+	// GroupCommits counts Append batches that led a WAL fsync;
+	// SyncsCoalesced counts batches whose durability rode on another
+	// batch's fsync instead of issuing their own. Under concurrent
+	// appenders their ratio is the group-commit amplification.
+	GroupCommits   int64
+	SyncsCoalesced int64
 }
 
 // RecoveryInfo describes what Open found and did.
@@ -113,6 +119,15 @@ type Store struct {
 	closed   bool
 	stats    Stats
 	recovery RecoveryInfo
+
+	// Group-commit state: gcSynced is the highest version known durable
+	// (monotone); gcInFlight marks a leader mid-fsync. Appenders wait on
+	// gcCond (created lazily) until their version is covered, so any
+	// number of concurrent Append batches share one fsync.
+	gcMu       sync.Mutex
+	gcCond     *sync.Cond
+	gcSynced   int
+	gcInFlight bool
 }
 
 // Detect reports whether dir contains a store (its base checkpoint).
@@ -467,50 +482,51 @@ func EncodeStatement(st history.Statement) ([]byte, error) {
 // log, and the error is returned with the surviving version.
 func (s *Store) Append(ctx context.Context, stmts []history.Statement) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		defer s.mu.Unlock()
 		return s.version, fmt.Errorf("persist: store is closed")
 	}
 	if len(stmts) == 0 {
+		defer s.mu.Unlock()
 		return s.version, fmt.Errorf("persist: empty append")
 	}
 	s.stats.Appends++
-	// Every return path below that leaves new records behind must fsync
-	// first: an aborted batch still reports its earlier statements as
-	// committed, and committed means durable.
+	// Phase 1, under the store mutex: write and apply the batch.
+	// Concurrent batches serialize here, but the mutex is released
+	// before the fsync — the expensive part — so their durability waits
+	// overlap and one leader's fsync covers every record written before
+	// it (group commit).
+	//
+	// Every exit that leaves new records behind still syncs before
+	// returning: an aborted batch reports its earlier statements as
+	// committed, and committed means durable. syncDominates marks the
+	// abort reasons (context, unencodable statement) where a sync
+	// failure is the graver fact and takes over the returned error;
+	// after a write or apply failure the original error dominates.
 	committed := 0
-	commit := func() error {
-		if s.opts.NoSync || committed == 0 {
-			return nil
-		}
-		return s.seg.sync()
-	}
+	var appendErr error
+	syncDominates := false
 	var scratch []byte
 	for _, st := range stmts {
 		if err := ctx.Err(); err != nil {
-			if serr := commit(); serr != nil {
-				return s.version, fmt.Errorf("persist: wal sync: %w", serr)
-			}
-			return s.version, err
+			appendErr, syncDominates = err, true
+			break
 		}
 		payload, err := EncodeStatement(st)
 		if err != nil {
 			s.stats.AppendErrors++
-			if serr := commit(); serr != nil {
-				return s.version, fmt.Errorf("persist: wal sync: %w", serr)
-			}
-			return s.version, err
+			appendErr, syncDominates = err, true
+			break
 		}
 		offset := s.seg.size
 		scratch = appendRecord(scratch[:0], uint64(s.version)+1, payload)
 		if err := s.seg.write(scratch); err != nil {
 			// The write may have landed partially; roll the file back so
-			// the log ends at a record boundary, and make the earlier
-			// records of this batch durable (the write error dominates
-			// any sync error here).
+			// the log ends at a record boundary. Earlier records of this
+			// batch still get their sync below.
 			_ = s.seg.truncateTo(offset)
-			_ = commit()
-			return s.version, fmt.Errorf("persist: wal write: %w", err)
+			appendErr = fmt.Errorf("persist: wal write: %w", err)
+			break
 		}
 		if err := s.vdb.Apply(st); err != nil {
 			// WAL-first means the record exists but the statement does
@@ -518,32 +534,103 @@ func (s *Store) Append(ctx context.Context, stmts []history.Statement) (int, err
 			// history.
 			s.stats.AppendErrors++
 			if terr := s.seg.truncateTo(offset); terr != nil {
+				defer s.mu.Unlock()
 				return s.version, fmt.Errorf("persist: %v; and failed to roll back its record: %w", err, terr)
 			}
-			if !s.opts.NoSync {
-				_ = s.seg.sync()
-			}
-			return s.version, err
+			appendErr = err
+			break
 		}
 		committed++
 		s.version++
 		s.stats.StatementsAppended++
 		s.stats.WALBytesWritten += recordSize(len(payload))
 	}
-	if !s.opts.NoSync {
-		if err := s.seg.sync(); err != nil {
-			return s.version, fmt.Errorf("persist: wal sync: %w", err)
+	version := s.version
+	s.mu.Unlock()
+
+	// Phase 2, outside the store mutex: make the batch durable.
+	needSync := committed > 0 && !s.opts.NoSync
+	var led bool
+	var serr error
+	if needSync {
+		led, serr = s.waitDurable(version)
+	}
+
+	// Phase 3: stats and maintenance under a fresh lock. The rotation
+	// and auto-checkpoint conditions are re-evaluated here — another
+	// batch may have handled them meanwhile — and skipped entirely if
+	// the store closed while we were syncing.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if needSync {
+		if led {
+			s.stats.GroupCommits++
+		} else {
+			s.stats.SyncsCoalesced++
 		}
 	}
+	if serr != nil {
+		serr = fmt.Errorf("persist: wal sync: %w", serr)
+		if syncDominates || appendErr == nil {
+			return version, serr
+		}
+	}
+	if appendErr != nil {
+		return version, appendErr
+	}
+	if s.closed {
+		return version, nil
+	}
 	if err := s.maybeRotate(); err != nil {
-		return s.version, err
+		return version, err
 	}
 	if s.opts.CheckpointEvery > 0 && s.version-s.stats.LastCheckpointVersion >= s.opts.CheckpointEvery {
 		if _, err := s.checkpointLocked(); err != nil {
-			return s.version, fmt.Errorf("persist: auto checkpoint: %w", err)
+			return version, fmt.Errorf("persist: auto checkpoint: %w", err)
 		}
 	}
-	return s.version, nil
+	return version, nil
+}
+
+// waitDurable blocks until every record up to target is fsynced,
+// electing one waiter as the sync leader: it captures the active
+// segment and the tip version, fsyncs once, and wakes the cohort —
+// every batch written before the fsync is covered by it. Records below
+// the tip that live in already-rotated segments were synced by the
+// rotation, so syncing the active segment suffices. led reports
+// whether this call performed an fsync itself; a leader's sync failure
+// is returned to the leader, and waiting followers retry as leaders so
+// each append observes its own durability outcome.
+func (s *Store) waitDurable(target int) (led bool, err error) {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if s.gcCond == nil {
+		s.gcCond = sync.NewCond(&s.gcMu)
+	}
+	for s.gcSynced < target {
+		if s.gcInFlight {
+			s.gcCond.Wait()
+			continue
+		}
+		s.gcInFlight = true
+		led = true
+		s.gcMu.Unlock()
+		s.mu.Lock()
+		seg := s.seg
+		covers := s.version
+		s.mu.Unlock()
+		serr := seg.sync()
+		s.gcMu.Lock()
+		s.gcInFlight = false
+		if serr == nil && covers > s.gcSynced {
+			s.gcSynced = covers
+		}
+		s.gcCond.Broadcast()
+		if serr != nil {
+			return true, serr
+		}
+	}
+	return led, nil
 }
 
 // maybeRotate rolls the active segment once it exceeds SegmentBytes.

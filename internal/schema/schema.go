@@ -221,6 +221,39 @@ func HashValue(h uint64, v types.Value) uint64 {
 	return h
 }
 
+// HashNull, HashNumeric, HashString, and HashBool fold one cell of a
+// statically known kind into an FNV-1a accumulator, byte-for-byte
+// identical to HashValue on the equivalent boxed value. They exist for
+// the columnar executor lanes, which hash typed cells without boxing;
+// int cells hash through HashNumeric(h, float64(i)) — the same
+// widening HashValue applies — so 1 and 1.0 still collide.
+func HashNull(h uint64) uint64 { return fnvByte(h, 'n') }
+
+// HashNumeric folds a numeric cell (int lanes widen to float64 first,
+// matching HashValue's normalization).
+func HashNumeric(h uint64, f float64) uint64 {
+	h = fnvByte(h, 'f')
+	if f == 0 {
+		f = 0 // canonicalize -0.0: it compares equal to +0.0
+	}
+	return fnvUint64(h, math.Float64bits(f))
+}
+
+// HashString folds a string cell.
+func HashString(h uint64, s string) uint64 {
+	h = fnvByte(h, 's')
+	return fnvString(h, s)
+}
+
+// HashBool folds a boolean cell.
+func HashBool(h uint64, b bool) uint64 {
+	h = fnvByte(h, 'b')
+	if b {
+		return fnvByte(h, 1)
+	}
+	return fnvByte(h, 0)
+}
+
 // Hash returns an FNV-1a hash of the tuple over typed values. Its
 // equivalence classes match Key(): tuples with equal keys hash equally.
 // It is the index key for the hash-based multiset operations

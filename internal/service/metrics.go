@@ -29,8 +29,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m("mahif_session_snapshot_resident", "Completed snapshots currently held per session.", "gauge")
 	m("mahif_session_memo_hits_total", "Solver-outcome memo hits per session.", "counter")
 	m("mahif_session_memo_misses_total", "Solver-outcome memo misses per session.", "counter")
+	m("mahif_session_memo_evictions_total", "Solver outcomes dropped by the memo LRU bound per session.", "counter")
 	m("mahif_session_query_hits_total", "Compiled reenactment-result cache hits per session.", "counter")
 	m("mahif_session_query_misses_total", "Compiled reenactment-result cache misses per session.", "counter")
+	m("mahif_session_query_evictions_total", "Materialized results dropped by the query-cache LRU bound per session.", "counter")
+	m("mahif_session_query_resident", "Materialized results currently held per session.", "gauge")
 	for i, st := range s.SessionStats() {
 		l := fmt.Sprintf("{session=\"%d\"}", i)
 		fmt.Fprintf(&b, "mahif_session_calls_total%s %d\n", l, st.Calls)
@@ -42,8 +45,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "mahif_session_snapshot_resident%s %d\n", l, st.SnapshotResident)
 		fmt.Fprintf(&b, "mahif_session_memo_hits_total%s %d\n", l, st.MemoHits)
 		fmt.Fprintf(&b, "mahif_session_memo_misses_total%s %d\n", l, st.MemoMisses)
+		fmt.Fprintf(&b, "mahif_session_memo_evictions_total%s %d\n", l, st.MemoEvictions)
 		fmt.Fprintf(&b, "mahif_session_query_hits_total%s %d\n", l, st.QueryHits)
 		fmt.Fprintf(&b, "mahif_session_query_misses_total%s %d\n", l, st.QueryMisses)
+		fmt.Fprintf(&b, "mahif_session_query_evictions_total%s %d\n", l, st.QueryEvictions)
+		fmt.Fprintf(&b, "mahif_session_query_resident%s %d\n", l, st.QueryResident)
 	}
 
 	if s.opts.Store != nil {

@@ -70,12 +70,12 @@ func TestTupleIndexRemoveRow(t *testing.T) {
 		}
 		ixRow, ixCol := build(), build()
 
-		// Column-major view of the probe rows.
-		cols := make([][]types.Value, 2)
+		// Column-major view of the probe rows (boxed lane).
+		cols := make([]ColVec, 2)
 		for c := range cols {
-			cols[c] = make([]types.Value, n)
+			cols[c].Vals = make([]types.Value, n)
 			for i, r := range rows {
-				cols[c][i] = r[c]
+				cols[c].Vals[i] = r[c]
 			}
 		}
 		for i, r := range rows {
@@ -97,7 +97,7 @@ func TestTupleIndexRemoveRowArityMismatch(t *testing.T) {
 	ix := NewTupleIndex(0)
 	tp := schema.NewTuple(types.Int(1), types.Int(2))
 	ix.Add(tp)
-	narrow := [][]types.Value{{types.Int(1)}}
+	narrow := []ColVec{{Vals: []types.Value{types.Int(1)}}}
 	if ix.RemoveRow(narrow, 0, schema.Tuple{types.Int(1)}.Hash()) {
 		t.Fatal("narrow row removed a wider tuple")
 	}

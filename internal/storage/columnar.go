@@ -1,0 +1,453 @@
+package storage
+
+import (
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// ColVec is one column of rows in columnar form: a single-kind typed
+// lane (8-byte ints or floats, or a string slice) plus a null mask, or
+// the boxed fallback lane of tagged types.Value cells when the column
+// mixes kinds at runtime. The vectorized executor flows batches of
+// ColVecs so its hot kernels (comparisons, SET arithmetic, hashing)
+// run branch-free over machine types instead of paying a 48-byte
+// tagged-union load and a kind branch per cell; the binary checkpoint
+// codec writes the same representation as typed pages.
+//
+// Exactly one lane is active, selected by Kind:
+//
+//	KindInt    → Ints   (Nulls marks NULL cells; their payload is garbage)
+//	KindFloat  → Floats (likewise)
+//	KindString → Strs   (likewise)
+//	KindNull   → Vals   (boxed fallback: every cell carries its own kind)
+//
+// A nil Nulls mask means the typed lane holds no NULLs — the common
+// case, and the one the tight loops specialize on. Bool columns and
+// mixed-kind columns always take the boxed lane: single-kind bools are
+// too rare to earn a lane.
+type ColVec struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+	Vals   []types.Value
+}
+
+// Len returns the number of cells in the active lane.
+func (c *ColVec) Len() int {
+	switch c.Kind {
+	case types.KindInt:
+		return len(c.Ints)
+	case types.KindFloat:
+		return len(c.Floats)
+	case types.KindString:
+		return len(c.Strs)
+	}
+	return len(c.Vals)
+}
+
+// IsNull reports whether cell r is NULL.
+func (c *ColVec) IsNull(r int) bool {
+	if c.Kind == types.KindNull {
+		return c.Vals[r].IsNull()
+	}
+	return c.Nulls != nil && c.Nulls[r]
+}
+
+// Value boxes cell r. It is the typed-to-boxed boundary for code
+// outside the specialized kernels (generic expression fallbacks, join
+// output assembly, candidate verification).
+func (c *ColVec) Value(r int) types.Value {
+	switch c.Kind {
+	case types.KindInt:
+		if c.Nulls != nil && c.Nulls[r] {
+			return types.Null()
+		}
+		return types.Int(c.Ints[r])
+	case types.KindFloat:
+		if c.Nulls != nil && c.Nulls[r] {
+			return types.Null()
+		}
+		return types.Float(c.Floats[r])
+	case types.KindString:
+		if c.Nulls != nil && c.Nulls[r] {
+			return types.Null()
+		}
+		return types.String(c.Strs[r])
+	}
+	return c.Vals[r]
+}
+
+// BoxInto writes the boxed view of the live cells into out (sel nil →
+// cells 0..n-1, else the listed rows). Positions outside the selection
+// are left untouched, matching the executor's batch contract.
+func (c *ColVec) BoxInto(out []types.Value, sel []int, n int) {
+	switch c.Kind {
+	case types.KindInt:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				out[r] = types.Int(c.Ints[r])
+			}
+		} else {
+			for _, r := range sel {
+				out[r] = types.Int(c.Ints[r])
+			}
+		}
+	case types.KindFloat:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				out[r] = types.Float(c.Floats[r])
+			}
+		} else {
+			for _, r := range sel {
+				out[r] = types.Float(c.Floats[r])
+			}
+		}
+	case types.KindString:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				out[r] = types.String(c.Strs[r])
+			}
+		} else {
+			for _, r := range sel {
+				out[r] = types.String(c.Strs[r])
+			}
+		}
+	default:
+		if sel == nil {
+			copy(out[:n], c.Vals[:n])
+		} else {
+			for _, r := range sel {
+				out[r] = c.Vals[r]
+			}
+		}
+		return
+	}
+	if c.Nulls != nil {
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				if c.Nulls[r] {
+					out[r] = types.Null()
+				}
+			}
+		} else {
+			for _, r := range sel {
+				if c.Nulls[r] {
+					out[r] = types.Null()
+				}
+			}
+		}
+	}
+}
+
+// FoldHash folds every live cell into its row's FNV-1a accumulator
+// (the per-column step of a row-wise typed tuple hash, equal to
+// chaining schema.HashValue over boxed cells).
+func (c *ColVec) FoldHash(hs []uint64, sel []int, n int) {
+	switch c.Kind {
+	case types.KindInt:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				if c.Nulls != nil && c.Nulls[r] {
+					hs[r] = schema.HashNull(hs[r])
+					continue
+				}
+				hs[r] = schema.HashNumeric(hs[r], float64(c.Ints[r]))
+			}
+		} else {
+			for _, r := range sel {
+				if c.Nulls != nil && c.Nulls[r] {
+					hs[r] = schema.HashNull(hs[r])
+					continue
+				}
+				hs[r] = schema.HashNumeric(hs[r], float64(c.Ints[r]))
+			}
+		}
+	case types.KindFloat:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				if c.Nulls != nil && c.Nulls[r] {
+					hs[r] = schema.HashNull(hs[r])
+					continue
+				}
+				hs[r] = schema.HashNumeric(hs[r], c.Floats[r])
+			}
+		} else {
+			for _, r := range sel {
+				if c.Nulls != nil && c.Nulls[r] {
+					hs[r] = schema.HashNull(hs[r])
+					continue
+				}
+				hs[r] = schema.HashNumeric(hs[r], c.Floats[r])
+			}
+		}
+	case types.KindString:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				if c.Nulls != nil && c.Nulls[r] {
+					hs[r] = schema.HashNull(hs[r])
+					continue
+				}
+				hs[r] = schema.HashString(hs[r], c.Strs[r])
+			}
+		} else {
+			for _, r := range sel {
+				if c.Nulls != nil && c.Nulls[r] {
+					hs[r] = schema.HashNull(hs[r])
+					continue
+				}
+				hs[r] = schema.HashString(hs[r], c.Strs[r])
+			}
+		}
+	default:
+		if sel == nil {
+			for r := 0; r < n; r++ {
+				hs[r] = schema.HashValue(hs[r], c.Vals[r])
+			}
+		} else {
+			for _, r := range sel {
+				hs[r] = schema.HashValue(hs[r], c.Vals[r])
+			}
+		}
+	}
+}
+
+// HashCell folds cell r into h; ok is false for a NULL cell (the
+// join-key contract: NULL keys never match, so callers skip the row).
+func (c *ColVec) HashCell(h uint64, r int) (uint64, bool) {
+	switch c.Kind {
+	case types.KindInt:
+		if c.Nulls != nil && c.Nulls[r] {
+			return 0, false
+		}
+		return schema.HashNumeric(h, float64(c.Ints[r])), true
+	case types.KindFloat:
+		if c.Nulls != nil && c.Nulls[r] {
+			return 0, false
+		}
+		return schema.HashNumeric(h, c.Floats[r]), true
+	case types.KindString:
+		if c.Nulls != nil && c.Nulls[r] {
+			return 0, false
+		}
+		return schema.HashString(h, c.Strs[r]), true
+	}
+	v := c.Vals[r]
+	if v.IsNull() {
+		return 0, false
+	}
+	return schema.HashValue(h, v), true
+}
+
+// grow returns s resized to n cells, reusing the backing array when it
+// is large enough (cell contents are unspecified either way).
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// FillFromTuples transposes column col of rows into c, attempting the
+// typed lane want (a schema column kind) and falling back to the boxed
+// lane on the first cell whose runtime kind is neither want nor NULL —
+// so a mixed-kind column costs one partial pass, never wrong data.
+// Backing arrays are reused across fills; the null mask is rebuilt
+// (nil when the window holds no NULLs). Rows must have at least col+1
+// cells.
+func (c *ColVec) FillFromTuples(rows []schema.Tuple, col int, want types.Kind) {
+	n := len(rows)
+	c.Nulls = nil
+	switch want {
+	case types.KindInt:
+		c.Ints = grow(c.Ints, n)
+		for i, t := range rows {
+			v := t[col]
+			switch v.Kind() {
+			case types.KindInt:
+				c.Ints[i] = v.AsInt()
+			case types.KindNull:
+				c.Ints[i] = 0
+				c.setNull(i, n)
+			default:
+				c.fillBoxed(rows, col)
+				return
+			}
+		}
+		c.Kind = types.KindInt
+	case types.KindFloat:
+		c.Floats = grow(c.Floats, n)
+		for i, t := range rows {
+			v := t[col]
+			switch v.Kind() {
+			case types.KindFloat:
+				c.Floats[i] = v.AsFloat()
+			case types.KindNull:
+				c.Floats[i] = 0
+				c.setNull(i, n)
+			default:
+				c.fillBoxed(rows, col)
+				return
+			}
+		}
+		c.Kind = types.KindFloat
+	case types.KindString:
+		c.Strs = grow(c.Strs, n)
+		for i, t := range rows {
+			v := t[col]
+			switch v.Kind() {
+			case types.KindString:
+				c.Strs[i] = v.AsString()
+			case types.KindNull:
+				c.Strs[i] = ""
+				c.setNull(i, n)
+			default:
+				c.fillBoxed(rows, col)
+				return
+			}
+		}
+		c.Kind = types.KindString
+	default:
+		c.fillBoxed(rows, col)
+	}
+}
+
+// setNull marks cell i NULL, allocating the n-cell mask on first use.
+func (c *ColVec) setNull(i, n int) {
+	if c.Nulls == nil {
+		c.Nulls = make([]bool, n)
+	}
+	c.Nulls[i] = true
+}
+
+// SetCellNull marks cell r of a typed lane NULL (its payload is left as
+// garbage), allocating the n-cell mask on first use. Kernels that
+// overwrite individual cells of a lane use it to maintain the mask.
+func (c *ColVec) SetCellNull(r, n int) { c.setNull(r, n) }
+
+// ClearCellNull clears cell r's NULL flag if a mask exists.
+func (c *ColVec) ClearCellNull(r int) {
+	if c.Nulls != nil {
+		c.Nulls[r] = false
+	}
+}
+
+// fillBoxed is the mixed-kind fallback of FillFromTuples.
+func (c *ColVec) fillBoxed(rows []schema.Tuple, col int) {
+	c.Kind = types.KindNull
+	c.Nulls = nil
+	c.Vals = grow(c.Vals, len(rows))
+	for i, t := range rows {
+		c.Vals[i] = t[col]
+	}
+}
+
+// CompactFrom gathers the live cells of src (sel nil → the first n
+// cells) into c as a dense lane of the same kind, reusing c's backing
+// arrays. It is the freeze step of the parallel scan merge.
+func (c *ColVec) CompactFrom(src *ColVec, sel []int, n int) {
+	live := n
+	if sel != nil {
+		live = len(sel)
+	}
+	c.Kind = src.Kind
+	c.Nulls = nil
+	if src.Nulls != nil {
+		c.Nulls = grow(c.Nulls, live)
+		if sel == nil {
+			copy(c.Nulls, src.Nulls[:live])
+		} else {
+			for i, r := range sel {
+				c.Nulls[i] = src.Nulls[r]
+			}
+		}
+	}
+	switch src.Kind {
+	case types.KindInt:
+		c.Ints = grow(c.Ints, live)
+		if sel == nil {
+			copy(c.Ints, src.Ints[:live])
+		} else {
+			for i, r := range sel {
+				c.Ints[i] = src.Ints[r]
+			}
+		}
+	case types.KindFloat:
+		c.Floats = grow(c.Floats, live)
+		if sel == nil {
+			copy(c.Floats, src.Floats[:live])
+		} else {
+			for i, r := range sel {
+				c.Floats[i] = src.Floats[r]
+			}
+		}
+	case types.KindString:
+		c.Strs = grow(c.Strs, live)
+		if sel == nil {
+			copy(c.Strs, src.Strs[:live])
+		} else {
+			for i, r := range sel {
+				c.Strs[i] = src.Strs[r]
+			}
+		}
+	default:
+		c.Vals = grow(c.Vals, live)
+		if sel == nil {
+			copy(c.Vals, src.Vals[:live])
+		} else {
+			for i, r := range sel {
+				c.Vals[i] = src.Vals[r]
+			}
+		}
+	}
+}
+
+// ColumnarView is a point-in-time columnar transpose of a relation:
+// one ColVec per schema column, typed wherever the column is
+// single-kind at that instant. It shares no storage with the relation
+// and does not track later mutation — build it from a stable snapshot
+// (the same quiescence contract as reading Relation.Tuples).
+type ColumnarView struct {
+	Schema *schema.Schema
+	Rows   int
+	Cols   []ColVec
+}
+
+// BuildColumnar transposes r into a columnar view, inferring each
+// column's lane from the schema kind with per-cell verification (a
+// column whose runtime cells deviate from the declared kind takes the
+// boxed lane, so the view is always faithful).
+func BuildColumnar(r *Relation) *ColumnarView {
+	v := &ColumnarView{Schema: r.Schema, Rows: len(r.Tuples), Cols: make([]ColVec, r.Schema.Arity())}
+	for c := range v.Cols {
+		v.Cols[c].FillFromTuples(r.Tuples, c, r.Schema.Columns[c].Type)
+	}
+	return v
+}
+
+// Columnar builds the columnar view of the relation's current tuples.
+func (r *Relation) Columnar() *ColumnarView { return BuildColumnar(r) }
+
+// Relation materializes the view back into row-major tuples (one flat
+// value arena for the whole relation). It is the read path of the
+// columnar checkpoint codec.
+func (v *ColumnarView) Relation() *Relation {
+	out := NewRelation(v.Schema)
+	if v.Rows == 0 {
+		return out
+	}
+	arity := len(v.Cols)
+	flat := make([]types.Value, v.Rows*arity)
+	out.Tuples = make([]schema.Tuple, v.Rows)
+	for i := range out.Tuples {
+		out.Tuples[i] = schema.Tuple(flat[i*arity : (i+1)*arity : (i+1)*arity])
+	}
+	for c := range v.Cols {
+		col := &v.Cols[c]
+		for r := 0; r < v.Rows; r++ {
+			flat[r*arity+c] = col.Value(r)
+		}
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"github.com/mahif/mahif/internal/schema"
-	"github.com/mahif/mahif/internal/types"
 )
 
 // TupleIndex is a hash-based multiset of tuples: the typed FNV hash of
@@ -86,11 +85,11 @@ func (ix *TupleIndex) compact(h uint64, bucket []indexEntry, i int) {
 }
 
 // RemoveRow is the batch-probe form of Remove for the vectorized
-// executor: the candidate row lives spread across the column-major
-// block cols at index row, and its typed tuple hash h (the same fold as
-// schema.Tuple.Hash) was precomputed vector-wise. No row-major tuple is
-// materialized; candidate verification compares values in place.
-func (ix *TupleIndex) RemoveRow(cols [][]types.Value, row int, h uint64) bool {
+// executor: the candidate row lives spread across the column vectors
+// cols at index row, and its typed tuple hash h (the same fold as
+// schema.Tuple.Hash) was precomputed lane-wise. No row-major tuple is
+// materialized; candidate verification boxes cells only on hash hits.
+func (ix *TupleIndex) RemoveRow(cols []ColVec, row int, h uint64) bool {
 	bucket := ix.buckets[h]
 	for i := range bucket {
 		if bucket[i].count > 0 && tupleEqualsRow(bucket[i].tuple, cols, row) {
@@ -106,13 +105,13 @@ func (ix *TupleIndex) RemoveRow(cols [][]types.Value, row int, h uint64) bool {
 }
 
 // tupleEqualsRow compares a stored tuple against one row of a
-// column-major block value-wise.
-func tupleEqualsRow(t schema.Tuple, cols [][]types.Value, row int) bool {
+// column-vector block value-wise.
+func tupleEqualsRow(t schema.Tuple, cols []ColVec, row int) bool {
 	if len(t) != len(cols) {
 		return false
 	}
 	for c := range t {
-		if !t[c].Equal(cols[c][row]) {
+		if !t[c].Equal(cols[c].Value(row)) {
 			return false
 		}
 	}
@@ -153,6 +152,32 @@ func (ix *TupleIndex) Range(visit func(t schema.Tuple, count int)) {
 		for i := range bucket {
 			if bucket[i].count > 0 {
 				visit(bucket[i].tuple, bucket[i].count)
+			}
+		}
+	}
+}
+
+// Diff visits every tuple whose multiplicity in ix exceeds its
+// multiplicity in o, with the (positive) difference. Buckets are
+// aligned by their shared hash, so no tuple is re-hashed and the other
+// index is probed once per bucket instead of once per distinct tuple —
+// the bag-difference inner loop of delta computation.
+func (ix *TupleIndex) Diff(o *TupleIndex, visit func(t schema.Tuple, d int)) {
+	for h, bucket := range ix.buckets {
+		other := o.buckets[h]
+		for i := range bucket {
+			if bucket[i].count <= 0 {
+				continue
+			}
+			on := 0
+			for j := range other {
+				if other[j].tuple.Equal(bucket[i].tuple) {
+					on = other[j].count
+					break
+				}
+			}
+			if d := bucket[i].count - on; d > 0 {
+				visit(bucket[i].tuple, d)
 			}
 		}
 	}

@@ -125,7 +125,7 @@ func TestTupleIndexRemoveRowCompacts(t *testing.T) {
 	tup := schema.Tuple{types.Int(5), types.String("x")}
 	ix.Add(tup)
 	ix.Add(tup)
-	cols := [][]types.Value{{types.Int(5)}, {types.String("x")}}
+	cols := []ColVec{{Vals: []types.Value{types.Int(5)}}, {Vals: []types.Value{types.String("x")}}}
 	h := tup.Hash()
 	if !ix.RemoveRow(cols, 0, h) || !ix.RemoveRow(cols, 0, h) {
 		t.Fatal("RemoveRow failed on present tuple")
