@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, persist, all")
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, persist, cluster, all")
 	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -39,6 +39,7 @@ func main() {
 	flag.StringVar(&execOut, "execout", execOut, "output path for the exec experiment's JSON report")
 	flag.StringVar(&serveOut, "serveout", serveOut, "output path for the serve experiment's JSON report")
 	flag.StringVar(&persistOut, "persistout", persistOut, "output path for the persist experiment's JSON report")
+	flag.StringVar(&clusterOut, "clusterout", clusterOut, "output path for the cluster experiment's JSON report")
 	flag.Parse()
 
 	us, err := parseInts(*updates)
@@ -53,7 +54,7 @@ func main() {
 		"fig18": h.fig18, "fig19": h.fig19, "fig20": h.fig20, "fig21": h.fig21,
 		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
 		"ablation": h.ablations, "batch": h.batch, "exec": h.execExp,
-		"serve": h.serveExp, "persist": h.persistExp,
+		"serve": h.serveExp, "persist": h.persistExp, "cluster": h.clusterExp,
 	}
 	var runs []func()
 	switch *exp {

@@ -225,6 +225,24 @@ func (e *Engine) AppendCtx(ctx context.Context, stmts []history.Statement) (int,
 	return e.vdb.NumVersions(), nil
 }
 
+// WaitVersionCtx blocks until the history has reached at least target
+// statements or ctx ends. It is the read-your-writes primitive: a
+// version-bounded read on a follower waits here until replication
+// catches up, instead of silently serving a stale answer.
+func (e *Engine) WaitVersionCtx(ctx context.Context, target int) error {
+	for {
+		cur, ch := e.vdb.WaitChan()
+		if cur >= target {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
 // History returns the logged history H as typed statements.
 func (e *Engine) History() (history.History, error) {
 	log := e.vdb.Log()
@@ -237,6 +255,22 @@ func (e *Engine) History() (history.History, error) {
 		h[i] = st
 	}
 	return h, nil
+}
+
+// HistoryRange returns the statements after the first `since` (up to
+// limit of them; limit <= 0 means all) plus the total history length —
+// the paged view behind GET /v1/history and replica catch-up.
+func (e *Engine) HistoryRange(since, limit int) (history.History, int, error) {
+	log, total := e.vdb.LogRange(since, limit)
+	h := make(history.History, len(log))
+	for i, m := range log {
+		st, ok := m.(history.Statement)
+		if !ok {
+			return nil, 0, fmt.Errorf("core: log entry %d (%s) is not a statement", since+i+1, m)
+		}
+		h[i] = st
+	}
+	return h, total, nil
 }
 
 // prepare applies M to H, cuts the shared prefix, and reconstructs the

@@ -149,6 +149,49 @@ func writeCheckpoint(dir string, version int, db *storage.Database, sync bool) (
 	return int64(len(buf)), nil
 }
 
+// DecodeCheckpoint validates a raw checkpoint image (the full file
+// bytes, header and trailer included) and rebuilds the database it
+// materializes, returning its version. Damage is reported as
+// ErrCorrupt. Exported for replicas, which bootstrap from checkpoint
+// images fetched over HTTP instead of files.
+func DecodeCheckpoint(raw []byte) (int, *storage.Database, error) {
+	const hdr = 8 + 4 + 8 + 8
+	if len(raw) < hdr+4 {
+		return 0, nil, fmt.Errorf("%w: checkpoint truncated (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if string(raw[:8]) != checkpointMagic {
+		return 0, nil, fmt.Errorf("%w: checkpoint: bad magic", ErrCorrupt)
+	}
+	format := binary.LittleEndian.Uint32(raw[8:12])
+	if format != checkpointFormatJSON && format != checkpointFormatColumnar {
+		return 0, nil, fmt.Errorf("%w: checkpoint: unsupported format %d", ErrCorrupt, format)
+	}
+	version := int(binary.LittleEndian.Uint64(raw[12:20]))
+	plen := binary.LittleEndian.Uint64(raw[20:28])
+	// Bound plen before any arithmetic: a corrupted length field must
+	// not wrap the sum below (or index past) the file size — corrupt
+	// checkpoints degrade to ErrCorrupt, never to a panic.
+	if plen > uint64(len(raw)) || uint64(len(raw)) != hdr+plen+4 {
+		return 0, nil, fmt.Errorf("%w: checkpoint: length mismatch", ErrCorrupt)
+	}
+	payload := raw[hdr : hdr+int(plen)]
+	want := binary.LittleEndian.Uint32(raw[hdr+int(plen):])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, fmt.Errorf("%w: checkpoint: checksum mismatch", ErrCorrupt)
+	}
+	var db *storage.Database
+	var err error
+	if format == checkpointFormatColumnar {
+		db, err = decodeDatabaseColumnar(payload)
+	} else {
+		db, err = decodeDatabase(payload)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return version, db, nil
+}
+
 // loadCheckpoint reads and validates one checkpoint file, returning
 // the version it materializes and the rebuilt database. Damage is
 // reported as ErrCorrupt; the caller may fall back to an earlier
@@ -158,36 +201,7 @@ func loadCheckpoint(path string) (int, *storage.Database, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	const hdr = 8 + 4 + 8 + 8
-	if len(raw) < hdr+4 {
-		return 0, nil, fmt.Errorf("%w: checkpoint %s truncated (%d bytes)", ErrCorrupt, path, len(raw))
-	}
-	if string(raw[:8]) != checkpointMagic {
-		return 0, nil, fmt.Errorf("%w: checkpoint %s: bad magic", ErrCorrupt, path)
-	}
-	format := binary.LittleEndian.Uint32(raw[8:12])
-	if format != checkpointFormatJSON && format != checkpointFormatColumnar {
-		return 0, nil, fmt.Errorf("%w: checkpoint %s: unsupported format %d", ErrCorrupt, path, format)
-	}
-	version := int(binary.LittleEndian.Uint64(raw[12:20]))
-	plen := binary.LittleEndian.Uint64(raw[20:28])
-	// Bound plen before any arithmetic: a corrupted length field must
-	// not wrap the sum below (or index past) the file size — corrupt
-	// checkpoints degrade to ErrCorrupt, never to a panic.
-	if plen > uint64(len(raw)) || uint64(len(raw)) != hdr+plen+4 {
-		return 0, nil, fmt.Errorf("%w: checkpoint %s: length mismatch", ErrCorrupt, path)
-	}
-	payload := raw[hdr : hdr+int(plen)]
-	want := binary.LittleEndian.Uint32(raw[hdr+int(plen):])
-	if crc32.Checksum(payload, castagnoli) != want {
-		return 0, nil, fmt.Errorf("%w: checkpoint %s: checksum mismatch", ErrCorrupt, path)
-	}
-	var db *storage.Database
-	if format == checkpointFormatColumnar {
-		db, err = decodeDatabaseColumnar(payload)
-	} else {
-		db, err = decodeDatabase(payload)
-	}
+	version, db, err := DecodeCheckpoint(raw)
 	if err != nil {
 		return 0, nil, fmt.Errorf("checkpoint %s: %w", path, err)
 	}

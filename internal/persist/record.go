@@ -58,10 +58,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // signature of a crash mid-append and is truncated silently.
 var ErrCorrupt = errors.New("persist: corrupt store")
 
-// errTorn marks an incomplete or checksum-failing record. Recovery
+// ErrTorn marks an incomplete or checksum-failing record. Recovery
 // treats it as the end of the committed log when it occurs at the tail
-// of the last segment, and as ErrCorrupt anywhere else.
-var errTorn = errors.New("persist: torn record")
+// of the last segment, and as ErrCorrupt anywhere else; a replication
+// stream consumer treats it as a broken connection and reconnects.
+var ErrTorn = errors.New("persist: torn record")
+
+// errTorn is the historical internal name.
+var errTorn = ErrTorn
 
 // appendRecord appends one WAL record — [seq][len][crc][payload] with
 // the CRC covering seq, len, and payload — to buf and returns the
@@ -141,6 +145,20 @@ func tailIsTruncatable(raw []byte, from int64, nextSeq uint64) bool {
 		}
 	}
 	return true
+}
+
+// AppendRecord appends one framed record — [seq][len][crc][payload] —
+// to buf and returns the extended slice. Exported for the replication
+// stream, which reuses the WAL record framing on the wire.
+func AppendRecord(buf []byte, seq uint64, payload []byte) []byte {
+	return appendRecord(buf, seq, payload)
+}
+
+// ReadRecord reads one framed record from r, returning io.EOF at a
+// clean record boundary and ErrTorn for an incomplete or
+// checksum-failing record. Exported for replication stream consumers.
+func ReadRecord(r io.Reader) (seq uint64, payload []byte, err error) {
+	return readRecord(r)
 }
 
 // appendSegmentHeader appends the segment header (magic + firstSeq).

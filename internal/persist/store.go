@@ -120,6 +120,19 @@ type Store struct {
 	stats    Stats
 	recovery RecoveryInfo
 
+	// Commit position: commitSeg is the first-seq of the segment holding
+	// the newest committed record and commitOff the byte boundary right
+	// after it. Bytes below the boundary are immutable (a failed apply
+	// only ever truncates at or past it), which is what lets a TailReader
+	// stream a segment concurrently with appends without ever observing
+	// a torn or rolled-back record. Guarded by mu.
+	commitSeg uint64
+	commitOff int64
+	// verCh is closed and replaced whenever version advances, so WAL
+	// followers can block on the next committed record without polling.
+	// Guarded by mu; closed one final time by Close to release waiters.
+	verCh chan struct{}
+
 	// Group-commit state: gcSynced is the highest version known durable
 	// (monotone); gcInFlight marks a leader mid-fsync. Appenders wait on
 	// gcCond (created lazily) until their version is covered, so any
@@ -186,6 +199,8 @@ func Create(dir string, base *storage.Database, opts Options) (*Store, error) {
 	}
 	s := &Store{dir: dir, opts: opts, vdb: storage.NewVersioned(base), seg: seg}
 	s.stats.Segments = 1
+	s.commitSeg, s.commitOff = seg.firstSeq, seg.size
+	s.verCh = make(chan struct{})
 	return s, nil
 }
 
@@ -316,6 +331,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.seg = seg
 	}
 	s.stats.Segments = len(segs)
+	s.commitSeg, s.commitOff = s.seg.firstSeq, s.seg.size
+	s.verCh = make(chan struct{})
 	// Report only checkpoints that survived validation (corrupt or
 	// ahead-of-log ones were skipped or deleted above), so the auto-
 	// checkpoint cadence and /metrics reflect what is actually on disk.
@@ -544,6 +561,13 @@ func (s *Store) Append(ctx context.Context, stmts []history.Statement) (int, err
 		s.version++
 		s.stats.StatementsAppended++
 		s.stats.WALBytesWritten += recordSize(len(payload))
+		s.commitOff = s.seg.size
+	}
+	if committed > 0 {
+		// Wake WAL followers: the closed channel is the broadcast, the
+		// fresh one arms the next advance.
+		close(s.verCh)
+		s.verCh = make(chan struct{})
 	}
 	version := s.version
 	s.mu.Unlock()
@@ -651,7 +675,65 @@ func (s *Store) maybeRotate() error {
 	s.seg = seg
 	s.stats.Segments++
 	s.stats.Rotations++
+	s.commitSeg, s.commitOff = seg.firstSeq, seg.size
 	return nil
+}
+
+// commitPos atomically reports the committed history length together
+// with the byte boundary it corresponds to: the first-seq of the
+// segment holding the newest committed record and the offset right
+// after it. A reader that never crosses the boundary can only observe
+// whole committed records.
+func (s *Store) commitPos() (version int, seg uint64, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version, s.commitSeg, s.commitOff
+}
+
+// WaitVersion blocks until the committed history has reached at least
+// target statements, ctx ends, or the store closes.
+func (s *Store) WaitVersion(ctx context.Context, target int) error {
+	for {
+		s.mu.Lock()
+		if s.version >= target {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return fmt.Errorf("persist: store is closed")
+		}
+		ch := s.verCh
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// CheckpointImage returns the raw on-disk bytes of a checkpoint file
+// together with the version it materializes — the bootstrap payload a
+// replica fetches before tailing the WAL. version < 0 selects the
+// newest checkpoint; a checkpoint pruned between selection and read
+// falls back to the base. The image is self-validating (the caller
+// decodes it with DecodeCheckpoint).
+func (s *Store) CheckpointImage(version int) ([]byte, int, error) {
+	if version < 0 {
+		s.mu.Lock()
+		version = s.stats.LastCheckpointVersion
+		s.mu.Unlock()
+	}
+	raw, err := os.ReadFile(checkpointPath(s.dir, version))
+	if err != nil && version != 0 && os.IsNotExist(err) {
+		version = 0
+		raw, err = os.ReadFile(checkpointPath(s.dir, 0))
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return raw, version, nil
 }
 
 // CheckpointInfo describes one written checkpoint.
@@ -722,6 +804,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.verCh) // release WaitVersion waiters; they observe closed
 	if !s.opts.NoSync {
 		if err := s.seg.sync(); err != nil {
 			s.seg.close()

@@ -1,0 +1,206 @@
+package persist
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// TailReader streams committed WAL records from a live Store, in seq
+// order, concurrently with appends. It is the leader-side source of
+// the replication stream: Next returns the next committed record,
+// blocking until one is appended.
+//
+// Correctness under concurrent writes rests on the commit boundary:
+// every read is positional (ReadAt, no buffered prefetch) and bounded
+// by the store's committed byte offset captured atomically with the
+// version, so the reader can never observe the bytes of an uncommitted
+// record — not even one that a failed apply later rolls back and
+// overwrites with a different statement at the same offset. Rotated
+// segments are immutable and read to their end; the next segment's
+// first seq is exactly the following record (strict seq continuity),
+// so crossing a rotation boundary is a deterministic file switch.
+//
+// A TailReader is not safe for concurrent use; open one per stream.
+type TailReader struct {
+	s       *Store
+	nextSeq uint64
+	f       *os.File
+	segSeq  uint64 // first seq of the open segment
+	off     int64  // read offset within it
+	endSeq  uint64 // first seq of the successor segment, 0 until resolved
+}
+
+// TailFrom opens a reader positioned at record seq `from` (clamped to
+// 1; at most one past the committed tip, where the reader waits for
+// the next append).
+func (s *Store) TailFrom(from uint64) (*TailReader, error) {
+	if from == 0 {
+		from = 1
+	}
+	version, _, _ := s.commitPos()
+	if from > uint64(version)+1 {
+		return nil, fmt.Errorf("persist: tail from seq %d is beyond the next seq %d", from, version+1)
+	}
+	segs, _, err := listStore(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("persist: %s holds no WAL segments", s.dir)
+	}
+	// The containing segment is the last one starting at or before
+	// `from` (segs is ascending).
+	segSeq := segs[0]
+	for _, fs := range segs {
+		if fs <= from {
+			segSeq = fs
+		}
+	}
+	t := &TailReader{s: s, nextSeq: segSeq}
+	if err := t.openSegment(segSeq); err != nil {
+		return nil, err
+	}
+	// Skip forward to `from`. Everything below it is committed (from is
+	// at most version+1), so these are plain bounded reads.
+	for t.nextSeq < from {
+		if _, _, err := t.readCommitted(); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Next returns the next committed record, blocking until the store
+// commits it, ctx ends, or the store closes.
+func (t *TailReader) Next(ctx context.Context) (seq uint64, payload []byte, err error) {
+	if err := t.s.WaitVersion(ctx, int(t.nextSeq)); err != nil {
+		return 0, nil, err
+	}
+	return t.readCommitted()
+}
+
+// NextSeq returns the seq the next Next call will deliver.
+func (t *TailReader) NextSeq() uint64 { return t.nextSeq }
+
+// Close releases the reader's file handle.
+func (t *TailReader) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
+
+// openSegment switches the reader to the segment starting at firstSeq,
+// positioned after the header.
+func (t *TailReader) openSegment(firstSeq uint64) error {
+	f, err := os.Open(segmentPath(t.s.dir, firstSeq))
+	if err != nil {
+		return err
+	}
+	hdrSeq, err := readSegmentHeader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if hdrSeq != firstSeq {
+		f.Close()
+		return fmt.Errorf("%w: segment %d header claims first seq %d", ErrCorrupt, firstSeq, hdrSeq)
+	}
+	if t.f != nil {
+		t.f.Close()
+	}
+	t.f = f
+	t.segSeq = firstSeq
+	t.off = segmentHeaderSize
+	t.endSeq = 0
+	return nil
+}
+
+// readCommitted reads the record for t.nextSeq, which the caller
+// guarantees is committed. All reads stay below the commit boundary.
+func (t *TailReader) readCommitted() (uint64, []byte, error) {
+	version, commitSeg, commitOff := t.s.commitPos()
+	if t.nextSeq > uint64(version) {
+		return 0, nil, fmt.Errorf("persist: record %d is not committed yet (version %d)", t.nextSeq, version)
+	}
+	// The read bound: the committed offset in the commit segment, the
+	// (immutable) file size in any earlier, rotated segment. Advancing
+	// across a rotation is seq-driven, not size-driven: strict seq
+	// continuity puts a rotated segment's successor at the seq right
+	// after its last record, so the switch happens exactly when nextSeq
+	// reaches the successor's first seq — a trailing torn write past the
+	// rotated segment's last record (crash artifact) is never read.
+	bound := commitOff
+	if t.segSeq != commitSeg {
+		if t.endSeq == 0 {
+			end, err := t.successorSeq()
+			if err != nil {
+				return 0, nil, err
+			}
+			t.endSeq = end
+		}
+		if t.nextSeq >= t.endSeq {
+			if err := t.openSegment(t.nextSeq); err != nil {
+				return 0, nil, err
+			}
+			return t.readCommitted()
+		}
+		fi, err := t.f.Stat()
+		if err != nil {
+			return 0, nil, err
+		}
+		bound = fi.Size()
+	} else if t.off >= bound {
+		return 0, nil, fmt.Errorf("%w: committed record %d missing at the commit boundary of segment %d", ErrCorrupt, t.nextSeq, t.segSeq)
+	}
+	var hdr [recordHeaderSize]byte
+	if t.off+recordHeaderSize > bound {
+		return 0, nil, fmt.Errorf("%w: record %d header crosses the commit boundary", ErrCorrupt, t.nextSeq)
+	}
+	if _, err := t.f.ReadAt(hdr[:], t.off); err != nil {
+		return 0, nil, err
+	}
+	seq := binary.LittleEndian.Uint64(hdr[0:8])
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	want := binary.LittleEndian.Uint32(hdr[12:16])
+	if seq != t.nextSeq {
+		return 0, nil, fmt.Errorf("%w: segment %d: record seq %d, want %d", ErrCorrupt, t.segSeq, seq, t.nextSeq)
+	}
+	if length > maxRecordBytes || t.off+recordSize(int(length)) > bound {
+		return 0, nil, fmt.Errorf("%w: record %d crosses the commit boundary", ErrCorrupt, t.nextSeq)
+	}
+	payload := make([]byte, length)
+	if _, err := t.f.ReadAt(payload, t.off+recordHeaderSize); err != nil {
+		return 0, nil, err
+	}
+	crc := crc32.Update(0, castagnoli, hdr[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return 0, nil, fmt.Errorf("%w: record %d checksum mismatch", ErrCorrupt, t.nextSeq)
+	}
+	t.off += recordSize(int(length))
+	t.nextSeq++
+	return seq, payload, nil
+}
+
+// successorSeq returns the first seq of the segment following t.segSeq.
+// Only called on a rotated segment, whose successor necessarily exists
+// (rotation creates it before retiring the old one).
+func (t *TailReader) successorSeq() (uint64, error) {
+	segs, _, err := listStore(t.s.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, fs := range segs {
+		if fs > t.segSeq {
+			return fs, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: rotated segment %d has no successor", ErrCorrupt, t.segSeq)
+}

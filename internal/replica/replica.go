@@ -1,0 +1,370 @@
+// Package replica is the replication subsystem: WAL-streaming read
+// replicas and the router that spreads reads across them.
+//
+// The leader's WAL is the history itself (one CRC'd record per
+// statement, seq == version), so replication is just shipping that
+// record stream: a follower bootstraps from the leader's checkpoint
+// images plus a bounded WAL fetch, then applies the live stream
+// through the engine's indexed append path, staying a warm,
+// queryable copy. Reads carry an optional min_version bound
+// (read-your-writes): the serving replica blocks until it has caught
+// up to the client's last observed version instead of answering
+// stale. The router health-checks every backend, routes each read to
+// the least-loaded backend already at the requested version, and
+// forwards appends to the leader.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/persist"
+	"github.com/mahif/mahif/internal/service"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+)
+
+// Options tunes a follower.
+type Options struct {
+	// LeaderURL is the leader's base URL (e.g. http://10.0.0.1:8080).
+	LeaderURL string
+	// Client performs the control requests (checkpoints, status); the
+	// live stream uses its transport without a client timeout. Defaults
+	// to a client with a 30s timeout.
+	Client *http.Client
+	// ReconnectMin/ReconnectMax bound the stream retry backoff
+	// (defaults 100ms / 5s).
+	ReconnectMin, ReconnectMax time.Duration
+	// StatusEvery is the leader poll cadence feeding the lag gauge
+	// (default 1s; the stream itself advances the observed leader
+	// version too).
+	StatusEvery time.Duration
+	// Logf receives connection lifecycle messages. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 100 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 5 * time.Second
+	}
+	if o.StatusEvery <= 0 {
+		o.StatusEvery = time.Second
+	}
+	o.LeaderURL = strings.TrimRight(o.LeaderURL, "/")
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Replica is a follower: an in-memory engine kept in sync with the
+// leader by applying its WAL stream. It holds the full history (time
+// travel needs every statement), re-bootstrapping from the leader on
+// restart — the leader's WAL is the single durable copy.
+type Replica struct {
+	opts   Options
+	engine *core.Engine
+
+	mu             sync.Mutex
+	connected      bool
+	everConnected  bool
+	leaderVersion  int
+	recordsApplied int64
+	reconnects     int64
+	lastErr        string
+}
+
+// Engine returns the replica's engine (read-only by convention: the
+// history only advances through the stream).
+func (r *Replica) Engine() *core.Engine { return r.engine }
+
+// ReplicationStatus implements service.ReplicationReporter.
+func (r *Replica) ReplicationStatus() service.ReplicationStatus {
+	applied := r.engine.Version()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lv := r.leaderVersion
+	if applied > lv {
+		lv = applied
+	}
+	return service.ReplicationStatus{
+		LeaderURL:      r.opts.LeaderURL,
+		Connected:      r.connected,
+		AppliedVersion: applied,
+		LeaderVersion:  lv,
+		Lag:            lv - applied,
+		RecordsApplied: r.recordsApplied,
+		Reconnects:     r.reconnects,
+		LastError:      r.lastErr,
+	}
+}
+
+// Bootstrap builds a follower from the leader's durable state: the
+// base checkpoint (version 0 — what-if queries time-travel to
+// arbitrary versions, so the full history matters), the newest
+// checkpoint C (sparing the replay of statements 1..C), and the WAL
+// records 1..C for the statement log. The live tail past C arrives
+// through Run.
+func Bootstrap(ctx context.Context, opts Options) (*Replica, error) {
+	opts = opts.withDefaults()
+	r := &Replica{opts: opts}
+
+	baseRaw, err := r.fetch(ctx, "/v1/checkpoint?version=0")
+	if err != nil {
+		return nil, fmt.Errorf("replica: fetching base checkpoint: %w", err)
+	}
+	baseVer, base, err := persist.DecodeCheckpoint(baseRaw)
+	if err != nil {
+		return nil, fmt.Errorf("replica: base checkpoint: %w", err)
+	}
+	if baseVer != 0 {
+		return nil, fmt.Errorf("replica: base checkpoint claims version %d", baseVer)
+	}
+
+	newestRaw, err := r.fetch(ctx, "/v1/checkpoint")
+	if err != nil {
+		return nil, fmt.Errorf("replica: fetching newest checkpoint: %w", err)
+	}
+	ckptVer, ckpt, err := persist.DecodeCheckpoint(newestRaw)
+	if err != nil {
+		return nil, fmt.Errorf("replica: newest checkpoint: %w", err)
+	}
+
+	checkpoints := map[int]*storage.Database{}
+	var current *storage.Database
+	var mutators []storage.Mutator
+	if ckptVer > 0 {
+		stmts, err := r.fetchWAL(ctx, 1, ckptVer)
+		if err != nil {
+			return nil, fmt.Errorf("replica: fetching WAL 1..%d: %w", ckptVer, err)
+		}
+		mutators = make([]storage.Mutator, len(stmts))
+		for i, st := range stmts {
+			mutators[i] = st
+		}
+		checkpoints[ckptVer] = ckpt
+		current = ckpt.Clone()
+	} else {
+		current = ckpt // a second decode of the base: an independent copy
+	}
+	r.engine = core.New(storage.RestoreVersioned(base, mutators, checkpoints, current))
+	r.setLeaderVersion(ckptVer)
+	opts.logf("replica: bootstrapped at version %d from %s (checkpoint@%d)", r.engine.Version(), opts.LeaderURL, ckptVer)
+	return r, nil
+}
+
+// Run streams the leader's WAL from the replica's current version
+// until ctx ends, reconnecting with backoff, and polls the leader's
+// status for the lag gauge. It blocks; run it in a goroutine.
+func (r *Replica) Run(ctx context.Context) {
+	go r.pollStatus(ctx)
+	backoff := r.opts.ReconnectMin
+	for ctx.Err() == nil {
+		err := r.streamOnce(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		r.noteDisconnect(err)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+		backoff *= 2
+		if backoff > r.opts.ReconnectMax {
+			backoff = r.opts.ReconnectMax
+		}
+	}
+}
+
+// streamOnce opens one live stream and applies it until it breaks.
+func (r *Replica) streamOnce(ctx context.Context) error {
+	from := r.engine.Version() + 1
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/wal?from=%d", r.opts.LeaderURL, from), nil)
+	if err != nil {
+		return err
+	}
+	// The stream lives until torn down: the control client's timeout
+	// must not apply, only its transport.
+	client := &http.Client{Transport: r.opts.Client.Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("leader returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	r.noteConnect(from)
+	br := bufio.NewReader(resp.Body)
+	for {
+		seq, payload, err := persist.ReadRecord(br)
+		if err != nil {
+			// io.EOF / ErrTorn: the connection died (cleanly or
+			// mid-record); reconnect picks up at the applied version.
+			return fmt.Errorf("stream from seq %d: %w", r.engine.Version()+1, err)
+		}
+		if err := r.apply(ctx, seq, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// apply parses and applies one streamed record, enforcing seq
+// continuity against the local history.
+func (r *Replica) apply(ctx context.Context, seq uint64, payload []byte) error {
+	want := uint64(r.engine.Version()) + 1
+	if seq != want {
+		return fmt.Errorf("stream record seq %d, want %d", seq, want)
+	}
+	st, err := sql.ParseStatement(string(payload))
+	if err != nil {
+		return fmt.Errorf("stream record %d: %w", seq, err)
+	}
+	if _, err := r.engine.AppendCtx(ctx, []history.Statement{st}); err != nil {
+		return fmt.Errorf("applying record %d (%s): %w", seq, st, err)
+	}
+	r.mu.Lock()
+	r.recordsApplied++
+	if int(seq) > r.leaderVersion {
+		r.leaderVersion = int(seq)
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// pollStatus keeps the observed leader version fresh while the stream
+// idles, so the lag gauge reflects appends the replica has not even
+// seen yet.
+func (r *Replica) pollStatus(ctx context.Context) {
+	tick := time.NewTicker(r.opts.StatusEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		raw, err := r.fetch(ctx, "/v1/status")
+		if err != nil {
+			continue
+		}
+		var st service.StatusResponse
+		if json.Unmarshal(raw, &st) == nil {
+			r.setLeaderVersion(st.Version)
+		}
+	}
+}
+
+// fetch performs one bounded control GET against the leader.
+func (r *Replica) fetch(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", r.opts.LeaderURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// fetchWAL reads the bounded record range [from, to] as parsed
+// statements (the bootstrap catch-up fetch).
+func (r *Replica) fetchWAL(ctx context.Context, from, to int) ([]history.Statement, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/v1/wal?from=%d&to=%d", r.opts.LeaderURL, from, to), nil)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: r.opts.Client.Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	br := bufio.NewReader(resp.Body)
+	out := make([]history.Statement, 0, to-from+1)
+	next := uint64(from)
+	for {
+		seq, payload, err := persist.ReadRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if seq != next {
+			return nil, fmt.Errorf("record seq %d, want %d", seq, next)
+		}
+		st, err := sql.ParseStatement(string(payload))
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", seq, err)
+		}
+		out = append(out, st)
+		next++
+	}
+	if got := int(next) - from; got != to-from+1 {
+		return nil, fmt.Errorf("short WAL fetch: %d records, want %d", got, to-from+1)
+	}
+	return out, nil
+}
+
+func (r *Replica) setLeaderVersion(v int) {
+	r.mu.Lock()
+	if v > r.leaderVersion {
+		r.leaderVersion = v
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) noteConnect(from int) {
+	r.mu.Lock()
+	r.connected = true
+	if r.everConnected {
+		r.reconnects++
+	}
+	r.everConnected = true
+	r.lastErr = ""
+	r.mu.Unlock()
+	r.opts.logf("replica: streaming from %s at seq %d", r.opts.LeaderURL, from)
+}
+
+func (r *Replica) noteDisconnect(err error) {
+	r.mu.Lock()
+	r.connected = false
+	if err != nil {
+		r.lastErr = err.Error()
+	}
+	r.mu.Unlock()
+	if err != nil {
+		r.opts.logf("replica: stream lost: %v", err)
+	}
+}

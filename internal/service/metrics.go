@@ -79,8 +79,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "mahif_recovery_replayed_statements %d\n", ri.ReplayedStatements)
 		m("mahif_recovery_truncated_records", "Torn-tail records discarded by the last recovery.", "gauge")
 		fmt.Fprintf(&b, "mahif_recovery_truncated_records %d\n", ri.TruncatedRecords)
+		m("mahif_wal_streams_total", "WAL replication streams opened by followers.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_streams_total %d\n", s.walStreams.Load())
+		m("mahif_wal_stream_records_total", "WAL records shipped to followers.", "counter")
+		fmt.Fprintf(&b, "mahif_wal_stream_records_total %d\n", s.walStreamRecords.Load())
+	}
+
+	if s.opts.Replication != nil {
+		rs := s.opts.Replication.ReplicationStatus()
+		m("mahif_replication_connected", "1 while the WAL stream from the leader is live.", "gauge")
+		fmt.Fprintf(&b, "mahif_replication_connected %d\n", b2i(rs.Connected))
+		m("mahif_replication_applied_version", "History version this follower has applied.", "gauge")
+		fmt.Fprintf(&b, "mahif_replication_applied_version %d\n", rs.AppliedVersion)
+		m("mahif_replication_leader_version", "Newest leader version this follower has observed.", "gauge")
+		fmt.Fprintf(&b, "mahif_replication_leader_version %d\n", rs.LeaderVersion)
+		m("mahif_replication_lag", "Statements the follower is behind the leader.", "gauge")
+		fmt.Fprintf(&b, "mahif_replication_lag %d\n", rs.Lag)
+		m("mahif_replication_records_applied_total", "Statements applied off the replication stream.", "counter")
+		fmt.Fprintf(&b, "mahif_replication_records_applied_total %d\n", rs.RecordsApplied)
+		m("mahif_replication_reconnects_total", "Stream re-establishments after the initial connect.", "counter")
+		fmt.Fprintf(&b, "mahif_replication_reconnects_total %d\n", rs.Reconnects)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func getJSON(t *testing.T, h http.Handler, path string, into any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if into != nil && w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: %v (%s)", path, err, w.Body)
+		}
+	}
+	return w
+}
+
+// TestHistoryPaging pins the since/limit window and that the unpaged
+// form keeps its original wire shape (no paging fields).
+func TestHistoryPaging(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	var whole HistoryResponse
+	w := getJSON(t, h, "/v1/history", &whole)
+	if w.Code != http.StatusOK || whole.Version != 2 || len(whole.Statements) != 2 {
+		t.Fatalf("unpaged: %d %s", w.Code, w.Body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["since"]; ok {
+		t.Fatalf("unpaged response leaks paging fields: %s", w.Body)
+	}
+	if _, ok := raw["more"]; ok {
+		t.Fatalf("unpaged response leaks paging fields: %s", w.Body)
+	}
+
+	var page HistoryResponse
+	w = getJSON(t, h, "/v1/history?since=1&limit=5", &page)
+	if w.Code != http.StatusOK {
+		t.Fatalf("paged: %d %s", w.Code, w.Body)
+	}
+	if page.Version != 2 || page.Since != 1 || page.More || len(page.Statements) != 1 {
+		t.Fatalf("paged window wrong: %+v", page)
+	}
+	if page.Statements[0] != whole.Statements[1] {
+		t.Fatalf("page statement %q, want %q", page.Statements[0], whole.Statements[1])
+	}
+
+	// A limited first page reports more.
+	var first HistoryResponse
+	w = getJSON(t, h, "/v1/history?limit=1", &first)
+	if first.Since != 0 || !first.More || len(first.Statements) != 1 {
+		t.Fatalf("first page wrong: %+v (%s)", first, w.Body)
+	}
+	// Past the end: empty page, no more.
+	var past HistoryResponse
+	w = getJSON(t, h, "/v1/history?since=10", &past)
+	if len(past.Statements) != 0 || past.More {
+		t.Fatalf("past-end page wrong: %+v (%s)", past, w.Body)
+	}
+
+	if w := getJSON(t, h, "/v1/history?since=-1", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("negative since: %d", w.Code)
+	}
+	if w := getJSON(t, h, "/v1/history?limit=x", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("junk limit: %d", w.Code)
+	}
+}
+
+// TestMinVersionReadYourWrites pins the version bound: a read with
+// min_version above the tip blocks until the history catches up and
+// then answers at the new version — never a silently stale answer.
+func TestMinVersionReadYourWrites(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	query := WhatIfRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= 60`}},
+		MinVersion:    3, // one past the current 2-statement history
+	}
+	var (
+		wg   sync.WaitGroup
+		resp *httptest.ResponseRecorder
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp = postJSON(t, h, "/v1/whatif", query)
+	}()
+
+	// Give the read time to block, then unblock it with an append.
+	time.Sleep(30 * time.Millisecond)
+	w := postJSON(t, h, "/v1/history", AppendRequest{Statements: []string{
+		`UPDATE orders SET fee = 2 WHERE id = 1`,
+	}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("append: %d %s", w.Code, w.Body)
+	}
+	wg.Wait()
+	if resp.Code != http.StatusOK {
+		t.Fatalf("bounded read: %d %s", resp.Code, resp.Body)
+	}
+
+	// An unreachable bound times out as 504, not a stale 200.
+	query.MinVersion = 100
+	query.TimeoutMs = 50
+	w = postJSON(t, h, "/v1/whatif", query)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable bound: %d %s, want 504", w.Code, w.Body)
+	}
+
+	// Batch requests honor the bound the same way.
+	bw := postJSON(t, h, "/v1/batch", BatchRequest{
+		Scenarios: []Scenario{{Modifications: []Modification{
+			{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= 60`},
+		}}},
+		MinVersion: 100,
+		TimeoutMs:  50,
+	})
+	if bw.Code != http.StatusGatewayTimeout {
+		t.Fatalf("batch unreachable bound: %d %s, want 504", bw.Code, bw.Body)
+	}
+}
+
+// TestStatusEndpoint pins the role/version snapshot and the read-only
+// append rejection.
+func TestStatusEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Role: "replica", ReadOnly: true})
+	h := srv.Handler()
+	var st StatusResponse
+	if w := getJSON(t, h, "/v1/status", &st); w.Code != http.StatusOK {
+		t.Fatalf("status: %d %s", w.Code, w.Body)
+	}
+	if st.Role != "replica" || st.Version != 2 || !st.ReadOnly || st.Durable {
+		t.Fatalf("status = %+v", st)
+	}
+	w := postJSON(t, h, "/v1/history", AppendRequest{Statements: []string{
+		`UPDATE orders SET fee = 2 WHERE id = 1`,
+	}})
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("read-only append: %d %s, want 403", w.Code, w.Body)
+	}
+}

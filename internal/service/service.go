@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,10 +27,22 @@ type Options struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
-	// Store, when set, is the durability layer behind the engine; it
-	// only feeds the /metrics exposition (the engine routes appends
-	// through it by construction).
+	// Store, when set, is the durability layer behind the engine. It
+	// feeds the /metrics exposition and serves the replication
+	// endpoints: GET /v1/wal (the record stream) and GET /v1/checkpoint
+	// (bootstrap images) exist only on a store-backed server.
 	Store *persist.Store
+	// Role labels this process in /v1/status: "single" (default),
+	// "leader", or "replica" (the router has its own handler in
+	// internal/replica).
+	Role string
+	// ReadOnly rejects POST /v1/history with 403 — the replica stance:
+	// writes go to the leader, the local history only advances through
+	// the replication stream.
+	ReadOnly bool
+	// Replication, when set, reports the follower's stream position in
+	// /v1/status and /metrics.
+	Replication ReplicationReporter
 }
 
 func (o Options) withDefaults() Options {
@@ -40,6 +54,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Role == "" {
+		o.Role = "single"
 	}
 	return o
 }
@@ -56,12 +73,28 @@ type Server struct {
 	// caches themselves if the history advances between requests.
 	sessions []*core.Session
 	next     atomic.Uint64
+
+	// WAL stream traffic (leader side), for /metrics.
+	walStreams       atomic.Int64
+	walStreamRecords atomic.Int64
+
+	// streamStop ends live WAL streams on shutdown: they outlive any
+	// drain window by design, so Shutdown would otherwise never finish.
+	streamStop     chan struct{}
+	streamStopOnce sync.Once
+}
+
+// StopStreams ends the open WAL streams (idempotent). Wire it to
+// http.Server.RegisterOnShutdown so followers are cut loose while
+// ordinary requests drain; they reconnect to the restarted leader.
+func (s *Server) StopStreams() {
+	s.streamStopOnce.Do(func() { close(s.streamStop) })
 }
 
 // New builds a server over an engine whose history is already loaded.
 func New(engine *core.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
-	s := &Server{engine: engine, opts: opts, sessions: make([]*core.Session, opts.Sessions)}
+	s := &Server{engine: engine, opts: opts, sessions: make([]*core.Session, opts.Sessions), streamStop: make(chan struct{})}
 	for i := range s.sessions {
 		s.sessions[i] = engine.NewSession()
 	}
@@ -85,18 +118,24 @@ func (s *Server) SessionStats() []core.SessionStats {
 
 // Handler returns the v1 API:
 //
-//	POST /v1/whatif   one what-if query            → WhatIfResponse
-//	POST /v1/batch    a scenario batch             → BatchResponse
-//	GET  /v1/history  the transactional history    → HistoryResponse
-//	POST /v1/history  append statements (live)     → AppendResponse
-//	GET  /metrics     Prometheus text exposition
-//	GET  /healthz     liveness                     → 200 "ok"
+//	POST /v1/whatif      one what-if query             → WhatIfResponse
+//	POST /v1/batch       a scenario batch              → BatchResponse
+//	GET  /v1/history     the history (paged: ?since=N&limit=M) → HistoryResponse
+//	POST /v1/history     append statements (live)      → AppendResponse
+//	GET  /v1/status      role + replication position   → StatusResponse
+//	GET  /v1/wal         committed WAL record stream (store-backed only)
+//	GET  /v1/checkpoint  checkpoint image (store-backed only)
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness                      → 200 "ok"
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
 	mux.HandleFunc("POST /v1/history", s.handleAppend)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/wal", s.handleWALStream)
+	mux.HandleFunc("GET /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -110,6 +149,10 @@ func (s *Server) Handler() http.Handler {
 // continues warm across the advance. On a durable engine the response
 // is written only after the WAL fsync.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.opts.ReadOnly {
+		writeError(w, http.StatusForbidden, fmt.Errorf("read-only %s: appends go to the leader", s.opts.Role))
+		return
+	}
 	var req AppendRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -218,6 +261,10 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
+	if err := s.waitMinVersion(ctx, req.MinVersion); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
 	sess := s.session()
 
 	if req.Variant == string(core.VariantNaive) {
@@ -269,6 +316,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
+	if err := s.waitMinVersion(ctx, req.MinVersion); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
 	sess := s.session()
 
 	results, bstats, err := sess.WhatIfBatchCtx(ctx, scenarios, core.BatchOptions{
@@ -303,15 +354,64 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// waitMinVersion enforces a request's read-your-writes bound: block
+// until the local history reaches minVersion or the deadline maps the
+// wait to a 504. The no-bound case is free.
+func (s *Server) waitMinVersion(ctx context.Context, minVersion int) error {
+	if minVersion <= 0 {
+		return nil
+	}
+	if err := s.engine.WaitVersionCtx(ctx, minVersion); err != nil {
+		return fmt.Errorf("waiting for version %d (at %d): %w", minVersion, s.engine.Version(), err)
+	}
+	return nil
+}
+
+// handleHistory serves the history, whole (no query parameters — the
+// original wire format, unchanged) or paged with ?since=N&limit=M,
+// where since counts statements to skip and the response echoes it
+// plus a "more" marker. The paged shape is what a replica's catch-up
+// and any UI scrolling a long history want.
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	h, err := s.engine.History()
+	q := r.URL.Query()
+	since, err := queryInt(q.Get("since"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad since: %w", err))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit: %w", err))
+		return
+	}
+	paged := q.Has("since") || q.Has("limit")
+	h, total, err := s.engine.HistoryRange(since, limit)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := HistoryResponse{Version: len(h), Statements: make([]string, len(h))}
+	resp := HistoryResponse{Version: total, Statements: make([]string, len(h))}
 	for i, st := range h {
 		resp.Statements[i] = st.String()
 	}
+	if paged {
+		resp.Since = since
+		resp.More = since+len(h) < total
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInt parses a non-negative integer query parameter.
+func queryInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%d is negative", n)
+	}
+	return n, nil
 }

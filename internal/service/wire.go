@@ -105,6 +105,12 @@ type WhatIfRequest struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 	// Stats asks for the per-phase breakdown in the response.
 	Stats bool `json:"stats,omitempty"`
+	// MinVersion is the read-your-writes bound: the server blocks until
+	// its history holds at least this many statements before answering
+	// (504 past the deadline), so a client that appended at version v
+	// and reads back with min_version=v never silently sees a stale
+	// replica. 0 means no bound.
+	MinVersion int `json:"min_version,omitempty"`
 }
 
 // WhatIfResponse is the body of a successful POST /v1/whatif.
@@ -123,6 +129,8 @@ type BatchRequest struct {
 	Workers   int        `json:"workers,omitempty"`
 	TimeoutMs int        `json:"timeout_ms,omitempty"`
 	Stats     bool       `json:"stats,omitempty"`
+	// MinVersion is the read-your-writes bound (see WhatIfRequest).
+	MinVersion int `json:"min_version,omitempty"`
 }
 
 // BatchScenarioResult is one scenario's outcome on the wire. Exactly
@@ -178,13 +186,68 @@ type AppendResponse struct {
 	Durable bool `json:"durable"`
 }
 
-// HistoryResponse is the body of GET /v1/history.
+// HistoryResponse is the body of GET /v1/history. The unpaged form
+// (no since/limit query parameters) returns the whole history and
+// omits the paging fields, byte-identical to the pre-paging wire
+// format.
 type HistoryResponse struct {
-	// Version is the number of applied statements.
+	// Version is the number of applied statements in the whole history,
+	// not just this page.
 	Version int `json:"version"`
-	// Statements renders the history in order (1-based positions on
-	// the wire refer to this list).
+	// Statements renders the returned window in order; in the unpaged
+	// form 1-based positions on the wire refer to this list directly,
+	// in the paged form position = since + index + 1.
 	Statements []string `json:"statements"`
+	// Since echoes the paged request's offset (paged responses only).
+	Since int `json:"since,omitempty"`
+	// More reports that statements beyond this page exist (paged
+	// responses only).
+	More bool `json:"more,omitempty"`
+}
+
+// StatusResponse is the body of GET /v1/status: the identity and
+// replication position of one server, cheap enough for health polls.
+type StatusResponse struct {
+	// Role is the process role: "single", "leader", "replica", or
+	// "router".
+	Role string `json:"role"`
+	// Version is the server's applied history length — on a replica,
+	// how far replication has caught up.
+	Version int `json:"version"`
+	// Durable reports whether appends commit to a WAL first.
+	Durable bool `json:"durable"`
+	// ReadOnly reports whether POST /v1/history is rejected here.
+	ReadOnly bool `json:"read_only"`
+	// Replication is present on replicas: the follower's stream state.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
+// ReplicationStatus describes a follower's WAL stream position.
+type ReplicationStatus struct {
+	// LeaderURL is the leader this follower streams from.
+	LeaderURL string `json:"leader_url"`
+	// Connected reports a live stream; a disconnected follower is
+	// retrying with backoff.
+	Connected bool `json:"connected"`
+	// AppliedVersion is the follower's history length; LeaderVersion is
+	// the newest leader version the follower has observed; Lag is their
+	// difference (≥ 0).
+	AppliedVersion int `json:"applied_version"`
+	LeaderVersion  int `json:"leader_version"`
+	Lag            int `json:"lag"`
+	// RecordsApplied counts statements applied off the stream since the
+	// process started; Reconnects counts stream re-establishments after
+	// the initial connect.
+	RecordsApplied int64 `json:"records_applied_total"`
+	Reconnects     int64 `json:"reconnects_total"`
+	// LastError is the most recent stream failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ReplicationReporter feeds a follower's stream state into /v1/status
+// and /metrics. internal/replica's follower implements it.
+type ReplicationReporter interface {
+	ReplicationStatus() ReplicationStatus
 }
 
 // ErrorResponse is the body of every non-2xx response, with one

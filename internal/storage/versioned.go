@@ -82,6 +82,11 @@ type VersionedDatabase struct {
 	// state, guarded by mu like the state itself (readers never touch
 	// it). nil disables tip indexing (ablation knob).
 	tipIx *IndexSet
+
+	// advCh is closed and replaced every time the history advances, so
+	// waiters (version-bounded reads, WAL followers) can block on the
+	// next append without polling. Guarded by mu.
+	advCh chan struct{}
 }
 
 // NewVersioned starts version tracking from the given initial state.
@@ -93,6 +98,7 @@ func NewVersioned(initial *Database) *VersionedDatabase {
 		current:     initial.Clone(),
 		checkpoints: map[int]*Database{},
 		tipIx:       NewIndexSet(),
+		advCh:       make(chan struct{}),
 	}
 }
 
@@ -112,6 +118,7 @@ func RestoreVersioned(base *Database, log []Mutator, checkpoints map[int]*Databa
 		log:         log,
 		checkpoints: checkpoints,
 		tipIx:       NewIndexSet(),
+		advCh:       make(chan struct{}),
 	}
 }
 
@@ -153,7 +160,21 @@ func (v *VersionedDatabase) applyLocked(m Mutator) error {
 	if v.checkpointEvery > 0 && len(v.log)%v.checkpointEvery == 0 {
 		v.checkpoints[len(v.log)] = v.current.Clone()
 	}
+	// Wake version waiters: the closed channel is the broadcast, the
+	// fresh one arms the next advance.
+	close(v.advCh)
+	v.advCh = make(chan struct{})
 	return nil
+}
+
+// WaitChan returns the current version together with a channel that is
+// closed at the next advance. The idiom for blocking until version t:
+// loop fetching (cur, ch); return once cur >= t; otherwise select on ch
+// and the caller's context.
+func (v *VersionedDatabase) WaitChan() (int, <-chan struct{}) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.log), v.advCh
 }
 
 // ApplyAll executes a sequence of mutations atomically with respect to
@@ -219,6 +240,28 @@ func (v *VersionedDatabase) Log() []Mutator {
 	out := make([]Mutator, len(v.log))
 	copy(out, v.log)
 	return out
+}
+
+// LogRange returns the statements after the first `since` (up to limit
+// of them; limit <= 0 means all) together with the total history
+// length — the paged view behind GET /v1/history and replica catch-up.
+func (v *VersionedDatabase) LogRange(since, limit int) ([]Mutator, int) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	total := len(v.log)
+	if since < 0 {
+		since = 0
+	}
+	if since >= total {
+		return nil, total
+	}
+	end := total
+	if limit > 0 && since+limit < end {
+		end = since + limit
+	}
+	out := make([]Mutator, end-since)
+	copy(out, v.log[since:end])
+	return out, total
 }
 
 // Version reconstructs the database state after the first i statements
