@@ -14,6 +14,7 @@
 //	mahif-bench -exp exec         # interpreter vs compiled executor → BENCH_exec.json
 //	mahif-bench -exp exec -cpuprofile cpu.out -memprofile mem.out
 //	mahif-bench -exp serve        # mahifd HTTP service load test → BENCH_serve.json
+//	mahif-bench -exp template     # scenario templates vs WhatIfBatch → BENCH_template.json
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, persist, cluster, all")
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, persist, cluster, template, all")
 	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -40,6 +41,7 @@ func main() {
 	flag.StringVar(&serveOut, "serveout", serveOut, "output path for the serve experiment's JSON report")
 	flag.StringVar(&persistOut, "persistout", persistOut, "output path for the persist experiment's JSON report")
 	flag.StringVar(&clusterOut, "clusterout", clusterOut, "output path for the cluster experiment's JSON report")
+	flag.StringVar(&templateOut, "templateout", templateOut, "output path for the template experiment's JSON report")
 	flag.Parse()
 
 	us, err := parseInts(*updates)
@@ -55,6 +57,7 @@ func main() {
 		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
 		"ablation": h.ablations, "batch": h.batch, "exec": h.execExp,
 		"serve": h.serveExp, "persist": h.persistExp, "cluster": h.clusterExp,
+		"template": h.templateExp,
 	}
 	var runs []func()
 	switch *exp {

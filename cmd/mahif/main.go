@@ -7,6 +7,7 @@
 //
 //	mahif -data orders=orders.csv -history history.sql -whatif changes.txt [-variant R+PS+DS] [-stats]
 //	mahif batch -data orders=orders.csv -history history.sql -scenarios scenarios.json [-workers N] [-stats]
+//	mahif template -data orders=orders.csv -history history.sql -whatif changes.txt -bindings bindings.json [-workers N] [-stats]
 //	mahif ingest -data DIR [-csv rel=file.csv ...] [-history h.sql]
 //	mahif checkpoint -data DIR
 //
@@ -21,7 +22,10 @@
 //
 // The batch subcommand evaluates a family of scenarios concurrently
 // over the same history; its -scenarios file is a JSON array (see
-// `mahif batch -h` for the schema).
+// `mahif batch -h` for the schema). The template subcommand compiles a
+// modification script whose statements carry $name parameter slots
+// once, then answers a JSON file of bindings against the compiled
+// artifact (see `mahif template -h`).
 //
 // CSV files need a header row; column types are inferred from the first
 // data row (int, float, bool, then string).
@@ -52,6 +56,9 @@ func main() {
 		switch os.Args[1] {
 		case "batch":
 			runBatchCmd(os.Args[2:])
+			return
+		case "template":
+			runTemplateCmd(os.Args[2:])
 			return
 		case "ingest":
 			runIngestCmd(os.Args[2:])

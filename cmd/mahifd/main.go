@@ -45,6 +45,11 @@
 //	                   "min_version": 42}
 //	POST /v1/batch    {"scenarios": [{"label": "fee60", "modifications": [...]}],
 //	                   "workers": 4, "stats": true}
+//	POST /v1/template {"modifications": [{"op": "replace", "pos": 1,
+//	                   "statement": "UPDATE orders SET fee = 0 WHERE price >= $cut"}]}
+//	                  → compiles the $-parameterized scenario once, returns its id
+//	POST /v1/template/{id}/eval  {"binding": {"cut": 60}} — or a sweep:
+//	                  {"bindings": [{"cut": 55}, {"cut": 60}], "workers": 4}
 //	GET  /v1/history  the transactional history (paged: ?since=N&limit=M)
 //	POST /v1/history  {"statements": ["UPDATE orders SET fee = 1 WHERE id = 7"]}
 //	GET  /v1/status   role, version, replication position

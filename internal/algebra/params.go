@@ -1,0 +1,101 @@
+package algebra
+
+import (
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Params returns the set of template parameter names ($name slots, see
+// expr.Param) appearing anywhere in the query's conditions and
+// projection expressions.
+func Params(q Query) map[string]bool {
+	out := map[string]bool{}
+	collectParams(q, out)
+	return out
+}
+
+func collectParams(q Query, out map[string]bool) {
+	addExpr := func(e expr.Expr) {
+		for name := range expr.Params(e) {
+			out[name] = true
+		}
+	}
+	switch x := q.(type) {
+	case *Select:
+		addExpr(x.Cond)
+		collectParams(x.In, out)
+	case *Project:
+		for _, ne := range x.Exprs {
+			addExpr(ne.E)
+		}
+		collectParams(x.In, out)
+	case *Union:
+		collectParams(x.L, out)
+		collectParams(x.R, out)
+	case *Difference:
+		collectParams(x.L, out)
+		collectParams(x.R, out)
+	case *Join:
+		addExpr(x.Cond)
+		collectParams(x.L, out)
+		collectParams(x.R, out)
+	}
+}
+
+// SubstParams returns q with every template parameter replaced by its
+// bound constant (see expr.SubstParams). Subtrees without parameters
+// are shared, not copied, so substituting into a large reenactment
+// query skeleton allocates only along param-bearing paths.
+func SubstParams(q Query, b map[string]types.Value) Query {
+	if len(b) == 0 {
+		return q
+	}
+	switch x := q.(type) {
+	case *Select:
+		cond := expr.SubstParams(x.Cond, b)
+		in := SubstParams(x.In, b)
+		if cond == x.Cond && in == x.In {
+			return q
+		}
+		return &Select{Cond: cond, In: in}
+	case *Project:
+		in := SubstParams(x.In, b)
+		var exprs []NamedExpr
+		for i, ne := range x.Exprs {
+			e := expr.SubstParams(ne.E, b)
+			if e != ne.E && exprs == nil {
+				exprs = append([]NamedExpr(nil), x.Exprs...)
+			}
+			if exprs != nil {
+				exprs[i] = NamedExpr{Name: ne.Name, E: e}
+			}
+		}
+		if exprs == nil {
+			if in == x.In {
+				return q
+			}
+			exprs = x.Exprs
+		}
+		return &Project{Exprs: exprs, In: in}
+	case *Union:
+		l, r := SubstParams(x.L, b), SubstParams(x.R, b)
+		if l == x.L && r == x.R {
+			return q
+		}
+		return &Union{L: l, R: r}
+	case *Difference:
+		l, r := SubstParams(x.L, b), SubstParams(x.R, b)
+		if l == x.L && r == x.R {
+			return q
+		}
+		return &Difference{L: l, R: r}
+	case *Join:
+		cond := expr.SubstParams(x.Cond, b)
+		l, r := SubstParams(x.L, b), SubstParams(x.R, b)
+		if cond == x.Cond && l == x.L && r == x.R {
+			return q
+		}
+		return &Join{L: l, R: r, Cond: cond}
+	}
+	return q
+}

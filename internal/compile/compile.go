@@ -56,6 +56,14 @@ type Options struct {
 	// evaluation shares one memo across scenarios so identical slicing
 	// tests are solved once.
 	Memo *Memo
+	// ParamKinds assigns a kind to each open template parameter ($name
+	// slots, see expr.Param) appearing in the condition. The slots
+	// compile as free model variables named "$name", which makes the
+	// verdict sound for every later binding: UNSAT over the free slot is
+	// UNSAT for each concrete constant. Entries are merged into the kind
+	// map (keyed "$name") before compiling, so memo keys distinguish
+	// templates whose parameters differ in kind.
+	ParamKinds map[string]types.Kind
 }
 
 // Outcome is the result of a satisfiability check.
@@ -86,6 +94,16 @@ func Satisfiable(cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Ou
 // check returns ctx.Err() within one node's work. Cancelled outcomes
 // are never memoized.
 func SatisfiableCtx(ctx context.Context, cond expr.Expr, kinds map[string]types.Kind, opts Options) (*Outcome, error) {
+	if len(opts.ParamKinds) > 0 {
+		merged := make(map[string]types.Kind, len(kinds)+len(opts.ParamKinds))
+		for n, k := range kinds {
+			merged[n] = k
+		}
+		for n, k := range opts.ParamKinds {
+			merged["$"+n] = k
+		}
+		kinds = merged
+	}
 	simplified := expr.Simplify(cond)
 	if opts.Memo == nil {
 		return satisfiable(ctx, simplified, kinds, opts)

@@ -50,6 +50,15 @@ func (c *compiler) compileNumUncached(e expr.Expr) (lin, interval, error) {
 			return lin{}, interval{}, err
 		}
 		return varLin(v), iv, nil
+	case *expr.Param:
+		// Open template slot: a free model variable named "$name" (kind
+		// from Options.ParamKinds via the merged kind map). Leaving the
+		// slot free keeps UNSAT verdicts valid for every later binding.
+		v, iv, err := c.sourceVar("$" + x.Name)
+		if err != nil {
+			return lin{}, interval{}, err
+		}
+		return varLin(v), iv, nil
 	case *expr.Col:
 		return lin{}, interval{}, fmt.Errorf("compile: unbound attribute %q (bind columns before compiling)", x.Name)
 	case *expr.Arith:
@@ -175,6 +184,12 @@ func (c *compiler) compileBoolUncached(e expr.Expr) (int, error) {
 			return 0, fmt.Errorf("compile: variable %q used as condition but has kind %s", x.Name, c.kinds[x.Name])
 		}
 		v, _, err := c.sourceVar(x.Name)
+		return v, err
+	case *expr.Param:
+		if c.kinds["$"+x.Name] != types.KindBool {
+			return 0, fmt.Errorf("compile: parameter $%s used as condition but has kind %s", x.Name, c.kinds["$"+x.Name])
+		}
+		v, _, err := c.sourceVar("$" + x.Name)
 		return v, err
 	case *expr.Cmp:
 		return c.compileCmp(x)

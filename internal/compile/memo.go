@@ -141,6 +141,10 @@ func fingerprintExpr(b *strings.Builder, e expr.Expr) {
 		b.WriteString("v(")
 		b.WriteString(x.Name)
 		b.WriteByte(')')
+	case *expr.Param:
+		b.WriteString("P(")
+		b.WriteString(x.Name)
+		b.WriteByte(')')
 	case *expr.Arith:
 		fmt.Fprintf(b, "a%d(", x.Op)
 		fingerprintExpr(b, x.L)
@@ -182,7 +186,21 @@ func fingerprintExpr(b *strings.Builder, e expr.Expr) {
 		fingerprintExpr(b, x.Else)
 		b.WriteByte(')')
 	default:
-		// Unknown node: render opaquely; worst case is a missed reuse.
-		fmt.Fprintf(b, "?(%s)", e)
+		// Unknown node: tag with the concrete type so two distinct node
+		// types whose String() renderings coincide cannot share a key
+		// (which would silently reuse the wrong solver outcome).
+		fmt.Fprintf(b, "?%T(%s)", e, e)
 	}
+}
+
+// FingerprintExpr returns the canonical tagged serialization of e used
+// in memo keys. Constants embed their values, so fingerprinting a
+// template condition (parameters still open as $name slots) yields the
+// constant-abstracted identity the template cache keys on: two
+// templates equal up to parameter names bound at eval time collide,
+// two templates differing in any baked-in constant do not.
+func FingerprintExpr(e expr.Expr) string {
+	var b strings.Builder
+	fingerprintExpr(&b, e)
+	return b.String()
 }

@@ -63,6 +63,60 @@ func TestMemoDistinguishesKindsAndShape(t *testing.T) {
 	}
 }
 
+// fakeNodeA and fakeNodeB are two structurally distinct expression
+// node types unknown to fingerprintExpr whose String() renderings
+// coincide. They satisfy expr.Expr by embedding the interface (the
+// marker method is never called on them).
+type fakeNodeA struct{ expr.Expr }
+
+func (fakeNodeA) String() string { return "opaque" }
+
+type fakeNodeB struct{ expr.Expr }
+
+func (fakeNodeB) String() string { return "opaque" }
+
+// TestMemoUnknownNodeTypesNotConflated is the regression test for the
+// opaque fingerprint fallback: before it was tagged with the concrete
+// type, two distinct unknown node types rendering identically shared a
+// key and silently reused each other's solver outcomes.
+func TestMemoUnknownNodeTypesNotConflated(t *testing.T) {
+	a := memoKey(fakeNodeA{}, nil, Options{})
+	b := memoKey(fakeNodeB{}, nil, Options{})
+	if a == b {
+		t.Fatalf("memoKey conflates distinct unknown node types: %q", a)
+	}
+}
+
+// TestFingerprintParamDistinct pins that parameter slots fingerprint
+// distinctly from columns, variables and constants of the same
+// spelling, and that distinct constants never collide (the
+// constant-abstracted template identity relies on both properties).
+func TestFingerprintParamDistinct(t *testing.T) {
+	prints := []string{
+		FingerprintExpr(expr.Parameter("a")),
+		FingerprintExpr(expr.Variable("$a")),
+		FingerprintExpr(expr.Column("$a")),
+		FingerprintExpr(expr.StringConst("$a")),
+	}
+	for i := 0; i < len(prints); i++ {
+		for j := i + 1; j < len(prints); j++ {
+			if prints[i] == prints[j] {
+				t.Errorf("fingerprints %d and %d collide: %q", i, j, prints[i])
+			}
+		}
+	}
+	c1 := FingerprintExpr(expr.Gt(expr.Column("x"), expr.IntConst(5)))
+	c2 := FingerprintExpr(expr.Gt(expr.Column("x"), expr.IntConst(6)))
+	if c1 == c2 {
+		t.Error("fingerprint ignores constant identity")
+	}
+	p1 := FingerprintExpr(expr.Gt(expr.Column("x"), expr.Parameter("p")))
+	p2 := FingerprintExpr(expr.Gt(expr.Column("x"), expr.Parameter("p")))
+	if p1 != p2 {
+		t.Error("fingerprint not deterministic over parameters")
+	}
+}
+
 func TestMemoAgreesWithoutMemo(t *testing.T) {
 	conds := []expr.Expr{
 		expr.Gt(expr.Variable("a"), expr.IntConst(5)),

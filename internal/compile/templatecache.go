@@ -1,0 +1,97 @@
+package compile
+
+import (
+	"container/list"
+	"sync"
+)
+
+// TemplateCache is a concurrency-safe LRU of compiled scenario-template
+// artifacts, keyed by the constant-abstracted canonical fingerprint of
+// the template (FingerprintExpr over conditions with $name slots left
+// open, prefixed with the history version the artifact was compiled
+// against). Values are opaque to this package — the core layer stores
+// its compiled template artifacts here; typing them `any` keeps compile
+// below core in the import graph.
+type TemplateCache struct {
+	mu        sync.Mutex
+	m         map[string]*list.Element // of tcEntry
+	lru       *list.List               // front = most recently used
+	cap       int
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type tcEntry struct {
+	key string
+	val any
+}
+
+// DefaultTemplateEntries bounds a cache built by NewTemplateCache.
+// Template artifacts hold materialized relations, so the bound is far
+// smaller than the solver memo's.
+const DefaultTemplateEntries = 64
+
+// NewTemplateCache builds an empty template cache bounded at
+// DefaultTemplateEntries.
+func NewTemplateCache() *TemplateCache { return NewTemplateCacheCap(DefaultTemplateEntries) }
+
+// NewTemplateCacheCap builds an empty cache holding at most cap
+// artifacts (cap <= 0 means unbounded).
+func NewTemplateCacheCap(cap int) *TemplateCache {
+	return &TemplateCache{m: map[string]*list.Element{}, lru: list.New(), cap: cap}
+}
+
+// Lookup returns the cached artifact for key, if present.
+func (c *TemplateCache) Lookup(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(tcEntry).val, true
+}
+
+// Store inserts or refreshes the artifact for key, evicting the least
+// recently used entries past the bound.
+func (c *TemplateCache) Store(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value = tcEntry{key: key, val: val}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(tcEntry{key: key, val: val})
+	for c.cap > 0 && c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.m, back.Value.(tcEntry).key)
+		c.lru.Remove(back)
+		c.evictions++
+	}
+}
+
+// Stats reports lookup hits and misses so far.
+func (c *TemplateCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Evictions reports artifacts dropped by the LRU bound so far.
+func (c *TemplateCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len returns the number of cached artifacts.
+func (c *TemplateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

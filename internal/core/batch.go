@@ -246,9 +246,10 @@ func (c *evalCache) resident() int {
 // solver memo to batches (per-scenario options reference it via
 // Options.Compile.Memo).
 type batchShared struct {
-	snaps *storage.SnapshotCache
-	eval  *evalCache
-	memo  *compile.Memo
+	snaps     *storage.SnapshotCache
+	eval      *evalCache
+	memo      *compile.Memo
+	templates *compile.TemplateCache
 }
 
 // Scenario is one hypothetical modification set in a batch what-if

@@ -62,9 +62,10 @@ func (e *Engine) NewSession() *Session {
 // access during construction).
 func (s *Session) reset() {
 	s.caches = &batchShared{
-		snaps: storage.NewSnapshotCache(s.e.vdb),
-		eval:  newEvalCache(),
-		memo:  compile.NewMemo(),
+		snaps:     storage.NewSnapshotCache(s.e.vdb),
+		eval:      newEvalCache(),
+		memo:      compile.NewMemo(),
+		templates: compile.NewTemplateCache(),
 	}
 }
 
@@ -135,6 +136,13 @@ type SessionStats struct {
 	// bound, and QueryResident is the count currently held.
 	QueryHits, QueryMisses        int
 	QueryEvictions, QueryResident int
+	// TemplateHits/Misses report compiled scenario-template reuse across
+	// CompileTemplate calls; TemplateEvictions counts artifacts dropped
+	// by the template cache's LRU bound, and TemplateResident is the
+	// count currently held.
+	TemplateHits, TemplateMisses int64
+	TemplateEvictions            int64
+	TemplateResident             int
 }
 
 // Stats snapshots the session's cache counters.
@@ -150,6 +158,9 @@ func (s *Session) Stats() SessionStats {
 	st.QueryHits, st.QueryMisses = s.caches.eval.stats()
 	st.QueryEvictions = s.caches.eval.evicted()
 	st.QueryResident = s.caches.eval.resident()
+	st.TemplateHits, st.TemplateMisses = s.caches.templates.Stats()
+	st.TemplateEvictions = s.caches.templates.Evictions()
+	st.TemplateResident = s.caches.templates.Len()
 	return st
 }
 

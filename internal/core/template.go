@@ -1,0 +1,876 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/compile"
+	"github.com/mahif/mahif/internal/dataslice"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/progslice"
+	"github.com/mahif/mahif/internal/reenact"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/symbolic"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Template is a compiled parameterized what-if scenario: a modification
+// sequence whose statements carry named $param slots (expr.Param),
+// compiled once against a pinned history version into a reusable
+// artifact, then answered per parameter binding in a fraction of a full
+// WhatIf. The million-user pattern — everyone asks the same what-if
+// with different constants — pays compile+solve once instead of per
+// user.
+//
+// What the artifact precomputes (and Eval therefore skips):
+//
+//   - history alignment and time travel: the padded pair and the
+//     snapshot at the first modified position are pinned;
+//   - program slicing: the slicing MILPs are solved once with the
+//     $slots as free solver variables, which is sound for every later
+//     binding (UNSAT with a free slot ⇒ UNSAT for each constant), so
+//     no binding ever runs the solver;
+//   - the original-side reenactment: original histories never contain
+//     parameters, so each relation's original-side result is
+//     materialized once;
+//   - relations whose modified side carries no parameter: their whole
+//     delta is static and served as-is.
+//
+// Per binding, Eval substitutes the constants into the retained
+// modified-side query skeleton, evaluates it over the pinned snapshot,
+// and diffs against the materialized original side. Data slicing is
+// disabled during template compilation (its filters would bake the
+// first binding's constants into the plan); since every variant
+// produces identical deltas, this changes speed, never results.
+//
+// Templates are safe for concurrent use. When the engine's history
+// advances, the next Eval transparently recompiles the artifact against
+// the new version (the append-invalidation contract); Stats counts
+// those recompiles.
+type Template struct {
+	e      *Engine
+	opts   Options
+	mods   []history.Modification
+	params map[string]paramClass
+	shared *batchShared // session caches for recompiles (nil for engine-level templates)
+
+	mu         sync.RWMutex
+	art        *templateArtifact
+	evals      int64
+	recompiles int64
+}
+
+// paramClass is the inferred value class of one parameter slot.
+type paramClass uint8
+
+const (
+	classAny     paramClass = iota // never constrained: any value binds
+	classNumeric                   // int or float
+	classString
+	classBool
+)
+
+func (c paramClass) String() string {
+	switch c {
+	case classNumeric:
+		return "numeric"
+	case classString:
+		return "string"
+	case classBool:
+		return "bool"
+	}
+	return "any"
+}
+
+// kind maps the class onto the solver kind of the free slot variable.
+func (c paramClass) kind() types.Kind {
+	switch c {
+	case classString:
+		return types.KindString
+	case classBool:
+		return types.KindBool
+	}
+	// Numeric and unconstrained slots relax to the float box, which
+	// contains every dictionary code and every workload numeric.
+	return types.KindFloat
+}
+
+func classOf(k types.Kind) paramClass {
+	switch k {
+	case types.KindInt, types.KindFloat:
+		return classNumeric
+	case types.KindString:
+		return classString
+	case types.KindBool:
+		return classBool
+	}
+	return classAny
+}
+
+// templateArtifact is one compiled instance of the template, valid for
+// exactly one history version.
+type templateArtifact struct {
+	version int               // history length the artifact answers against
+	db      *storage.Database // pinned snapshot at the first modified position
+	static  delta.Set         // param-free relations: their delta, precomputed
+	rels    []templateRel     // param-dependent relations
+	stats   TemplateStats
+}
+
+// templateRel is one relation whose modified side depends on the
+// binding.
+type templateRel struct {
+	rel  string
+	orig *storage.Relation // materialized original-side reenactment result
+	modQ algebra.Query     // modified-side query skeleton, $slots open
+}
+
+// TemplateStats describes one compiled artifact plus the template's
+// lifetime counters.
+type TemplateStats struct {
+	// Version is the history version the current artifact is compiled
+	// against; CompileTime is that compilation's wall-clock cost (the
+	// cost each Eval amortizes away).
+	Version     int
+	CompileTime time.Duration
+	// TotalStatements and KeptStatements mirror Stats: suffix length
+	// and post-slicing retained positions (summed over relations).
+	TotalStatements int
+	KeptStatements  int
+	// The solver outcome partitions over the kept statements:
+	// BindingIndependent statements were retained by tests free of any
+	// $slot (they would be kept under every binding for structural
+	// reasons); BindingDependent statements' tests involved an open
+	// slot, so they are retained conservatively for all bindings.
+	BindingIndependent int
+	BindingDependent   int
+	// SolverTests/SolverNodes report the one-time slicing effort.
+	SolverTests int
+	SolverNodes int
+	// StaticRelations' deltas are fully precomputed;
+	// DynamicRelations are re-evaluated per binding;
+	// SkippedRelations were pruned by taint analysis.
+	StaticRelations  []string
+	DynamicRelations []string
+	SkippedRelations []string
+	// Evals counts bindings answered; Recompiles counts artifact
+	// rebuilds triggered by history advances.
+	Evals      int64
+	Recompiles int64
+}
+
+// CompileTemplate compiles a parameterized modification sequence into a
+// reusable template (see Template). The modifications carry $name
+// parameter slots in their statement expressions; statements without
+// slots are allowed (a slot-free template degenerates to a cached
+// WhatIf). Compilation fails if a parameter is used with conflicting
+// value classes (e.g. compared against a string here and added to a
+// number there).
+func (e *Engine) CompileTemplate(mods []history.Modification, opts Options) (*Template, error) {
+	return e.CompileTemplateCtx(context.Background(), mods, opts)
+}
+
+// CompileTemplateCtx is CompileTemplate under a context (the initial
+// artifact compilation observes ctx inside the solver and executors).
+func (e *Engine) CompileTemplateCtx(ctx context.Context, mods []history.Modification, opts Options) (*Template, error) {
+	return e.compileTemplate(ctx, mods, opts, nil)
+}
+
+func (e *Engine) compileTemplate(ctx context.Context, mods []history.Modification, opts Options, shared *batchShared) (*Template, error) {
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("core: empty template modification sequence")
+	}
+	// Data slicing would push binding-dependent filters into the pinned
+	// plan; disable it for the template (results are variant-invariant).
+	opts.DataSlicing = false
+	t := &Template{e: e, opts: opts, mods: mods, shared: shared}
+	if _, err := t.artifact(ctx); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Params returns the template's parameter slots and their inferred
+// value classes ("numeric", "string", "bool", or "any").
+func (t *Template) Params() map[string]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]string, len(t.params))
+	for name, c := range t.params {
+		out[name] = c.String()
+	}
+	return out
+}
+
+// Stats snapshots the current artifact's compilation profile and the
+// template's lifetime counters.
+func (t *Template) Stats() TemplateStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := t.art.stats
+	st.Evals = t.evals
+	st.Recompiles = t.recompiles
+	return st
+}
+
+// Version returns the history version the current artifact answers
+// against.
+func (t *Template) Version() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.art.version
+}
+
+// artifact returns the current artifact, transparently recompiling when
+// the engine's history has advanced past the artifact's version.
+func (t *Template) artifact(ctx context.Context) (*templateArtifact, error) {
+	t.mu.RLock()
+	art := t.art
+	t.mu.RUnlock()
+	if art != nil && art.version == t.e.Version() {
+		return art, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.art != nil && t.art.version == t.e.Version() {
+		return t.art, nil
+	}
+	art, params, err := t.compile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if t.art != nil {
+		t.recompiles++
+	}
+	t.art, t.params = art, params
+	return art, nil
+}
+
+// compile builds one artifact against the engine's current history.
+// Caller holds t.mu (write) or has exclusive access.
+func (t *Template) compile(ctx context.Context) (*templateArtifact, map[string]paramClass, error) {
+	start := time.Now()
+	h, err := t.e.History()
+	if err != nil {
+		return nil, nil, err
+	}
+	pair, err := history.ApplyModifications(h, t.mods)
+	if err != nil {
+		return nil, nil, err
+	}
+	tip := len(h)
+
+	var snaps *storage.SnapshotCache
+	if t.shared != nil {
+		snaps = t.shared.snaps
+	}
+	stats := &Stats{Slices: map[string]progslice.Stats{}}
+	suffix, db, _, err := t.e.snapshotFor(ctx, pair, stats, snaps)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Original histories are applied statements and can never carry
+	// open slots; reject defensively so a malformed history fails here
+	// rather than with an opaque executor error per binding.
+	params, err := inferParams(suffix, db)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	opts := t.opts
+	if len(params) > 0 {
+		pk := make(map[string]types.Kind, len(params))
+		for name, c := range params {
+			pk[name] = c.kind()
+		}
+		opts.Compile.ParamKinds = pk
+	}
+	if t.shared != nil && opts.Compile.Memo == nil {
+		opts.Compile.Memo = t.shared.memo
+	}
+
+	art := &templateArtifact{version: tip, db: db, static: delta.Set{}}
+	art.stats.Version = tip
+	art.stats.TotalStatements = len(suffix.Orig)
+	ev := evaluator{ctx: ctx, ver: tip, kind: normalizeExecutor(opts.Executor), vec: opts.Vec}
+
+	rels := relationUnion(suffix)
+	tainted := dataslice.TaintedRelations(suffix)
+	targets := make([]string, 0, len(rels))
+	for rel := range rels {
+		if opts.SkipUntainted && !tainted[rel] {
+			art.stats.SkippedRelations = append(art.stats.SkippedRelations, rel)
+			continue
+		}
+		targets = append(targets, rel)
+	}
+	sort.Strings(targets)
+
+	for _, rel := range targets {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if err := t.compileRelation(ctx, suffix, db, rel, opts, ev, art); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Strings(art.stats.SkippedRelations)
+	art.stats.CompileTime = time.Since(start)
+	return art, params, nil
+}
+
+// compileRelation mirrors Engine.splitPath for one relation: slice the
+// insert-free pair once (with $slots as free solver variables),
+// materialize the original side, and either precompute the delta
+// (modified side closed) or retain the open query skeleton.
+func (t *Template) compileRelation(ctx context.Context, suffix *history.PaddedPair, db *storage.Database, rel string, opts Options, ev evaluator, art *templateArtifact) error {
+	relPair, _ := suffix.RestrictToRelation(rel)
+	noInsPair, modified := stripInsertPair(relPair)
+
+	keep := allPositions(len(noInsPair.Orig))
+	if opts.ProgramSlicing {
+		if len(modified) == 0 {
+			keep = nil
+		} else {
+			relation, err := db.Relation(rel)
+			if err != nil {
+				return err
+			}
+			phiD, err := symbolic.Compress(relation, opts.Compress)
+			if err != nil {
+				return err
+			}
+			in := &progslice.Input{Pair: noInsPair, Schema: relation.Schema, PhiD: phiD, Compile: opts.Compile}
+			var res *progslice.Result
+			if opts.UseDependency {
+				res, err = progslice.DependencyCtx(ctx, in)
+			} else {
+				res, err = progslice.GreedyCtx(ctx, in)
+			}
+			if err != nil {
+				return err
+			}
+			keep = res.Keep
+			art.stats.SolverTests += res.Stats.Tests
+			art.stats.SolverNodes += res.Stats.SolverNodes
+		}
+	}
+	art.stats.KeptStatements += len(keep)
+	for _, p := range keep {
+		if len(history.Params(noInsPair.Orig[p])) > 0 || len(history.Params(noInsPair.Mod[p])) > 0 {
+			art.stats.BindingDependent++
+		} else {
+			art.stats.BindingIndependent++
+		}
+	}
+
+	noFilter := reenact.Filters{}
+	qo, err := reenact.QueryForRelation(noInsPair.Orig.Restrict(keep), rel, db, noFilter)
+	if err != nil {
+		return err
+	}
+	qm, err := reenact.QueryForRelation(noInsPair.Mod.Restrict(keep), rel, db, noFilter)
+	if err != nil {
+		return err
+	}
+	brOrig, err := reenact.InsertBranches(suffix.Orig, rel, db)
+	if err != nil {
+		return err
+	}
+	brMod, err := reenact.InsertBranches(suffix.Mod, rel, db)
+	if err != nil {
+		return err
+	}
+	if brOrig != nil {
+		qo = &algebra.Union{L: qo, R: brOrig}
+	}
+	if brMod != nil {
+		qm = &algebra.Union{L: qm, R: brMod}
+	}
+	if len(algebra.Params(qo)) > 0 {
+		return fmt.Errorf("core: template parameters in the original history of %s", rel)
+	}
+	orig, err := ev.eval(qo, db)
+	if err != nil {
+		return err
+	}
+	if len(algebra.Params(qm)) == 0 {
+		mod, err := ev.eval(qm, db)
+		if err != nil {
+			return err
+		}
+		art.static[rel] = delta.Compute(orig, mod)
+		art.stats.StaticRelations = append(art.stats.StaticRelations, rel)
+		return nil
+	}
+	art.rels = append(art.rels, templateRel{rel: rel, orig: orig, modQ: qm})
+	art.stats.DynamicRelations = append(art.stats.DynamicRelations, rel)
+	return nil
+}
+
+// Eval answers the template for one parameter binding (see EvalCtx).
+func (t *Template) Eval(binding map[string]types.Value) (delta.Set, error) {
+	return t.EvalCtx(context.Background(), binding)
+}
+
+// EvalCtx answers the template for one parameter binding: every $name
+// slot is replaced by binding[name] and the resulting delta is exactly
+// what a fresh WhatIf over the substituted modifications would return
+// (byte-identical, pinned by the differential tests). The binding must
+// cover the template's parameters exactly, with values matching the
+// inferred classes (NULL always binds); mismatches return an error
+// without evaluating. If the history advanced since the artifact was
+// compiled, the artifact is recompiled first, transparently.
+func (t *Template) EvalCtx(ctx context.Context, binding map[string]types.Value) (delta.Set, error) {
+	art, err := t.artifact(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.ValidateBinding(binding); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.evals++
+	t.mu.Unlock()
+
+	out := make(delta.Set, len(art.static)+len(art.rels))
+	for rel, d := range art.static {
+		out[rel] = d // shared read-only, like every cached engine artifact
+	}
+	ev := evaluator{ctx: ctx, ver: art.version, kind: normalizeExecutor(t.opts.Executor), vec: t.opts.Vec}
+	for _, tr := range art.rels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		q := algebra.SubstParams(tr.modQ, binding)
+		mod, err := ev.eval(q, art.db)
+		if err != nil {
+			return nil, err
+		}
+		out[tr.rel] = delta.Compute(tr.orig, mod)
+	}
+	return out, nil
+}
+
+// TemplateEvalResult is the outcome of one binding in a batch eval.
+type TemplateEvalResult struct {
+	// Binding is the index into the submitted slice.
+	Binding int
+	// Delta is the substituted scenario's delta (nil when Err != nil).
+	Delta delta.Set
+	// Err is the binding's evaluation error, if any.
+	Err error
+}
+
+// EvalBatch evaluates many bindings concurrently (see EvalBatchCtx).
+func (t *Template) EvalBatch(bindings []map[string]types.Value, workers int) ([]TemplateEvalResult, error) {
+	return t.EvalBatchCtx(context.Background(), bindings, workers)
+}
+
+// EvalBatchCtx evaluates many bindings over a worker pool (workers <= 0
+// uses GOMAXPROCS). Results keep submission order; a failing binding
+// never aborts its siblings. The returned error reports batch-level
+// misuse (no bindings) or context cancellation.
+func (t *Template) EvalBatchCtx(ctx context.Context, bindings []map[string]types.Value, workers int) ([]TemplateEvalResult, error) {
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("core: empty template binding batch")
+	}
+	// Refresh once up front so concurrent workers don't race to
+	// recompile the artifact after an append.
+	if _, err := t.artifact(ctx); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bindings) {
+		workers = len(bindings)
+	}
+	results := make([]TemplateEvalResult, len(bindings))
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := ctx.Err(); err != nil {
+					results[i] = TemplateEvalResult{Binding: i, Err: err}
+					continue
+				}
+				d, err := t.EvalCtx(ctx, bindings[i])
+				results[i] = TemplateEvalResult{Binding: i, Delta: d, Err: err}
+			}
+		}()
+	}
+	for i := range bindings {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// ValidateBinding checks a binding against the template's parameters
+// without evaluating: the names must match exactly (no missing, no
+// extra) and each value must fit its slot's inferred class. NULL binds
+// any slot.
+func (t *Template) ValidateBinding(binding map[string]types.Value) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for name, class := range t.params {
+		v, ok := binding[name]
+		if !ok {
+			return fmt.Errorf("core: binding is missing parameter $%s", name)
+		}
+		if v.IsNull() {
+			continue
+		}
+		mismatch := false
+		switch class {
+		case classNumeric:
+			mismatch = !v.IsNumeric()
+		case classString:
+			mismatch = v.Kind() != types.KindString
+		case classBool:
+			mismatch = v.Kind() != types.KindBool
+		}
+		if mismatch {
+			return fmt.Errorf("core: parameter $%s wants a %s value, got %s (%s)", name, class, v.Kind(), v)
+		}
+	}
+	for name := range binding {
+		if _, ok := t.params[name]; !ok {
+			return fmt.Errorf("core: binding names unknown parameter $%s", name)
+		}
+	}
+	return nil
+}
+
+// SubstitutedMods returns the template's modification sequence with the
+// binding's constants substituted — the exact input an equivalent fresh
+// WhatIf would take (the differential anchor, also used by benchmarks).
+func (t *Template) SubstitutedMods(binding map[string]types.Value) []history.Modification {
+	out := make([]history.Modification, len(t.mods))
+	for i, m := range t.mods {
+		out[i] = history.SubstModParams(m, binding)
+	}
+	return out
+}
+
+// Parameter inference ---------------------------------------------------------
+
+// inferParams collects every $slot in the pair and infers its value
+// class from context: comparison against a column or constant adopts
+// that operand's class, arithmetic forces numeric, SET col = $p adopts
+// the column's class, a bare $p in condition position is boolean.
+// Conflicting uses (numeric here, string there) fail compilation;
+// unconstrained slots stay classAny and accept any binding. Parameters
+// in the original history are rejected (applied statements are always
+// closed).
+func inferParams(pair *history.PaddedPair, db *storage.Database) (map[string]paramClass, error) {
+	for _, st := range pair.Orig {
+		if ps := history.Params(st); len(ps) > 0 {
+			return nil, fmt.Errorf("core: original history statement %q carries template parameters", st)
+		}
+	}
+	in := &inferrer{params: map[string]paramClass{}}
+	for _, st := range pair.Mod {
+		if err := in.statement(st, db); err != nil {
+			return nil, err
+		}
+	}
+	return in.params, nil
+}
+
+type inferrer struct {
+	params map[string]paramClass
+}
+
+// note records one observed use of a parameter, unifying with earlier
+// observations (classAny unifies with anything).
+func (in *inferrer) note(name string, c paramClass) error {
+	old, seen := in.params[name]
+	if !seen || old == classAny {
+		in.params[name] = c
+		return nil
+	}
+	if c != classAny && c != old {
+		return fmt.Errorf("core: parameter $%s used as both %s and %s", name, old, c)
+	}
+	return nil
+}
+
+// colKind resolves a column's kind from a schema (classAny when the
+// column is unknown — validation elsewhere reports that properly).
+func colKind(s *schema.Schema) func(string) paramClass {
+	return func(name string) paramClass {
+		if idx := s.ColIndex(name); idx >= 0 {
+			return classOf(s.Columns[idx].Type)
+		}
+		return classAny
+	}
+}
+
+func (in *inferrer) statement(st history.Statement, db *storage.Database) error {
+	switch x := st.(type) {
+	case *history.Update:
+		rel, err := db.Relation(x.Rel)
+		if err != nil {
+			return err
+		}
+		kindOf := colKind(rel.Schema)
+		for _, sc := range x.Set {
+			want := kindOf(sc.Col)
+			if err := in.val(sc.E, want, kindOf); err != nil {
+				return err
+			}
+		}
+		return in.cond(x.Where, kindOf)
+	case *history.Delete:
+		rel, err := db.Relation(x.Rel)
+		if err != nil {
+			return err
+		}
+		return in.cond(x.Where, colKind(rel.Schema))
+	case *history.InsertQuery:
+		return in.query(x.Query, db)
+	}
+	return nil
+}
+
+// query infers across an INSERT…SELECT source query. Column kinds
+// resolve against the query's base relations (first match; reenactment
+// schemas use distinct column names per relation).
+func (in *inferrer) query(q algebra.Query, db *storage.Database) error {
+	var schemas []*schema.Schema
+	for rel := range algebra.BaseRelations(q) {
+		if r, err := db.Relation(rel); err == nil {
+			schemas = append(schemas, r.Schema)
+		}
+	}
+	kindOf := func(name string) paramClass {
+		for _, s := range schemas {
+			if idx := s.ColIndex(name); idx >= 0 {
+				return classOf(s.Columns[idx].Type)
+			}
+		}
+		return classAny
+	}
+	var walk func(q algebra.Query) error
+	walk = func(q algebra.Query) error {
+		switch x := q.(type) {
+		case *algebra.Select:
+			if err := in.cond(x.Cond, kindOf); err != nil {
+				return err
+			}
+			return walk(x.In)
+		case *algebra.Project:
+			for _, ne := range x.Exprs {
+				if err := in.val(ne.E, classAny, kindOf); err != nil {
+					return err
+				}
+			}
+			return walk(x.In)
+		case *algebra.Union:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		case *algebra.Difference:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		case *algebra.Join:
+			if err := in.cond(x.Cond, kindOf); err != nil {
+				return err
+			}
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		}
+		return nil
+	}
+	return walk(q)
+}
+
+// cond infers through an expression in condition (boolean) position.
+func (in *inferrer) cond(e expr.Expr, kindOf func(string) paramClass) error {
+	switch x := e.(type) {
+	case *expr.Param:
+		return in.note(x.Name, classBool)
+	case *expr.And:
+		if err := in.cond(x.L, kindOf); err != nil {
+			return err
+		}
+		return in.cond(x.R, kindOf)
+	case *expr.Or:
+		if err := in.cond(x.L, kindOf); err != nil {
+			return err
+		}
+		return in.cond(x.R, kindOf)
+	case *expr.Not:
+		return in.cond(x.E, kindOf)
+	case *expr.Cmp:
+		lc := in.operandClass(x.L, kindOf)
+		rc := in.operandClass(x.R, kindOf)
+		if err := in.val(x.L, rc, kindOf); err != nil {
+			return err
+		}
+		return in.val(x.R, lc, kindOf)
+	case *expr.IsNull:
+		return in.val(x.E, classAny, kindOf)
+	case *expr.If:
+		if err := in.cond(x.Cond, kindOf); err != nil {
+			return err
+		}
+		if err := in.cond(x.Then, kindOf); err != nil {
+			return err
+		}
+		return in.cond(x.Else, kindOf)
+	}
+	return nil
+}
+
+// val infers through an expression in value position, with the class
+// the surrounding context wants for a bare parameter.
+func (in *inferrer) val(e expr.Expr, want paramClass, kindOf func(string) paramClass) error {
+	switch x := e.(type) {
+	case *expr.Param:
+		return in.note(x.Name, want)
+	case *expr.Arith:
+		if err := in.val(x.L, classNumeric, kindOf); err != nil {
+			return err
+		}
+		return in.val(x.R, classNumeric, kindOf)
+	case *expr.If:
+		if err := in.cond(x.Cond, kindOf); err != nil {
+			return err
+		}
+		if err := in.val(x.Then, want, kindOf); err != nil {
+			return err
+		}
+		return in.val(x.Else, want, kindOf)
+	case *expr.Cmp, *expr.And, *expr.Or, *expr.Not, *expr.IsNull:
+		return in.cond(e, kindOf)
+	}
+	return nil
+}
+
+// operandClass is the value class an expression contributes as a
+// comparison operand (used to type the opposite side's parameter).
+func (in *inferrer) operandClass(e expr.Expr, kindOf func(string) paramClass) paramClass {
+	switch x := e.(type) {
+	case *expr.Const:
+		return classOf(x.V.Kind())
+	case *expr.Col:
+		return kindOf(x.Name)
+	case *expr.Arith:
+		return classNumeric
+	case *expr.If:
+		if c := in.operandClass(x.Then, kindOf); c != classAny {
+			return c
+		}
+		return in.operandClass(x.Else, kindOf)
+	case *expr.Cmp, *expr.And, *expr.Or, *expr.Not, *expr.IsNull:
+		return classBool
+	}
+	return classAny
+}
+
+// Session integration ---------------------------------------------------------
+
+// CompileTemplate compiles (or returns a cached) template through the
+// session (see CompileTemplateCtx).
+func (s *Session) CompileTemplate(mods []history.Modification, opts Options) (*Template, error) {
+	return s.CompileTemplateCtx(context.Background(), mods, opts)
+}
+
+// CompileTemplateCtx is Session.CompileTemplate under a context. The
+// session owns an LRU template cache keyed by the constant-abstracted
+// canonical fingerprint of the modification sequence ($slots stay
+// symbolic; baked-in constants distinguish) prefixed with the history
+// version, so re-submitting the same template after an append compiles
+// a fresh artifact while in-version resubmissions are free. Compiled
+// templates draw their snapshot and solver memo from the session's
+// caches, including on transparent recompiles.
+func (s *Session) CompileTemplateCtx(ctx context.Context, mods []history.Modification, opts Options) (*Template, error) {
+	shared := s.shared()
+	opts.DataSlicing = false
+	key := templateKey(s.e.Version(), mods, opts)
+	if cached, ok := shared.templates.Lookup(key); ok {
+		return cached.(*Template), nil
+	}
+	t, err := s.e.compileTemplate(ctx, mods, opts, shared)
+	if err != nil {
+		return nil, err
+	}
+	shared.templates.Store(key, t)
+	return t, nil
+}
+
+// templateKey fingerprints a template for the session cache: the
+// history version, the option knobs that change the compiled artifact,
+// and the canonical constant-abstracted fingerprint of every
+// modification (tagged statement structure via compile.FingerprintExpr,
+// so a column and a variable of one name cannot conflate — the same
+// property the solver memo key relies on).
+func templateKey(version int, mods []history.Modification, opts Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d|%s|ps=%t,dep=%t,is=%t,skip=%t,nc=%t|",
+		version, normalizeExecutor(opts.Executor),
+		opts.ProgramSlicing, opts.UseDependency, opts.InsertSplit, opts.SkipUntainted,
+		opts.Vec.NoColumnar)
+	for _, m := range mods {
+		switch x := m.(type) {
+		case history.Replace:
+			fmt.Fprintf(&b, "r%d:", x.Pos)
+			stmtFingerprint(&b, x.Stmt)
+		case history.InsertStmt:
+			fmt.Fprintf(&b, "i%d:", x.Pos)
+			stmtFingerprint(&b, x.Stmt)
+		case history.DeleteStmt:
+			fmt.Fprintf(&b, "d%d", x.Pos)
+		default:
+			fmt.Fprintf(&b, "?%T(%s)", m, m)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func stmtFingerprint(b *strings.Builder, st history.Statement) {
+	switch x := st.(type) {
+	case *history.Update:
+		fmt.Fprintf(b, "U(%s|", x.Rel)
+		for _, sc := range x.Set {
+			fmt.Fprintf(b, "%s=%s,", sc.Col, compile.FingerprintExpr(sc.E))
+		}
+		fmt.Fprintf(b, "|%s)", compile.FingerprintExpr(x.Where))
+	case *history.Delete:
+		fmt.Fprintf(b, "D(%s|%s)", x.Rel, compile.FingerprintExpr(x.Where))
+	case *history.InsertValues:
+		fmt.Fprintf(b, "IV(%s|", x.Rel)
+		for _, row := range x.Rows {
+			b.WriteString(row.Key())
+			b.WriteByte(',')
+		}
+		b.WriteByte(')')
+	case *history.InsertQuery:
+		fmt.Fprintf(b, "IQ(%s|%s)", x.Rel, algebra.Fingerprint(x.Query))
+	default:
+		fmt.Fprintf(b, "?%T(%s)", st, st)
+	}
+}

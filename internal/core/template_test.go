@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/types"
+	"github.com/mahif/mahif/internal/workload"
+)
+
+// templateWorkload builds a small taxi workload and an engine over it.
+func templateWorkload(t *testing.T, rows, updates int, seed int64) (*workload.Workload, *Engine) {
+	t.Helper()
+	ds := workload.Taxi(rows, seed)
+	w, err := workload.Generate(ds, workload.Config{
+		Updates: updates, Mods: 1, DependentPct: 25, AffectedPct: 10, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdb, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, New(vdb)
+}
+
+// paramMods rebuilds the workload's modification with the threshold as
+// a $cut parameter slot.
+func paramMods(w *workload.Workload) []history.Modification {
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	st := &history.Update{
+		Rel:   upd.Rel,
+		Set:   upd.Set,
+		Where: expr.Ge(expr.Column(w.Dataset.SelAttr), expr.Parameter("cut")),
+	}
+	return []history.Modification{history.Replace{Pos: base.Pos, Stmt: st}}
+}
+
+// requireSetsEqual fails unless the two delta sets are identical:
+// same relations, same canonical minus/plus lists.
+func requireSetsEqual(t *testing.T, label string, got, want delta.Set) {
+	t.Helper()
+	for rel, d := range want {
+		g := got[rel]
+		if g == nil {
+			t.Fatalf("%s: missing delta for %s", label, rel)
+		}
+		if !g.Equal(d) {
+			t.Fatalf("%s: delta for %s differs\nwant (%d tuples):\n%s\ngot (%d tuples):\n%s",
+				label, rel, d.Size(), clipDelta(d.String()), g.Size(), clipDelta(g.String()))
+		}
+	}
+	for rel := range got {
+		if want[rel] == nil {
+			t.Fatalf("%s: unexpected delta for %s", label, rel)
+		}
+	}
+}
+
+// TestTemplateMatchesWhatIf pins the differential contract: for every
+// binding, Template.Eval equals a fresh WhatIf over the modifications
+// with the binding's constants substituted. NULL bindings are anchored
+// against the no-slicing variant (a NULL literal in a condition is
+// outside the solver's domain, so a fresh sliced WhatIf rejects it —
+// the template, having solved with the slot symbolic, still answers;
+// variant agreement makes the unsliced delta an equal ground truth).
+func TestTemplateMatchesWhatIf(t *testing.T) {
+	w, e := templateWorkload(t, 900, 10, 3)
+	mods := paramMods(w)
+	opts := OptionsFor(VariantRPS)
+	tpl, err := e.CompileTemplate(mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tpl.Params(); got["cut"] != "numeric" {
+		t.Fatalf("Params() = %v, want cut:numeric", got)
+	}
+
+	cuts := []types.Value{
+		types.Int(9100), types.Int(9000), types.Int(8500),
+		types.Int(0), types.Int(workload.SelRange + 50),
+		types.Float(8999.5),
+		// 2^53 boundary: past exact float integer representation.
+		types.Int(1 << 53), types.Int(1<<53 + 1), types.Int(-(1 << 53)),
+	}
+	for i, cut := range cuts {
+		binding := map[string]types.Value{"cut": cut}
+		got, err := tpl.Eval(binding)
+		if err != nil {
+			t.Fatalf("binding %d (%s): %v", i, cut, err)
+		}
+		want, _, err := e.WhatIf(tpl.SubstitutedMods(binding), opts)
+		if err != nil {
+			t.Fatalf("fresh what-if, binding %d (%s): %v", i, cut, err)
+		}
+		requireSetsEqual(t, fmt.Sprintf("binding %d (%s)", i, cut), got, want)
+	}
+
+	// NULL binds any slot; sel >= NULL selects nothing.
+	binding := map[string]types.Value{"cut": types.Null()}
+	got, err := tpl.Eval(binding)
+	if err != nil {
+		t.Fatalf("NULL binding: %v", err)
+	}
+	want, _, err := e.WhatIf(tpl.SubstitutedMods(binding), OptionsFor(VariantR))
+	if err != nil {
+		t.Fatalf("fresh what-if, NULL binding: %v", err)
+	}
+	requireSetsEqual(t, "NULL binding", got, want)
+}
+
+// TestTemplateRandomizedDifferential sweeps randomized template shapes
+// (slots in comparisons, conjunctions, arithmetic, and SET clauses) and
+// randomized bindings, each anchored against a fresh sliced WhatIf.
+func TestTemplateRandomizedDifferential(t *testing.T) {
+	w, e := templateWorkload(t, 700, 8, 11)
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	sel := expr.Column(w.Dataset.SelAttr)
+	sel2 := expr.Column(w.Dataset.SelAttr2)
+	payload := w.Dataset.Payload[0]
+
+	shapes := []struct {
+		name   string
+		where  expr.Expr
+		set    []history.SetClause
+		params []string
+	}{
+		{
+			name:   "cmp",
+			where:  expr.Ge(sel, expr.Parameter("a")),
+			set:    upd.Set,
+			params: []string{"a"},
+		},
+		{
+			name:   "band",
+			where:  expr.AndOf(expr.Ge(sel, expr.Parameter("a")), expr.Lt(sel, expr.Parameter("b"))),
+			set:    upd.Set,
+			params: []string{"a", "b"},
+		},
+		{
+			name:   "or-two-attrs",
+			where:  expr.OrOf(expr.Ge(sel, expr.Parameter("a")), expr.Ge(sel2, expr.Parameter("b"))),
+			set:    upd.Set,
+			params: []string{"a", "b"},
+		},
+		{
+			name:   "arith",
+			where:  expr.Ge(expr.Add(sel, expr.Parameter("a")), expr.IntConst(9000)),
+			set:    upd.Set,
+			params: []string{"a"},
+		},
+		{
+			name:  "set-slot",
+			where: expr.Ge(sel, expr.IntConst(9050)),
+			set: []history.SetClause{{
+				Col: payload,
+				E:   expr.Add(expr.Column(payload), expr.Parameter("v")),
+			}},
+			params: []string{"v"},
+		},
+		{
+			name:  "both",
+			where: expr.Ge(sel, expr.Parameter("a")),
+			set: []history.SetClause{{
+				Col: payload,
+				E:   expr.Add(expr.Column(payload), expr.Parameter("v")),
+			}},
+			params: []string{"a", "v"},
+		},
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	opts := OptionsFor(VariantRPS)
+	for _, shape := range shapes {
+		mods := []history.Modification{history.Replace{Pos: base.Pos, Stmt: &history.Update{
+			Rel: upd.Rel, Set: shape.set, Where: shape.where,
+		}}}
+		tpl, err := e.CompileTemplate(mods, opts)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", shape.name, err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			binding := map[string]types.Value{}
+			for _, p := range shape.params {
+				if rng.Intn(2) == 0 {
+					binding[p] = types.Int(int64(rng.Intn(2 * workload.SelRange)))
+				} else {
+					binding[p] = types.Float(float64(rng.Intn(workload.SelRange)) + 0.25)
+				}
+			}
+			got, err := tpl.Eval(binding)
+			if err != nil {
+				t.Fatalf("%s trial %d: eval: %v", shape.name, trial, err)
+			}
+			want, _, err := e.WhatIf(tpl.SubstitutedMods(binding), opts)
+			if err != nil {
+				t.Fatalf("%s trial %d: fresh what-if: %v", shape.name, trial, err)
+			}
+			requireSetsEqual(t, fmt.Sprintf("%s trial %d %v", shape.name, trial, binding), got, want)
+		}
+	}
+}
+
+// TestTemplateParamFree pins the degenerate case: a template without
+// slots precomputes everything, and Eval with an empty binding returns
+// the static delta.
+func TestTemplateParamFree(t *testing.T) {
+	w, e := templateWorkload(t, 600, 8, 7)
+	opts := OptionsFor(VariantRPS)
+	tpl, err := e.CompileTemplate(w.Mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tpl.Stats()
+	if len(st.DynamicRelations) != 0 {
+		t.Fatalf("param-free template has dynamic relations %v", st.DynamicRelations)
+	}
+	if st.BindingDependent != 0 {
+		t.Fatalf("param-free template reports %d binding-dependent statements", st.BindingDependent)
+	}
+	got, err := tpl.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.WhatIf(w.Mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSetsEqual(t, "param-free", got, want)
+}
+
+// TestTemplateBindingValidation pins the binding contract: exact
+// parameter coverage and class agreement, checked before evaluation.
+func TestTemplateBindingValidation(t *testing.T) {
+	w, e := templateWorkload(t, 400, 6, 19)
+	tpl, err := e.CompileTemplate(paramMods(w), OptionsFor(VariantRPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		binding map[string]types.Value
+		wantErr string
+	}{
+		{"missing", map[string]types.Value{}, "missing parameter $cut"},
+		{"extra", map[string]types.Value{"cut": types.Int(9000), "bogus": types.Int(1)}, "unknown parameter $bogus"},
+		{"kind", map[string]types.Value{"cut": types.String("high")}, "wants a numeric value"},
+	}
+	for _, tc := range cases {
+		if _, err := tpl.Eval(tc.binding); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// NULL always binds.
+	if _, err := tpl.Eval(map[string]types.Value{"cut": types.Null()}); err != nil {
+		t.Errorf("NULL binding rejected: %v", err)
+	}
+}
+
+// TestTemplateConflictingParamClasses pins compile-time inference: one
+// slot used as both a number and a string fails compilation.
+func TestTemplateConflictingParamClasses(t *testing.T) {
+	w, e := templateWorkload(t, 300, 5, 23)
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	st := &history.Update{
+		Rel: upd.Rel,
+		Set: upd.Set,
+		Where: expr.AndOf(
+			expr.Ge(expr.Column(w.Dataset.SelAttr), expr.Parameter("p")),
+			expr.Eq(expr.Column(w.Dataset.GroupBy), expr.Parameter("p")),
+		),
+	}
+	mods := []history.Modification{history.Replace{Pos: base.Pos, Stmt: st}}
+	if _, err := e.CompileTemplate(mods, OptionsFor(VariantRPS)); err == nil ||
+		!strings.Contains(err.Error(), "used as both") {
+		t.Fatalf("conflicting classes compiled: err = %v", err)
+	}
+}
+
+// TestTemplateRecompileOnAppend pins the append-invalidation contract:
+// after the engine's history advances, the next Eval transparently
+// recompiles against the new version and still matches a fresh WhatIf.
+func TestTemplateRecompileOnAppend(t *testing.T) {
+	w, e := templateWorkload(t, 500, 8, 31)
+	mods := paramMods(w)
+	opts := OptionsFor(VariantRPS)
+	tpl, err := e.CompileTemplate(mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding := map[string]types.Value{"cut": types.Int(9000)}
+	if _, err := tpl.Eval(binding); err != nil {
+		t.Fatal(err)
+	}
+	before := tpl.Version()
+
+	// Advance the history with an update that moves real tuples.
+	upd := &history.Update{
+		Rel:   w.Dataset.Rel.Schema.Relation,
+		Set:   []history.SetClause{{Col: w.Dataset.Payload[0], E: expr.Add(expr.Column(w.Dataset.Payload[0]), expr.IntConst(3))}},
+		Where: expr.Ge(expr.Column(w.Dataset.SelAttr), expr.IntConst(8000)),
+	}
+	if _, err := e.Append(upd); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := tpl.Eval(binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tpl.Version(); v != before+1 {
+		t.Fatalf("template version = %d after append, want %d", v, before+1)
+	}
+	if r := tpl.Stats().Recompiles; r != 1 {
+		t.Fatalf("Recompiles = %d, want 1", r)
+	}
+	want, _, err := e.WhatIf(tpl.SubstitutedMods(binding), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSetsEqual(t, "post-append", got, want)
+}
+
+// TestSessionTemplateCacheInvalidation pins the session cache key:
+// in-version resubmission is a hit returning the same template;
+// resubmission after an append misses (version-prefixed key) and
+// compiles a fresh artifact.
+func TestSessionTemplateCacheInvalidation(t *testing.T) {
+	w, e := templateWorkload(t, 500, 8, 37)
+	mods := paramMods(w)
+	opts := OptionsFor(VariantRPS)
+	s := e.NewSession()
+
+	t1, err := s.CompileTemplate(mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.CompileTemplate(mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("in-version resubmission compiled a fresh template")
+	}
+	st := s.Stats()
+	if st.TemplateHits != 1 || st.TemplateMisses != 1 {
+		t.Fatalf("template cache stats = %d hits, %d misses, want 1, 1", st.TemplateHits, st.TemplateMisses)
+	}
+	if st.TemplateResident != 1 {
+		t.Fatalf("TemplateResident = %d, want 1", st.TemplateResident)
+	}
+
+	// Distinct constants baked into the statement must key separately
+	// (constant-abstracted means slots stay symbolic, not that baked
+	// constants are ignored).
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	other := []history.Modification{history.Replace{Pos: base.Pos, Stmt: &history.Update{
+		Rel: upd.Rel, Set: upd.Set,
+		Where: expr.AndOf(expr.Ge(expr.Column(w.Dataset.SelAttr), expr.Parameter("cut")), expr.Lt(expr.Column(w.Dataset.SelAttr), expr.IntConst(99999))),
+	}}}
+	t3, err := s.CompileTemplate(other, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Fatal("structurally different template hit the cache")
+	}
+
+	if _, err := e.Append(history.NoOpFor(w.History[0])); err != nil {
+		t.Fatal(err)
+	}
+	t4, err := s.CompileTemplate(mods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4 == t1 {
+		t.Fatal("post-append resubmission returned the stale template")
+	}
+	if t4.Version() != t1.Version()+1 {
+		t.Fatalf("post-append template version = %d, want %d", t4.Version(), t1.Version()+1)
+	}
+}
+
+// TestTemplateConcurrentEval stresses one template from many
+// goroutines, with a history append landing mid-flight (exercises the
+// transparent recompile under contention; run with -race).
+func TestTemplateConcurrentEval(t *testing.T) {
+	w, e := templateWorkload(t, 400, 6, 43)
+	tpl, err := e.CompileTemplate(paramMods(w), OptionsFor(VariantRPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				binding := map[string]types.Value{"cut": types.Int(int64(8600 + 50*g + i))}
+				if _, err := tpl.Eval(binding); err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := e.Append(history.NoOpFor(w.History[0])); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := tpl.Stats().Evals; got != 48 {
+		t.Errorf("Evals = %d, want 48", got)
+	}
+}
+
+// TestTemplateEvalBatch pins batch evaluation: order-preserving
+// results, each matching a fresh WhatIf.
+func TestTemplateEvalBatch(t *testing.T) {
+	w, e := templateWorkload(t, 500, 8, 47)
+	opts := OptionsFor(VariantRPS)
+	tpl, err := e.CompileTemplate(paramMods(w), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := make([]map[string]types.Value, 12)
+	for i := range bindings {
+		bindings[i] = map[string]types.Value{"cut": types.Int(int64(8700 + 40*i))}
+	}
+	results, err := tpl.EvalBatch(bindings, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(bindings) {
+		t.Fatalf("got %d results, want %d", len(results), len(bindings))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("binding %d: %v", i, r.Err)
+		}
+		if r.Binding != i {
+			t.Fatalf("result %d carries binding index %d", i, r.Binding)
+		}
+		want, _, err := e.WhatIf(tpl.SubstitutedMods(bindings[i]), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSetsEqual(t, fmt.Sprintf("batch binding %d", i), r.Delta, want)
+	}
+}
+
+// TestTemplateSlicesBindingIndependently pins the slicing behavior of
+// the one-time compile. A slot in a SET clause leaves the statement
+// regions concrete, so the template slices exactly as hard as a fresh
+// what-if would for any binding; a slot in the condition makes the
+// hypothetical region symbolic, so every overlapping statement is
+// conservatively kept (sound for all bindings). Both partition the
+// kept statements into binding-(in)dependent.
+func TestTemplateSlicesBindingIndependently(t *testing.T) {
+	w, e := templateWorkload(t, 700, 10, 53)
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	payload := w.Dataset.Payload[0]
+
+	// Param in the SET clause: regions concrete, slicing bites.
+	setMods := []history.Modification{history.Replace{Pos: base.Pos, Stmt: &history.Update{
+		Rel: upd.Rel,
+		Set: []history.SetClause{{
+			Col: payload,
+			E:   expr.Add(expr.Column(payload), expr.Parameter("v")),
+		}},
+		Where: upd.Where,
+	}}}
+	tpl, err := e.CompileTemplate(setMods, OptionsFor(VariantRPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tpl.Stats()
+	if st.KeptStatements >= st.TotalStatements {
+		t.Errorf("set-slot template kept %d of %d statements: nothing sliced", st.KeptStatements, st.TotalStatements)
+	}
+	if st.BindingDependent == 0 {
+		t.Errorf("modified statement carries $v but BindingDependent = 0 (stats: %+v)", st)
+	}
+	if st.BindingIndependent+st.BindingDependent != st.KeptStatements {
+		t.Errorf("partition %d+%d does not cover %d kept statements",
+			st.BindingIndependent, st.BindingDependent, st.KeptStatements)
+	}
+	if st.SolverTests == 0 {
+		t.Error("no solver tests recorded at compile time")
+	}
+
+	// Param in the condition: symbolic region overlaps everything on
+	// this workload, so all statements are (correctly) kept.
+	tpl2, err := e.CompileTemplate(paramMods(w), OptionsFor(VariantRPS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := tpl2.Stats()
+	if st2.KeptStatements != st2.TotalStatements {
+		t.Errorf("condition-slot template kept %d of %d: expected conservative keep-all on overlapping regions",
+			st2.KeptStatements, st2.TotalStatements)
+	}
+	if st2.SolverTests == 0 {
+		t.Error("condition-slot template recorded no solver tests")
+	}
+}

@@ -96,6 +96,13 @@ type Col struct{ Name string }
 // Var is a symbolic variable (used by the VC-table machinery, §8).
 type Var struct{ Name string }
 
+// Param is a named parameter slot ($name) of a scenario template. It
+// renders as `$name`, flows through rewriting and simplification
+// untouched, and must be substituted (SubstParams) before concrete
+// evaluation. The symbolic compiler lowers it as a free variable, which
+// keeps template-time slicing sound for every later binding.
+type Param struct{ Name string }
+
 // Arith is a binary arithmetic expression e ∘ e with ∘ ∈ {+,-,×,÷}.
 type Arith struct {
 	Op   types.Op
@@ -128,6 +135,7 @@ type If struct {
 func (*Const) isExpr()  {}
 func (*Col) isExpr()    {}
 func (*Var) isExpr()    {}
+func (*Param) isExpr()  {}
 func (*Arith) isExpr()  {}
 func (*Cmp) isExpr()    {}
 func (*And) isExpr()    {}
@@ -164,6 +172,9 @@ func Column(name string) *Col { return &Col{Name: name} }
 
 // Variable builds a symbolic variable reference.
 func Variable(name string) *Var { return &Var{Name: name} }
+
+// Parameter builds a template parameter slot $name.
+func Parameter(name string) *Param { return &Param{Name: name} }
 
 // Add, Sub, Mul, Div build arithmetic nodes.
 func Add(l, r Expr) *Arith { return &Arith{Op: types.OpAdd, L: l, R: r} }
@@ -230,10 +241,11 @@ func IfThenElse(cond, then, els Expr) *If { return &If{Cond: cond, Then: then, E
 func (e *Const) String() string { return e.V.String() }
 func (e *Col) String() string   { return e.Name }
 func (e *Var) String() string   { return e.Name }
+func (e *Param) String() string { return "$" + e.Name }
 
 func parenIf(e Expr) string {
 	switch e.(type) {
-	case *Const, *Col, *Var, *IsNull:
+	case *Const, *Col, *Var, *Param, *IsNull:
 		return e.String()
 	}
 	return "(" + e.String() + ")"
@@ -276,6 +288,9 @@ func Equal(a, b Expr) bool {
 		return ok && strings.EqualFold(x.Name, y.Name)
 	case *Var:
 		y, ok := b.(*Var)
+		return ok && x.Name == y.Name
+	case *Param:
+		y, ok := b.(*Param)
 		return ok && x.Name == y.Name
 	case *Arith:
 		y, ok := b.(*Arith)
@@ -357,6 +372,17 @@ func Vars(e Expr) map[string]bool {
 	Walk(e, func(n Expr) {
 		if v, ok := n.(*Var); ok {
 			out[v.Name] = true
+		}
+	})
+	return out
+}
+
+// Params returns the set of template parameter names referenced by e.
+func Params(e Expr) map[string]bool {
+	out := map[string]bool{}
+	Walk(e, func(n Expr) {
+		if p, ok := n.(*Param); ok {
+			out[p.Name] = true
 		}
 	})
 	return out

@@ -1,6 +1,10 @@
 package expr
 
-import "strings"
+import (
+	"strings"
+
+	"github.com/mahif/mahif/internal/types"
+)
 
 // SubstCols returns e with every attribute reference A replaced by
 // repl[A] (case-insensitive). Attributes without a mapping are kept.
@@ -34,6 +38,26 @@ func SubstVars(e Expr, repl map[string]Expr) Expr {
 		}
 		r, ok := repl[v.Name]
 		return r, ok
+	})
+}
+
+// SubstParams returns e with every template parameter $p replaced by
+// the constant repl[p]. Parameters without a binding are kept — callers
+// that require a closed expression should check Params first.
+func SubstParams(e Expr, repl map[string]types.Value) Expr {
+	if len(repl) == 0 {
+		return e
+	}
+	return rewrite(e, func(n Expr) (Expr, bool) {
+		p, ok := n.(*Param)
+		if !ok {
+			return nil, false
+		}
+		v, ok := repl[p.Name]
+		if !ok {
+			return nil, false
+		}
+		return Constant(v), true
 	})
 }
 
@@ -80,7 +104,7 @@ func rewrite(e Expr, f func(Expr) (Expr, bool)) Expr {
 		return r
 	}
 	switch x := e.(type) {
-	case *Const, *Col, *Var:
+	case *Const, *Col, *Var, *Param:
 		return e
 	case *Arith:
 		l, r := rewrite(x.L, f), rewrite(x.R, f)

@@ -1,0 +1,110 @@
+package history
+
+import (
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/expr"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// Params returns the set of template parameter names ($name slots)
+// appearing in a statement's expressions. INSERT … VALUES rows are
+// concrete tuples and can never carry parameters.
+func Params(st Statement) map[string]bool {
+	out := map[string]bool{}
+	add := func(e expr.Expr) {
+		for name := range expr.Params(e) {
+			out[name] = true
+		}
+	}
+	switch x := st.(type) {
+	case *Update:
+		for _, sc := range x.Set {
+			add(sc.E)
+		}
+		add(x.Where)
+	case *Delete:
+		add(x.Where)
+	case *InsertQuery:
+		for name := range algebra.Params(x.Query) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// SubstParams returns st with every template parameter replaced by its
+// bound constant. Statements without parameters are returned as-is;
+// param-bearing statements are rebuilt (fresh memo, so the compiled
+// single-statement application cache never keys on an open slot).
+func SubstParams(st Statement, b map[string]types.Value) Statement {
+	if len(b) == 0 {
+		return st
+	}
+	switch x := st.(type) {
+	case *Update:
+		where := expr.SubstParams(x.Where, b)
+		var set []SetClause
+		for i, sc := range x.Set {
+			e := expr.SubstParams(sc.E, b)
+			if e != sc.E && set == nil {
+				set = append([]SetClause(nil), x.Set...)
+			}
+			if set != nil {
+				set[i] = SetClause{Col: sc.Col, E: e}
+			}
+		}
+		if where == x.Where && set == nil {
+			return st
+		}
+		if set == nil {
+			set = x.Set
+		}
+		return &Update{Rel: x.Rel, Set: set, Where: where}
+	case *Delete:
+		where := expr.SubstParams(x.Where, b)
+		if where == x.Where {
+			return st
+		}
+		return &Delete{Rel: x.Rel, Where: where}
+	case *InsertQuery:
+		q := algebra.SubstParams(x.Query, b)
+		if q == x.Query {
+			return st
+		}
+		return &InsertQuery{Rel: x.Rel, Query: q}
+	}
+	return st
+}
+
+// SubstModParams returns m with every template parameter in its
+// statement replaced by its bound constant.
+func SubstModParams(m Modification, b map[string]types.Value) Modification {
+	switch x := m.(type) {
+	case Replace:
+		return Replace{Pos: x.Pos, Stmt: SubstParams(x.Stmt, b)}
+	case InsertStmt:
+		return InsertStmt{Pos: x.Pos, Stmt: SubstParams(x.Stmt, b)}
+	}
+	return m
+}
+
+// ModParams returns the union of parameter names across a modification
+// sequence.
+func ModParams(mods []Modification) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range mods {
+		var st Statement
+		switch x := m.(type) {
+		case Replace:
+			st = x.Stmt
+		case InsertStmt:
+			st = x.Stmt
+		default:
+			continue
+		}
+		for name := range Params(st) {
+			out[name] = true
+		}
+	}
+	return out
+}

@@ -2,8 +2,8 @@ package replica
 
 import (
 	"bytes"
-	"encoding/json"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -224,6 +224,14 @@ func (r *Router) routeRead(w http.ResponseWriter, req *http.Request) {
 		if err := r.proxy(w, req, b, body); err == nil {
 			return
 		}
+		// A canceled or timed-out inbound request surfaces as a proxy
+		// transport error too, but it says nothing about the backend:
+		// the client hung up, not the replica. Don't mark it unhealthy,
+		// don't count a backend error, don't burn retries re-asking on
+		// the same dead context.
+		if cerr := req.Context().Err(); cerr != nil {
+			return
+		}
 		// Transport failure: the health poll will confirm, but don't
 		// wait for it to route around the dead backend.
 		b.healthy.Store(false)
@@ -294,7 +302,18 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, b *backend, bod
 	}
 	w.Header().Set("X-Mahif-Backend", b.url)
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line and headers are already on the wire, so the
+		// response cannot be retried against another backend; all we
+		// can do is record the truncation instead of swallowing it.
+		// Client disconnects land here too and are not the backend's
+		// fault, so only its counter moves on a genuine mid-body break.
+		if req.Context().Err() == nil {
+			b.errors.Add(1)
+		}
+		r.opts.logf("router: %s %s via %s: response copy aborted after headers: %v",
+			req.Method, req.URL.Path, b.url, err)
+	}
 	return nil
 }
 

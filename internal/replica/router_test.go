@@ -1,0 +1,156 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// routerOver builds a router over the given backend URLs with every
+// backend pre-marked healthy (no health-poll goroutine), capturing log
+// lines.
+func routerOver(t *testing.T, leaderURL string, backendURLs []string) (*Router, *strings.Builder, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	var logs strings.Builder
+	r, err := NewRouter(RouterOptions{
+		LeaderURL: leaderURL,
+		Backends:  backendURLs,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(&logs, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range r.reads {
+		b.healthy.Store(true)
+	}
+	return r, &logs, &mu
+}
+
+// TestRouterCanceledReadLeavesHealthUntouched is the regression test
+// for the cancellation path of routeRead: a client hanging up mid-proxy
+// surfaces as a transport error, but it says nothing about the backend.
+// Before the fix the router marked the backend unhealthy, counted a
+// backend error, and burned its remaining retries re-asking siblings on
+// the same dead context.
+func TestRouterCanceledReadLeavesHealthUntouched(t *testing.T) {
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Hold the request open until the client gives up.
+		select {
+		case <-req.Context().Done():
+		case <-release:
+		}
+	}))
+	defer backend.Close()
+	defer close(release)
+
+	r, _, _ := routerOver(t, backend.URL, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/whatif", strings.NewReader(`{}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	r.routeRead(rec, req)
+
+	b := r.lead
+	if !b.healthy.Load() {
+		t.Error("canceled read marked the backend unhealthy")
+	}
+	if n := b.errors.Load(); n != 0 {
+		t.Errorf("canceled read counted %d backend errors, want 0", n)
+	}
+	if n := b.requests.Load(); n != 1 {
+		t.Errorf("canceled read burned retries: %d proxy attempts, want 1", n)
+	}
+}
+
+// TestRouterDeadBackendStillPenalized pins the other side of the
+// distinction: a genuine transport failure (backend gone, inbound
+// context alive) must still mark the backend unhealthy, count an
+// error, and retry the next candidate.
+func TestRouterDeadBackendStillPenalized(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {}))
+	dead.Close() // refuse all connections
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer alive.Close()
+
+	r, _, _ := routerOver(t, alive.URL, []string{dead.URL})
+
+	req := httptest.NewRequest("POST", "/v1/whatif", strings.NewReader(`{}`))
+	rec := httptest.NewRecorder()
+	r.routeRead(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read failed with %d despite a healthy fallback", rec.Code)
+	}
+	db := r.reads[0]
+	if db.healthy.Load() {
+		t.Error("dead backend still marked healthy")
+	}
+	if n := db.errors.Load(); n != 1 {
+		t.Errorf("dead backend error counter = %d, want 1", n)
+	}
+}
+
+// TestRouterMidResponseFailureCounted is the regression test for the
+// proxy tail: a backend dying after the status line is on the wire
+// cannot be retried, but before the fix the copy error was silently
+// discarded — no log line, no error counter, a truncated body
+// indistinguishable from a healthy response in the router's metrics.
+func TestRouterMidResponseFailureCounted(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Promise more bytes than we send, then die: the client's body
+		// read fails after headers.
+		w.Header().Set("Content-Length", "1000")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer backend.Close()
+
+	r, logs, mu := routerOver(t, backend.URL, nil)
+
+	req := httptest.NewRequest("POST", "/v1/whatif", strings.NewReader(`{}`))
+	rec := httptest.NewRecorder()
+	r.routeRead(rec, req)
+
+	// Headers were written before the failure, so the client saw the
+	// 200 — the truncation must be recorded, not re-routed.
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want the already-committed 200", rec.Code)
+	}
+	b := r.lead
+	if n := b.errors.Load(); n != 1 {
+		t.Errorf("mid-response failure counted %d backend errors, want 1", n)
+	}
+	if n := b.requests.Load(); n != 1 {
+		t.Errorf("mid-response failure was retried: %d attempts, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(logs.String(), "response copy aborted after headers") {
+		t.Errorf("copy failure not logged; logs:\n%s", logs.String())
+	}
+}

@@ -34,6 +34,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m("mahif_session_query_misses_total", "Compiled reenactment-result cache misses per session.", "counter")
 	m("mahif_session_query_evictions_total", "Materialized results dropped by the query-cache LRU bound per session.", "counter")
 	m("mahif_session_query_resident", "Materialized results currently held per session.", "gauge")
+	m("mahif_session_template_hits_total", "Compiled scenario-template cache hits per session.", "counter")
+	m("mahif_session_template_misses_total", "Compiled scenario-template cache misses per session.", "counter")
+	m("mahif_session_template_evictions_total", "Template artifacts dropped by the template-cache LRU bound per session.", "counter")
+	m("mahif_session_template_resident", "Template artifacts currently held per session.", "gauge")
 	for i, st := range s.SessionStats() {
 		l := fmt.Sprintf("{session=\"%d\"}", i)
 		fmt.Fprintf(&b, "mahif_session_calls_total%s %d\n", l, st.Calls)
@@ -50,7 +54,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "mahif_session_query_misses_total%s %d\n", l, st.QueryMisses)
 		fmt.Fprintf(&b, "mahif_session_query_evictions_total%s %d\n", l, st.QueryEvictions)
 		fmt.Fprintf(&b, "mahif_session_query_resident%s %d\n", l, st.QueryResident)
+		fmt.Fprintf(&b, "mahif_session_template_hits_total%s %d\n", l, st.TemplateHits)
+		fmt.Fprintf(&b, "mahif_session_template_misses_total%s %d\n", l, st.TemplateMisses)
+		fmt.Fprintf(&b, "mahif_session_template_evictions_total%s %d\n", l, st.TemplateEvictions)
+		fmt.Fprintf(&b, "mahif_session_template_resident%s %d\n", l, st.TemplateResident)
 	}
+
+	s.tmu.Lock()
+	registered := len(s.templates)
+	s.tmu.Unlock()
+	m("mahif_templates_registered", "Scenario templates registered via POST /v1/template.", "gauge")
+	fmt.Fprintf(&b, "mahif_templates_registered %d\n", registered)
+	m("mahif_template_evals_total", "Bindings answered through template eval endpoints.", "counter")
+	fmt.Fprintf(&b, "mahif_template_evals_total %d\n", s.templateEvals.Load())
 
 	if s.opts.Store != nil {
 		st := s.opts.Store.Stats()

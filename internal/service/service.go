@@ -78,6 +78,15 @@ type Server struct {
 	walStreams       atomic.Int64
 	walStreamRecords atomic.Int64
 
+	// Compiled scenario templates registered via POST /v1/template,
+	// addressed by id in /v1/template/{id}/eval. Ids are monotonic per
+	// process; the artifacts behind them are shared with the session
+	// template cache, so identical resubmissions don't recompile.
+	tmu           sync.Mutex
+	templates     map[string]*core.Template
+	tseq          int64
+	templateEvals atomic.Int64
+
 	// streamStop ends live WAL streams on shutdown: they outlive any
 	// drain window by design, so Shutdown would otherwise never finish.
 	streamStop     chan struct{}
@@ -120,6 +129,8 @@ func (s *Server) SessionStats() []core.SessionStats {
 //
 //	POST /v1/whatif      one what-if query             → WhatIfResponse
 //	POST /v1/batch       a scenario batch              → BatchResponse
+//	POST /v1/template    compile a parameterized scenario → TemplateResponse
+//	POST /v1/template/{id}/eval  answer binding(s)     → TemplateEvalResponse
 //	GET  /v1/history     the history (paged: ?since=N&limit=M) → HistoryResponse
 //	POST /v1/history     append statements (live)      → AppendResponse
 //	GET  /v1/status      role + replication position   → StatusResponse
@@ -131,6 +142,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/template", s.handleTemplateCreate)
+	mux.HandleFunc("POST /v1/template/{id}/eval", s.handleTemplateEval)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
 	mux.HandleFunc("POST /v1/history", s.handleAppend)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)

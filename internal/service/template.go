@@ -1,0 +1,199 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// TemplateRequest is the body of POST /v1/template: a modification
+// sequence whose SQL carries $name parameter slots, compiled once into
+// a reusable template.
+type TemplateRequest struct {
+	Modifications []Modification `json:"modifications"`
+	// Variant selects the algorithm (R, R+PS, R+DS, R+PS+DS); empty
+	// means R+PS+DS. Templates disable data slicing internally either
+	// way (results are variant-invariant).
+	Variant string `json:"variant,omitempty"`
+	// TimeoutMs tightens (never extends) the server's per-request
+	// timeout for the one-time compilation.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// TemplateResponse is the body of a successful POST /v1/template.
+type TemplateResponse struct {
+	// ID names the compiled template for /v1/template/{id}/eval.
+	ID string `json:"id"`
+	// Params maps each $slot to its inferred value class ("numeric",
+	// "string", "bool", or "any").
+	Params map[string]string `json:"params"`
+	// Version is the history version the artifact is compiled against.
+	Version int `json:"version"`
+	// TotalStatements and KeptStatements report the slicing outcome;
+	// BindingIndependent/BindingDependent partition the kept
+	// statements by whether their retention involved a $slot.
+	TotalStatements    int `json:"total_statements"`
+	KeptStatements     int `json:"kept_statements"`
+	BindingIndependent int `json:"binding_independent"`
+	BindingDependent   int `json:"binding_dependent"`
+	// CompileMs is the one-time compilation cost each eval amortizes.
+	CompileMs float64 `json:"compile_ms"`
+}
+
+// TemplateEvalRequest is the body of POST /v1/template/{id}/eval.
+// Exactly one of Binding (one answer) and Bindings (a sweep) must be
+// set. Values follow the engine's JSON value encoding: null, booleans,
+// strings, and numbers (a fraction or exponent makes a float).
+type TemplateEvalRequest struct {
+	Binding  map[string]types.Value   `json:"binding,omitempty"`
+	Bindings []map[string]types.Value `json:"bindings,omitempty"`
+	// Workers bounds the sweep's evaluation parallelism (default
+	// GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs tightens (never extends) the server's per-request
+	// timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// MinVersion is the read-your-writes bound (see WhatIfRequest).
+	// Templates recompile transparently when the history advances, so
+	// a bounded eval answers against a version ≥ the bound.
+	MinVersion int `json:"min_version,omitempty"`
+}
+
+// TemplateBindingResult is one binding's outcome in a sweep. Exactly
+// one of Delta and Error is meaningful.
+type TemplateBindingResult struct {
+	// Binding is the 1-based index into the request's bindings array.
+	Binding int       `json:"binding"`
+	Delta   delta.Set `json:"delta,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// TemplateEvalResponse is the body of a successful eval: Delta for a
+// single binding, Results for a sweep.
+type TemplateEvalResponse struct {
+	Delta   delta.Set               `json:"delta,omitempty"`
+	Results []TemplateBindingResult `json:"results,omitempty"`
+}
+
+// handleTemplateCreate compiles a parameterized scenario and registers
+// it under a fresh id. Compilation goes through a session, so
+// re-submitting an identical template at the same history version is
+// answered from the session's template cache (a fresh id still refers
+// to the shared compiled artifact).
+func (s *Server) handleTemplateCreate(w http.ResponseWriter, r *http.Request) {
+	var req TemplateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mods, err := DecodeModifications(req.Modifications)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, ok := variantOptions(req.Variant)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown variant %q (want R, R+PS, R+DS, R+PS+DS)", req.Variant))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	tpl, err := s.session().CompileTemplateCtx(ctx, mods, opts)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	s.tmu.Lock()
+	s.tseq++
+	id := fmt.Sprintf("t%d", s.tseq)
+	if s.templates == nil {
+		s.templates = map[string]*core.Template{}
+	}
+	s.templates[id] = tpl
+	s.tmu.Unlock()
+
+	st := tpl.Stats()
+	writeJSON(w, http.StatusOK, TemplateResponse{
+		ID:                 id,
+		Params:             tpl.Params(),
+		Version:            st.Version,
+		TotalStatements:    st.TotalStatements,
+		KeptStatements:     st.KeptStatements,
+		BindingIndependent: st.BindingIndependent,
+		BindingDependent:   st.BindingDependent,
+		CompileMs:          float64(st.CompileTime.Microseconds()) / 1000,
+	})
+}
+
+// template looks up a registered template by id.
+func (s *Server) template(id string) (*core.Template, bool) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	tpl, ok := s.templates[id]
+	return tpl, ok
+}
+
+// handleTemplateEval answers one binding or a binding sweep against a
+// registered template. Binding mistakes (missing or unknown parameter,
+// value-class mismatch) are 400s; an unknown template id is a 404.
+func (s *Server) handleTemplateEval(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tpl, ok := s.template(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown template %q", id))
+		return
+	}
+	var req TemplateEvalRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Binding == nil) == (len(req.Bindings) == 0) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("exactly one of binding and bindings must be set"))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.waitMinVersion(ctx, req.MinVersion); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	if req.Binding != nil {
+		d, err := tpl.EvalCtx(ctx, req.Binding)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		s.templateEvals.Add(1)
+		writeJSON(w, http.StatusOK, TemplateEvalResponse{Delta: d})
+		return
+	}
+
+	results, err := tpl.EvalBatchCtx(ctx, req.Bindings, req.Workers)
+	if err != nil && results == nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	// Like /v1/batch: a sweep cut short by the deadline returns the
+	// partial results with the timeout status; per-binding errors
+	// carry the detail.
+	status := http.StatusOK
+	if err != nil {
+		status = statusFor(err)
+	}
+	resp := TemplateEvalResponse{Results: make([]TemplateBindingResult, len(results))}
+	for i, res := range results {
+		out := TemplateBindingResult{Binding: res.Binding + 1, Delta: res.Delta}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		}
+		resp.Results[i] = out
+	}
+	s.templateEvals.Add(int64(len(results)))
+	writeJSON(w, status, resp)
+}

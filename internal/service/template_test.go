@@ -1,0 +1,268 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/mahif/mahif/internal/types"
+)
+
+// createTemplate posts the standard fee template and returns its id.
+func createTemplate(t *testing.T, h http.Handler) TemplateResponse {
+	t.Helper()
+	w := postJSON(t, h, "/v1/template", TemplateRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= $cut`}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("template create: status %d: %s", w.Code, w.Body)
+	}
+	var resp TemplateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestTemplateEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+	created := createTemplate(t, h)
+	if created.ID == "" || created.Params["cut"] != "numeric" {
+		t.Fatalf("create response = %+v, want an id and cut:numeric", created)
+	}
+	if created.Version != 2 || created.TotalStatements == 0 {
+		t.Fatalf("create response = %+v, want version 2 with statements", created)
+	}
+
+	// One binding: the delta must match a plain what-if with the
+	// constant substituted.
+	w := postJSON(t, h, "/v1/template/"+created.ID+"/eval", TemplateEvalRequest{
+		Binding: map[string]types.Value{"cut": types.Float(60)},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("eval: status %d: %s", w.Code, w.Body)
+	}
+	var evalResp TemplateEvalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &evalResp); err != nil {
+		t.Fatal(err)
+	}
+	if evalResp.Delta["orders"] == nil || evalResp.Delta["orders"].Empty() {
+		t.Fatalf("expected a non-empty orders delta, got %s", w.Body)
+	}
+	ww := postJSON(t, h, "/v1/whatif", WhatIfRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= 60.0`}},
+	})
+	var whatIf WhatIfResponse
+	if err := json.Unmarshal(ww.Body.Bytes(), &whatIf); err != nil {
+		t.Fatal(err)
+	}
+	if !evalResp.Delta["orders"].Equal(whatIf.Delta["orders"]) {
+		t.Fatalf("template delta differs from plain what-if:\n%s\nvs\n%s", w.Body, ww.Body)
+	}
+
+	// A sweep keeps submission order and 1-based binding indexes.
+	bindings := make([]map[string]types.Value, 5)
+	for i := range bindings {
+		bindings[i] = map[string]types.Value{"cut": types.Float(float64(52 + 4*i))}
+	}
+	w = postJSON(t, h, "/v1/template/"+created.ID+"/eval", TemplateEvalRequest{Bindings: bindings})
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", w.Code, w.Body)
+	}
+	evalResp = TemplateEvalResponse{}
+	if err := json.Unmarshal(w.Body.Bytes(), &evalResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(evalResp.Results) != len(bindings) {
+		t.Fatalf("sweep returned %d results, want %d", len(evalResp.Results), len(bindings))
+	}
+	for i, res := range evalResp.Results {
+		if res.Binding != i+1 {
+			t.Errorf("result %d carries binding %d, want %d", i, res.Binding, i+1)
+		}
+		if res.Error != "" {
+			t.Errorf("binding %d failed: %s", i+1, res.Error)
+		}
+	}
+
+	// The metrics expose the registry and eval traffic.
+	req, _ := http.NewRequest("GET", "/metrics", nil)
+	rec := postJSON(t, h, "/v1/template", TemplateRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= $cut`}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second create: %d", rec.Code)
+	}
+	mrec := getPath(t, h, req)
+	for _, want := range []string{
+		"mahif_templates_registered 2",
+		"mahif_template_evals_total 6",
+		"mahif_session_template_hits_total",
+	} {
+		if !strings.Contains(mrec, want) {
+			t.Errorf("metrics missing %q:\n%s", want, mrec)
+		}
+	}
+}
+
+func getPath(t *testing.T, h http.Handler, req *http.Request) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s: %d", req.URL.Path, rec.Code)
+	}
+	return rec.Body.String()
+}
+
+func TestTemplateEvalErrors(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+	created := createTemplate(t, h)
+
+	cases := []struct {
+		name     string
+		path     string
+		req      TemplateEvalRequest
+		wantCode int
+		wantBody string
+	}{
+		{
+			name:     "unknown id",
+			path:     "/v1/template/t999/eval",
+			req:      TemplateEvalRequest{Binding: map[string]types.Value{"cut": types.Float(60)}},
+			wantCode: http.StatusNotFound,
+			wantBody: "unknown template",
+		},
+		{
+			name: "missing parameter",
+			path: "/v1/template/" + created.ID + "/eval",
+			// A misnamed binding: the required-parameter check fires
+			// before the unknown-name check.
+			req:      TemplateEvalRequest{Binding: map[string]types.Value{"cutt": types.Float(60)}},
+			wantCode: http.StatusBadRequest,
+			wantBody: "missing parameter $cut",
+		},
+		{
+			name:     "extra parameter",
+			path:     "/v1/template/" + created.ID + "/eval",
+			req:      TemplateEvalRequest{Binding: map[string]types.Value{"cut": types.Float(60), "extra": types.Int(1)}},
+			wantCode: http.StatusBadRequest,
+			wantBody: "unknown parameter $extra",
+		},
+		{
+			name:     "kind mismatch",
+			path:     "/v1/template/" + created.ID + "/eval",
+			req:      TemplateEvalRequest{Binding: map[string]types.Value{"cut": types.String("sixty")}},
+			wantCode: http.StatusBadRequest,
+			wantBody: "wants a numeric value",
+		},
+		{
+			name:     "neither binding nor bindings",
+			path:     "/v1/template/" + created.ID + "/eval",
+			req:      TemplateEvalRequest{},
+			wantCode: http.StatusBadRequest,
+			wantBody: "exactly one of binding and bindings",
+		},
+	}
+	for _, tc := range cases {
+		w := postJSON(t, h, tc.path, tc.req)
+		if w.Code != tc.wantCode {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.wantCode, w.Body)
+		}
+		if !strings.Contains(w.Body.String(), tc.wantBody) {
+			t.Errorf("%s: body %s, want substring %q", tc.name, w.Body, tc.wantBody)
+		}
+	}
+
+	// A binding sweep reports per-binding failures without failing the
+	// sweep.
+	w := postJSON(t, h, "/v1/template/"+created.ID+"/eval", TemplateEvalRequest{
+		Bindings: []map[string]types.Value{
+			{"cut": types.Float(60)},
+			{},
+		},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("mixed sweep: status %d: %s", w.Code, w.Body)
+	}
+	var resp TemplateEvalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || resp.Results[1].Error == "" {
+		t.Fatalf("mixed sweep results = %s", w.Body)
+	}
+}
+
+// TestTemplateEvalMinVersion pins the read-your-writes bound on eval:
+// the bound blocks until the history reaches it, and the answering
+// artifact recompiles against the advanced version.
+func TestTemplateEvalMinVersion(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+	created := createTemplate(t, h)
+
+	// Append one statement, then eval bounded by the new version.
+	aw := postJSON(t, h, "/v1/history", AppendRequest{
+		Statements: []string{`UPDATE orders SET fee = fee + 2 WHERE price >= 90`},
+	})
+	if aw.Code != http.StatusOK {
+		t.Fatalf("append: %d %s", aw.Code, aw.Body)
+	}
+	w := postJSON(t, h, "/v1/template/"+created.ID+"/eval", TemplateEvalRequest{
+		Binding:    map[string]types.Value{"cut": types.Float(60)},
+		MinVersion: 3,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("bounded eval: status %d: %s", w.Code, w.Body)
+	}
+	var resp TemplateEvalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	ww := postJSON(t, h, "/v1/whatif", WhatIfRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= 60.0`}},
+		MinVersion:    3,
+	})
+	var whatIf WhatIfResponse
+	if err := json.Unmarshal(ww.Body.Bytes(), &whatIf); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Delta["orders"].Equal(whatIf.Delta["orders"]) {
+		t.Fatalf("post-append template delta differs from plain what-if:\n%s\nvs\n%s", w.Body, ww.Body)
+	}
+
+	// An unreachable bound with a short budget times out as 504.
+	w = postJSON(t, h, "/v1/template/"+created.ID+"/eval", TemplateEvalRequest{
+		Binding:    map[string]types.Value{"cut": types.Float(60)},
+		MinVersion: 99,
+		TimeoutMs:  30,
+	})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable bound: status %d, want 504 (%s)", w.Code, w.Body)
+	}
+}
+
+// TestTemplateCreateErrors pins compile-side validation.
+func TestTemplateCreateErrors(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	w := postJSON(t, h, "/v1/template", TemplateRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 9, Statement: `UPDATE orders SET fee = 0 WHERE price >= $cut`}},
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range position: status %d, want 400 (%s)", w.Code, w.Body)
+	}
+	w = postJSON(t, h, "/v1/template", TemplateRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 1, Statement: `UPDATE orders SET fee = 0 WHERE price >= $cut`}},
+		Variant:       "bogus",
+	})
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "unknown variant") {
+		t.Fatalf("bogus variant: status %d (%s)", w.Code, w.Body)
+	}
+}

@@ -21,7 +21,8 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokOp // operators and punctuation
+	tokParam // $name template parameter slot
+	tokOp    // operators and punctuation
 )
 
 type token struct {
@@ -65,6 +66,10 @@ func lex(src string) ([]token, error) {
 			}
 		case c == '\'':
 			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			if err := l.lexParam(); err != nil {
 				return nil, err
 			}
 		default:
@@ -182,6 +187,21 @@ func (l *lexer) lexString() error {
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+// lexParam consumes $name — a scenario-template parameter slot. The
+// name follows identifier rules (letter/underscore start).
+func (l *lexer) lexParam() error {
+	start := l.pos
+	l.pos++ // '$'
+	if l.pos >= len(l.src) || !(unicode.IsLetter(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		return fmt.Errorf("sql: expected parameter name after $ at offset %d", start)
+	}
+	for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	l.emit(token{kind: tokParam, text: l.src[start+1 : l.pos], pos: start})
+	return nil
 }
 
 var twoCharOps = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}

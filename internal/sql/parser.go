@@ -602,6 +602,9 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 	case tokString:
 		p.pos++
 		return expr.StringConst(t.text), nil
+	case tokParam:
+		p.pos++
+		return expr.Parameter(t.text), nil
 	case tokIdent:
 		p.pos++
 		name := t.text

@@ -87,6 +87,30 @@
 // HTTP through a session pool; DeltaSet, Stats, and BatchStats carry a
 // stable JSON wire format (MarshalJSON/UnmarshalJSON, pinned by golden
 // tests) for that boundary.
+//
+// # Scenario templates
+//
+// When the family of hypotheticals shares one shape and differs only
+// in constants — "what if the threshold had been X?" for 10k values of
+// X — compile the shape once and bind per question. A template's
+// statements carry $name parameter slots (SQL: `... WHERE price >=
+// $cut`); CompileTemplate runs history alignment, time travel, and
+// program slicing once, with the slots as free solver variables (sound
+// for every later binding), and Template.Eval answers each binding by
+// evaluating only the retained modified-side query:
+//
+//	tpl, err := engine.CompileTemplate([]mahif.Modification{
+//	    mahif.ReplaceSQL(0, `UPDATE orders SET fee = 0 WHERE price >= $cut`),
+//	}, mahif.DefaultOptions())
+//	d55, err := tpl.Eval(map[string]mahif.Value{"cut": mahif.Int(55)})
+//	d60, err := tpl.Eval(map[string]mahif.Value{"cut": mahif.Int(60)})
+//
+// Every Eval returns exactly what a fresh WhatIf over the substituted
+// modifications would (pinned by differential tests). Templates
+// recompile transparently when the history advances; sessions cache
+// compiled templates by constant-abstracted shape (see
+// Session.CompileTemplate), and cmd/mahifd exposes the subsystem as
+// POST /v1/template and POST /v1/template/{id}/eval.
 package mahif
 
 import (
@@ -162,6 +186,15 @@ type (
 	Session = core.Session
 	// SessionStats reports a session's cache effectiveness.
 	SessionStats = core.SessionStats
+	// Template is a compiled parameterized what-if scenario: compile
+	// once with $name slots, answer many bindings fast (see
+	// Engine.CompileTemplate and Session.CompileTemplate).
+	Template = core.Template
+	// TemplateStats profiles a template's one-time compilation and
+	// lifetime eval/recompile counters.
+	TemplateStats = core.TemplateStats
+	// TemplateEvalResult is one binding's outcome in Template.EvalBatch.
+	TemplateEvalResult = core.TemplateEvalResult
 	// Delta is the annotated symmetric difference for one relation.
 	Delta = delta.Result
 	// DeltaSet maps relation names to their deltas.
@@ -283,6 +316,13 @@ func InsertSQL(pos int, src string) Modification {
 
 // DeleteAt builds a DeleteStmt modification (zero-based position).
 func DeleteAt(pos int) Modification { return history.DeleteStmt{Pos: pos} }
+
+// Parameter builds a $name template parameter slot for use in
+// statement expressions (SQL spells it `$name`). Statements carrying
+// slots compile into reusable templates via Engine.CompileTemplate;
+// they cannot be appended to a history or answered by plain WhatIf
+// until every slot is bound.
+func Parameter(name string) Expr { return expr.Parameter(name) }
 
 // EquivalenceResult reports a history equivalence proof (see
 // ProveEquivalent).
