@@ -15,6 +15,7 @@
 //	mahif-bench -exp exec -cpuprofile cpu.out -memprofile mem.out
 //	mahif-bench -exp serve        # mahifd HTTP service load test → BENCH_serve.json
 //	mahif-bench -exp template     # scenario templates vs WhatIfBatch → BENCH_template.json
+//	mahif-bench -exp howto        # certified how-to target search → BENCH_howto.json
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, persist, cluster, template, all")
+	exp := flag.String("exp", "", "experiment id: fig14–fig25, ablation, batch, exec, serve, persist, cluster, template, howto, all")
 	rows := flag.Int("rows", 20000, "row count of the small datasets (stand-in for the paper's 5M)")
 	large := flag.Int("large", 4, "multiplier for the large taxi dataset (stand-in for 50M)")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -42,6 +43,7 @@ func main() {
 	flag.StringVar(&persistOut, "persistout", persistOut, "output path for the persist experiment's JSON report")
 	flag.StringVar(&clusterOut, "clusterout", clusterOut, "output path for the cluster experiment's JSON report")
 	flag.StringVar(&templateOut, "templateout", templateOut, "output path for the template experiment's JSON report")
+	flag.StringVar(&howtoOut, "howtoout", howtoOut, "output path for the howto experiment's JSON report")
 	flag.Parse()
 
 	us, err := parseInts(*updates)
@@ -57,7 +59,7 @@ func main() {
 		"fig22": h.fig22, "fig23": h.fig23, "fig24": h.fig24, "fig25": h.fig25,
 		"ablation": h.ablations, "batch": h.batch, "exec": h.execExp,
 		"serve": h.serveExp, "persist": h.persistExp, "cluster": h.clusterExp,
-		"template": h.templateExp,
+		"template": h.templateExp, "howto": h.howtoExp,
 	}
 	var runs []func()
 	switch *exp {

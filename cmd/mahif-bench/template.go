@@ -45,10 +45,14 @@ type templateResult struct {
 	// and amortized for the template rows).
 	NsPerBinding int64 `json:"ns_per_binding"`
 	// Slicing outcome of the template artifact (template rows only).
-	TotalStatements    int `json:"total_statements,omitempty"`
-	KeptStatements     int `json:"kept_statements,omitempty"`
-	BindingIndependent int `json:"binding_independent,omitempty"`
-	BindingDependent   int `json:"binding_dependent,omitempty"`
+	// DataSlicing reports the SET-only fast path: slots confined to SET
+	// position leave the slicing filters binding-invariant, so data
+	// slicing survives compilation (set-slot cells say true).
+	TotalStatements    int  `json:"total_statements,omitempty"`
+	KeptStatements     int  `json:"kept_statements,omitempty"`
+	BindingIndependent int  `json:"binding_independent,omitempty"`
+	BindingDependent   int  `json:"binding_dependent,omitempty"`
+	DataSlicing        bool `json:"data_slicing,omitempty"`
 	// SpeedupVsBatch is the template row's per-binding gain over its
 	// ablation twin (batch ns_per_binding / template ns_per_binding).
 	SpeedupVsBatch float64 `json:"speedup_vs_batch,omitempty"`
@@ -250,6 +254,7 @@ func (h *harness) templateExp() {
 				KeptStatements:     st.KeptStatements,
 				BindingIndependent: st.BindingIndependent,
 				BindingDependent:   st.BindingDependent,
+				DataSlicing:        st.DataSlicing,
 				SpeedupVsBatch:     speedup,
 				IdenticalResults:   &id,
 			},

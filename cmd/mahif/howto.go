@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mahif/mahif"
+	"github.com/mahif/mahif/internal/howto"
+	"github.com/mahif/mahif/internal/service"
+)
+
+// runHowtoCmd is the `mahif howto` subcommand: invert a what-if —
+// given a parameterized modification script and a target condition
+// over an aggregate delta, search for the minimal-magnitude binding
+// that achieves it and print the certified answer.
+func runHowtoCmd(args []string) {
+	fs := flag.NewFlagSet("mahif howto", flag.ExitOnError)
+	var data dataFlags
+	fs.Var(&data, "data", "relation=file.csv (repeatable)")
+	historyPath := fs.String("history", "", "SQL script with the transactional history")
+	whatifPath := fs.String("whatif", "", "modification script with $name parameter slots")
+	targetPath := fs.String("target", "", "JSON how-to target (query, column, op, value, optional group/bounds)")
+	variant := fs.String("variant", "R+PS+DS", "algorithm variant: R, R+PS, R+DS, R+PS+DS")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), `Usage: mahif howto -data rel=file.csv -history h.sql -whatif changes.txt -target target.json [-variant R+PS+DS]
+
+The modification script is the single-query format with $name slots:
+
+  replace 2: UPDATE orders SET fee = fee + $x WHERE price < 40
+
+The target file describes the desired aggregate-delta effect and the
+search bounds:
+
+  {
+    "query":  "SELECT region, SUM(amount) AS s FROM orders GROUP BY region",
+    "group":  ["east"],
+    "column": "s",
+    "op":     "<=",
+    "value":  -20,
+    "bounds": {"x": {"lo": -100, "hi": 100}}
+  }
+
+The answer is the minimal-magnitude satisfying binding, with a
+differential certificate: the claimed delta is reproduced by a fresh
+what-if over the substituted constants.`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if len(data) == 0 || *historyPath == "" || *whatifPath == "" || *targetPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := runHowto(data, *historyPath, *whatifPath, *targetPath, *variant); err != nil {
+		fmt.Fprintln(os.Stderr, "mahif howto:", err)
+		os.Exit(1)
+	}
+}
+
+// howtoTarget is the -target file: a howto.Target plus search bounds.
+type howtoTarget struct {
+	howto.Target
+	Bounds map[string]howto.Range `json:"bounds,omitempty"`
+}
+
+func runHowto(data []string, historyPath, whatifPath, targetPath, variant string) error {
+	engine, err := service.LoadEngine(data, historyPath)
+	if err != nil {
+		return err
+	}
+	mods, err := loadModifications(whatifPath)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(targetPath)
+	if err != nil {
+		return err
+	}
+	var target howtoTarget
+	if err := json.Unmarshal(raw, &target); err != nil {
+		return fmt.Errorf("%s: %w", targetPath, err)
+	}
+	opts := mahif.OptionsFor(mahif.Variant(variant))
+	res, err := howto.Search(context.Background(), engine, mods, target.Target, howto.Options{
+		Bounds: target.Bounds,
+		Engine: &opts,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if !res.Certificate.Certified {
+		return fmt.Errorf("answer failed certification (claimed %v, reproduced %v)",
+			res.Certificate.Claimed, res.Certificate.Reproduced)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunHowtoEndToEnd drives the howto CLI path: two orders sit under
+// the price-40 line, so the SUM(shippingfee) delta of replacing the +1
+// surcharge with +$x is 2x − 2, and reaching +10 needs x = 6. runHowto
+// fails the run when the certificate does not pass, so a nil error
+// also pins certification.
+func TestRunHowtoEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "orders.csv", ordersCSV)
+	hist := writeFile(t, dir, "history.sql", `
+		UPDATE orders SET shippingfee = 0 WHERE price >= 50;
+		UPDATE orders SET shippingfee = shippingfee + 1 WHERE price < 40;
+	`)
+	whatif := writeFile(t, dir, "changes.txt",
+		"replace 2: UPDATE orders SET shippingfee = shippingfee + $x WHERE price < 40\n")
+	target := writeFile(t, dir, "target.json", `{
+		"query":  "SELECT SUM(shippingfee) AS s FROM orders",
+		"column": "s",
+		"op":     "==",
+		"value":  10,
+		"bounds": {"x": {"lo": -100, "hi": 100}}
+	}`)
+	if err := runHowto([]string{"orders=" + csv}, hist, whatif, target, "R+PS+DS"); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unreachable target surfaces as a search error.
+	bad := writeFile(t, dir, "bad.json", `{
+		"query":  "SELECT SUM(shippingfee) AS s FROM orders",
+		"column": "s",
+		"op":     ">=",
+		"value":  1000000,
+		"bounds": {"x": {"lo": -10, "hi": 10}}
+	}`)
+	err := runHowto([]string{"orders=" + csv}, hist, whatif, bad, "R+PS+DS")
+	if err == nil || !strings.Contains(err.Error(), "no satisfying binding") {
+		t.Fatalf("want no-satisfying-binding error, got %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 //	mahif -data orders=orders.csv -history history.sql -whatif changes.txt [-variant R+PS+DS] [-stats]
 //	mahif batch -data orders=orders.csv -history history.sql -scenarios scenarios.json [-workers N] [-stats]
 //	mahif template -data orders=orders.csv -history history.sql -whatif changes.txt -bindings bindings.json [-workers N] [-stats]
+//	mahif howto -data orders=orders.csv -history history.sql -whatif changes.txt -target target.json
 //	mahif ingest -data DIR [-csv rel=file.csv ...] [-history h.sql]
 //	mahif checkpoint -data DIR
 //
@@ -25,7 +26,10 @@
 // `mahif batch -h` for the schema). The template subcommand compiles a
 // modification script whose statements carry $name parameter slots
 // once, then answers a JSON file of bindings against the compiled
-// artifact (see `mahif template -h`).
+// artifact (see `mahif template -h`). The howto subcommand inverts the
+// question: it searches the $slot binding space for the
+// minimal-magnitude values achieving a target condition over an
+// aggregate delta (see `mahif howto -h`).
 //
 // CSV files need a header row; column types are inferred from the first
 // data row (int, float, bool, then string).
@@ -59,6 +63,9 @@ func main() {
 			return
 		case "template":
 			runTemplateCmd(os.Args[2:])
+			return
+		case "howto":
+			runHowtoCmd(os.Args[2:])
 			return
 		case "ingest":
 			runIngestCmd(os.Args[2:])

@@ -6,6 +6,10 @@ import (
 	"testing"
 
 	"github.com/mahif/mahif"
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/exec"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
 )
 
 // TestRandomizedCrossValidation is the repository's highest-level
@@ -228,6 +232,7 @@ func differentialTrial(t *testing.T, rng *rand.Rand) {
 	vdb, hist := randomScenario(t, rng)
 	mod := randomModificationFor(rng, hist)
 	engine := mahif.NewEngine(vdb)
+	aggregateDifferentialTrial(t, rng, vdb)
 	for _, v := range []mahif.Variant{mahif.VariantR, mahif.VariantRPS, mahif.VariantRDS, mahif.VariantRFull} {
 		optsI := mahif.OptionsFor(v)
 		optsI.Executor = mahif.ExecInterpreter
@@ -274,6 +279,99 @@ func differentialTrial(t *testing.T, rng *rand.Rand) {
 	}
 }
 
+// randomAggregateSQL draws a grouped or global aggregate query over r:
+// 0–2 grouping columns (including computed keys, so NULL groups and
+// cross-kind numeric keys arise from the wide generator), 1–3 aggregate
+// calls over every function, an optional WHERE, and occasionally a
+// deliberately ill-typed SUM over the string column so error behavior
+// is differentially checked too.
+func randomAggregateSQL(rng *rand.Rand) string {
+	groupPool := []string{"g", "k", "v", "k + 1"}
+	var groups []string
+	for _, g := range groupPool {
+		if rng.Intn(4) == 0 && len(groups) < 2 {
+			groups = append(groups, g)
+		}
+	}
+	aggPool := []string{"COUNT(*)", "COUNT(v)", "SUM(v)", "AVG(v)", "MIN(v)", "MAX(k)", "SUM(k + v)", "MIN(g)", "MAX(g)"}
+	if rng.Intn(10) == 0 {
+		aggPool = append(aggPool, "SUM(g)") // ill-typed: all executors must error alike
+	}
+	n := 1 + rng.Intn(3)
+	var items []string
+	for i, g := range groups {
+		item := g
+		if g == "k + 1" {
+			item = fmt.Sprintf("%s AS gk%d", g, i)
+		}
+		items = append(items, item)
+	}
+	for i := 0; i < n; i++ {
+		items = append(items, fmt.Sprintf("%s AS a%d", aggPool[rng.Intn(len(aggPool))], i))
+	}
+	q := "SELECT "
+	for i, it := range items {
+		if i > 0 {
+			q += ", "
+		}
+		q += it
+	}
+	q += " FROM r"
+	if rng.Intn(2) == 0 {
+		q += " WHERE " + randomCondSQL(rng)
+	}
+	if len(groups) > 0 {
+		q += " GROUP BY "
+		for i, g := range groups {
+			if i > 0 {
+				q += ", "
+			}
+			q += g
+		}
+	}
+	return q
+}
+
+// aggregateDifferentialTrial evaluates random aggregate plans over the
+// scenario's tip state with all three executors and requires identical
+// materialized relations — same schema, same tuples, same order (group
+// first-appearance order is part of the contract) — or that all three
+// fail together.
+func aggregateDifferentialTrial(t *testing.T, rng *rand.Rand, vdb *mahif.VersionedDatabase) {
+	t.Helper()
+	_, db := vdb.TipSnapshot()
+	for i := 0; i < 2; i++ {
+		src := randomAggregateSQL(rng)
+		q, err := sql.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		want, errI := algebra.Eval(q, db)
+		for name, evalFn := range map[string]func(algebra.Query, *storage.Database) (*storage.Relation, error){
+			"compiled": exec.Eval, "vectorized": exec.EvalVec,
+		} {
+			got, errX := evalFn(q, db)
+			if (errI == nil) != (errX == nil) {
+				t.Fatalf("%s: aggregate error divergence on %q: interpreter=%v got=%v", name, src, errI, errX)
+			}
+			if errI != nil {
+				continue
+			}
+			if !want.Schema.Equal(got.Schema) {
+				t.Fatalf("%s: aggregate schema divergence on %q: %s vs %s", name, src, want.Schema, got.Schema)
+			}
+			if len(want.Tuples) != len(got.Tuples) {
+				t.Fatalf("%s: aggregate row-count divergence on %q: %d vs %d", name, src, len(want.Tuples), len(got.Tuples))
+			}
+			for j := range want.Tuples {
+				if !want.Tuples[j].Equal(got.Tuples[j]) {
+					t.Fatalf("%s: aggregate row divergence on %q at %d: %s vs %s", name, src, j, want.Tuples[j], got.Tuples[j])
+				}
+			}
+		}
+	}
+}
+
 // TestDifferentialExecutor cross-validates the compiled and vectorized
 // executors against the interpreter oracle over random histories and
 // modifications.
@@ -301,9 +399,15 @@ func TestDifferentialExecutor(t *testing.T) {
 // boxed fallback lane, 2^53-boundary and int64-extreme values, and
 // comparison constants at the same boundaries.
 func FuzzDifferentialExecutor(f *testing.F) {
+	// The fourth group was added with the aggregate operators: each
+	// trial now also runs grouped/global aggregate plans through all
+	// three executors, and these seeds land on NULL groups, empty
+	// inputs, ill-typed aggregate arguments, and batch-boundary group
+	// cardinalities.
 	for _, seed := range []int64{1, 2, 3, 42, 1234, 987654321,
 		7, 99, 2024, 31337, 55555, 424242, 8675309, 1 << 40,
-		11, 13, 31, 47, 1415, 2021, 4096, 271828} {
+		11, 13, 31, 47, 1415, 2021, 4096, 271828,
+		17, 23, 61, 101, 733, 3141, 16384, 650000} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {

@@ -170,6 +170,19 @@ func OutputSchema(q Query, db *storage.Database) (*schema.Schema, error) {
 		return schema.New(ls.Relation, cols...), nil
 	case *Singleton:
 		return x.Sch, nil
+	case *Aggregate:
+		in, err := OutputSchema(x.In, db)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]schema.Column, 0, len(x.GroupBy)+len(x.Aggs))
+		for _, ne := range x.GroupBy {
+			cols = append(cols, schema.Col(ne.Name, ExprKind(ne.E, in)))
+		}
+		for _, a := range x.Aggs {
+			cols = append(cols, schema.Col(a.Name, a.ResultKind(in)))
+		}
+		return schema.New(in.Relation, cols...), nil
 	}
 	return nil, fmt.Errorf("algebra: unknown query node %T", q)
 }
@@ -328,6 +341,16 @@ func Eval(q Query, db *storage.Database) (*storage.Relation, error) {
 		out := storage.NewRelation(x.Sch)
 		out.Tuples = append(out.Tuples, x.Tuples...)
 		return out, nil
+	case *Aggregate:
+		in, err := Eval(x.In, db)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := OutputSchema(x, db)
+		if err != nil {
+			return nil, err
+		}
+		return evalAggregate(x, in, outSchema)
 	}
 	return nil, fmt.Errorf("algebra: unknown query node %T", q)
 }
@@ -352,6 +375,8 @@ func SubstituteScans(q Query, repl map[string]Query) Query {
 		return &Difference{L: SubstituteScans(x.L, repl), R: SubstituteScans(x.R, repl)}
 	case *Join:
 		return &Join{L: SubstituteScans(x.L, repl), R: SubstituteScans(x.R, repl), Cond: x.Cond}
+	case *Aggregate:
+		return &Aggregate{GroupBy: x.GroupBy, Aggs: x.Aggs, In: SubstituteScans(x.In, repl)}
 	case *Singleton:
 		return q
 	}
@@ -379,6 +404,8 @@ func BaseRelations(q Query) map[string]bool {
 		case *Join:
 			walk(x.L)
 			walk(x.R)
+		case *Aggregate:
+			walk(x.In)
 		}
 	}
 	walk(q)

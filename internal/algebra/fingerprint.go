@@ -62,6 +62,28 @@ func writeFingerprint(b *strings.Builder, q Query) {
 		b.WriteByte(',')
 		writeFingerprint(b, x.R)
 		b.WriteByte(')')
+	case *Aggregate:
+		b.WriteString("agg[")
+		for i, ne := range x.GroupBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ne.Name)
+			b.WriteByte('=')
+			b.WriteString(ne.E.String())
+		}
+		b.WriteByte(';')
+		for i, a := range x.Aggs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(a.Name)
+			b.WriteByte('=')
+			b.WriteString(a.CallString())
+		}
+		b.WriteString("](")
+		writeFingerprint(b, x.In)
+		b.WriteByte(')')
 	case *Singleton:
 		b.WriteString("single[")
 		b.WriteString(x.Sch.String())

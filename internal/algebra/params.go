@@ -39,6 +39,16 @@ func collectParams(q Query, out map[string]bool) {
 		addExpr(x.Cond)
 		collectParams(x.L, out)
 		collectParams(x.R, out)
+	case *Aggregate:
+		for _, ne := range x.GroupBy {
+			addExpr(ne.E)
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				addExpr(a.Arg)
+			}
+		}
+		collectParams(x.In, out)
 	}
 }
 
@@ -96,6 +106,41 @@ func SubstParams(q Query, b map[string]types.Value) Query {
 			return q
 		}
 		return &Join{L: l, R: r, Cond: cond}
+	case *Aggregate:
+		in := SubstParams(x.In, b)
+		var groups []NamedExpr
+		for i, ne := range x.GroupBy {
+			e := expr.SubstParams(ne.E, b)
+			if e != ne.E && groups == nil {
+				groups = append([]NamedExpr(nil), x.GroupBy...)
+			}
+			if groups != nil {
+				groups[i] = NamedExpr{Name: ne.Name, E: e}
+			}
+		}
+		var aggs []AggExpr
+		for i, a := range x.Aggs {
+			if a.Arg == nil {
+				continue
+			}
+			e := expr.SubstParams(a.Arg, b)
+			if e != a.Arg && aggs == nil {
+				aggs = append([]AggExpr(nil), x.Aggs...)
+			}
+			if aggs != nil {
+				aggs[i] = AggExpr{Name: a.Name, Fn: a.Fn, Arg: e}
+			}
+		}
+		if groups == nil && aggs == nil && in == x.In {
+			return q
+		}
+		if groups == nil {
+			groups = x.GroupBy
+		}
+		if aggs == nil {
+			aggs = x.Aggs
+		}
+		return &Aggregate{GroupBy: groups, Aggs: aggs, In: in}
 	}
 	return q
 }

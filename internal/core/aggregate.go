@@ -1,0 +1,396 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mahif/mahif/internal/algebra"
+	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+// AggregateQuery is one aggregate query attached to a what-if: after the
+// tuple-level delta is computed, the query is evaluated over both the
+// historical state at the query's tip and the hypothetical state
+// (historical ∓ delta), and the per-group differences are reported. The
+// analyst asks "how would regional revenue have changed?" instead of
+// diffing raw tuples by hand.
+type AggregateQuery struct {
+	// SQL is the query text, echoed verbatim in reports.
+	SQL string
+	// Query is the parsed algebra; the top node must be an
+	// *algebra.Aggregate (use NewAggregateQuery to validate).
+	Query algebra.Query
+}
+
+// NewAggregateQuery validates a parsed aggregate query for what-if
+// attachment: the top node must be a γ (GROUP BY or a global aggregate)
+// and the query must be closed — $param slots belong to scenario
+// modifications, never to the report queries.
+func NewAggregateQuery(sqlText string, q algebra.Query) (AggregateQuery, error) {
+	if _, ok := q.(*algebra.Aggregate); !ok {
+		return AggregateQuery{}, fmt.Errorf("core: aggregate query %q must aggregate at the top level (GROUP BY or aggregate select list)", sqlText)
+	}
+	if ps := algebra.Params(q); len(ps) > 0 {
+		return AggregateQuery{}, fmt.Errorf("core: aggregate query %q carries parameter slots", sqlText)
+	}
+	return AggregateQuery{SQL: sqlText, Query: q}, nil
+}
+
+// AggregateRow is one group's historical-vs-hypothetical comparison.
+// Sides are nil (JSON null) when the group exists in only one world —
+// a group born or killed by the hypothetical change — which is distinct
+// from a present side whose aggregates are zero or NULL.
+type AggregateRow struct {
+	// Group holds the grouping-column values (empty for a global
+	// aggregate).
+	Group schema.Tuple `json:"group"`
+	// Historical and Hypothetical hold the aggregate-column values in
+	// each world; nil when the group is absent from that world.
+	Historical   schema.Tuple `json:"historical"`
+	Hypothetical schema.Tuple `json:"hypothetical"`
+	// Delta is hypothetical − historical per aggregate column, NULL
+	// where either side is absent, NULL, or non-numeric.
+	Delta schema.Tuple `json:"delta"`
+}
+
+// AggregateReport is one aggregate query's full per-group comparison.
+// Rows keep the historical evaluation's group order (first-appearance,
+// executor-deterministic) followed by groups that exist only in the
+// hypothetical world, in their own first-appearance order.
+type AggregateReport struct {
+	Query        string         `json:"query"`
+	GroupColumns []string       `json:"group_columns"`
+	AggColumns   []string       `json:"agg_columns"`
+	Rows         []AggregateRow `json:"rows"`
+}
+
+// patchRelation applies one relation's delta to its historical state:
+// hypothetical = historical − Minus + Plus as bags. Surviving
+// historical tuples keep their order and Plus tuples append in delta
+// order, so the result is deterministic for a given delta.
+func patchRelation(hist *storage.Relation, d *delta.Result) *storage.Relation {
+	minus := make(map[string]int, len(d.Minus))
+	for _, t := range d.Minus {
+		minus[t.Key()]++
+	}
+	out := storage.NewRelation(hist.Schema)
+	out.Tuples = make([]schema.Tuple, 0, len(hist.Tuples)-len(d.Minus)+len(d.Plus))
+	for _, t := range hist.Tuples {
+		if k := t.Key(); minus[k] > 0 {
+			minus[k]--
+			continue
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	out.Tuples = append(out.Tuples, d.Plus...)
+	return out
+}
+
+// hypotheticalDB materializes the hypothetical world from the
+// historical state and a delta set. Unchanged relations are shared by
+// pointer (evaluation is read-only); changed ones are patched copies,
+// so the shared snapshot is never mutated.
+func hypotheticalDB(hist *storage.Database, d delta.Set) *storage.Database {
+	hyp := storage.NewDatabase()
+	for _, name := range hist.RelationNames() {
+		r, err := hist.Relation(name)
+		if err != nil {
+			continue
+		}
+		if dr, ok := d[name]; ok && dr != nil && !dr.Empty() {
+			r = patchRelation(r, dr)
+		}
+		hyp.AddRelation(r)
+	}
+	return hyp
+}
+
+// deltaCell is hypothetical − historical for one aggregate cell, NULL
+// whenever the subtraction is not meaningful (absent side, NULL value,
+// or non-numeric aggregate such as MIN over strings).
+func deltaCell(hist, hyp schema.Tuple, j int) types.Value {
+	if hist == nil || hyp == nil {
+		return types.Null()
+	}
+	h, y := hist[j], hyp[j]
+	if h.IsNull() || y.IsNull() || !h.IsNumeric() || !y.IsNumeric() {
+		return types.Null()
+	}
+	v, err := types.Arith(types.OpSub, y, h)
+	if err != nil {
+		return types.Null()
+	}
+	return v
+}
+
+// aggregateReport evaluates one query in both worlds and matches rows
+// by group key.
+func aggregateReport(q AggregateQuery, hist, hyp *storage.Database, histEv, hypEv evaluator) (AggregateReport, error) {
+	agg, ok := q.Query.(*algebra.Aggregate)
+	if !ok {
+		return AggregateReport{}, fmt.Errorf("core: aggregate query %q must aggregate at the top level", q.SQL)
+	}
+	rep := AggregateReport{Query: q.SQL}
+	for _, ne := range agg.GroupBy {
+		rep.GroupColumns = append(rep.GroupColumns, ne.Name)
+	}
+	for _, a := range agg.Aggs {
+		rep.AggColumns = append(rep.AggColumns, a.Name)
+	}
+	ro, err := histEv.eval(q.Query, hist)
+	if err != nil {
+		return AggregateReport{}, fmt.Errorf("core: aggregate query %q (historical): %w", q.SQL, err)
+	}
+	rm, err := hypEv.eval(q.Query, hyp)
+	if err != nil {
+		return AggregateReport{}, fmt.Errorf("core: aggregate query %q (hypothetical): %w", q.SQL, err)
+	}
+
+	ng := len(agg.GroupBy)
+	split := func(row schema.Tuple) (group, aggs schema.Tuple) { return row[:ng:ng], row[ng:] }
+	// Index the hypothetical rows by group key; matched entries are
+	// consumed so the leftover suffix is exactly the new groups.
+	hypByKey := make(map[string]schema.Tuple, len(rm.Tuples))
+	for _, row := range rm.Tuples {
+		g, _ := split(row)
+		hypByKey[g.Key()] = row
+	}
+	rep.Rows = make([]AggregateRow, 0, len(ro.Tuples))
+	for _, row := range ro.Tuples {
+		g, ha := split(row)
+		ar := AggregateRow{Group: g, Historical: ha}
+		if hrow, ok := hypByKey[g.Key()]; ok {
+			_, ar.Hypothetical = split(hrow)
+			delete(hypByKey, g.Key())
+		}
+		ar.Delta = make(schema.Tuple, len(agg.Aggs))
+		for j := range agg.Aggs {
+			ar.Delta[j] = deltaCell(ar.Historical, ar.Hypothetical, j)
+		}
+		rep.Rows = append(rep.Rows, ar)
+	}
+	for _, row := range rm.Tuples {
+		g, ya := split(row)
+		if _, ok := hypByKey[g.Key()]; !ok {
+			continue // matched above
+		}
+		delete(hypByKey, g.Key())
+		ar := AggregateRow{Group: g, Hypothetical: ya, Delta: make(schema.Tuple, len(agg.Aggs))}
+		for j := range agg.Aggs {
+			ar.Delta[j] = types.Null()
+		}
+		rep.Rows = append(rep.Rows, ar)
+	}
+	return rep, nil
+}
+
+// computeAggregates answers every attached query over the historical
+// state and the hypothetical state derived from d. The historical side
+// may reuse the shared result cache (it is keyed by a real history
+// version); the hypothetical state is not a history version, so its
+// evaluations never enter the cache.
+func computeAggregates(ctx context.Context, queries []AggregateQuery, d delta.Set, hist *storage.Database, ev evaluator) ([]AggregateReport, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	hyp := hypotheticalDB(hist, d)
+	hypEv := ev
+	hypEv.ec = nil
+	out := make([]AggregateReport, 0, len(queries))
+	for _, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep, err := aggregateReport(q, hist, hyp, ev, hypEv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// aggregateReports evaluates the attached queries against the tip the
+// delta was computed at, resolving the historical state through the
+// shared snapshot cache when one is available.
+func (e *Engine) aggregateReports(ctx context.Context, queries []AggregateQuery, d delta.Set, tip int, opts Options, shared *batchShared) ([]AggregateReport, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	var hist *storage.Database
+	var err error
+	if shared != nil && shared.snaps != nil {
+		hist, err = shared.snaps.SnapshotCtx(ctx, tip)
+	} else {
+		hist, err = e.vdb.VersionCtx(ctx, tip)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ec *evalCache
+	if shared != nil {
+		ec = shared.eval
+	}
+	ev := evaluator{ctx: ctx, ec: ec, ver: tip, kind: normalizeExecutor(opts.Executor), vec: opts.Vec}
+	return computeAggregates(ctx, queries, d, hist, ev)
+}
+
+// WhatIfAggregates answers a what-if query plus its attached aggregate
+// queries (see WhatIfAggregatesCtx).
+func (e *Engine) WhatIfAggregates(mods []history.Modification, queries []AggregateQuery, opts Options) (delta.Set, []AggregateReport, *Stats, error) {
+	return e.WhatIfAggregatesCtx(context.Background(), mods, queries, opts)
+}
+
+// WhatIfAggregatesCtx answers the query with Alg. 2, then evaluates the
+// attached aggregate queries over the historical and hypothetical
+// states at the tip the delta was computed against — the tip is
+// captured once, so a concurrent append cannot put the delta and the
+// reports in different frames of reference.
+func (e *Engine) WhatIfAggregatesCtx(ctx context.Context, mods []history.Modification, queries []AggregateQuery, opts Options) (delta.Set, []AggregateReport, *Stats, error) {
+	d, st, tip, err := e.whatIfTip(ctx, mods, opts, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reps, err := e.aggregateReports(ctx, queries, d, tip, opts, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, reps, st, nil
+}
+
+// WhatIfAggregatesCtx is Engine.WhatIfAggregatesCtx through the
+// session's caches: the snapshot at the tip and the historical-side
+// aggregate evaluations come from (and feed) the session's shared
+// state. Hypothetical-side evaluations are never cached.
+func (s *Session) WhatIfAggregatesCtx(ctx context.Context, mods []history.Modification, queries []AggregateQuery, opts Options) (delta.Set, []AggregateReport, *Stats, error) {
+	shared := s.shared()
+	if opts.Compile.Memo == nil {
+		opts.Compile.Memo = shared.memo
+	}
+	d, st, tip, err := s.e.whatIfTip(ctx, mods, opts, shared)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reps, err := s.e.aggregateReports(ctx, queries, d, tip, opts, shared)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, reps, st, nil
+}
+
+// NaiveAggregatesCtx is NaiveCtx plus attached aggregate queries,
+// evaluated at the same tip the naive delta was diffed against. The
+// aggregate evaluation uses the default executor options (the naive
+// algorithm has none of its own).
+func (s *Session) NaiveAggregatesCtx(ctx context.Context, mods []history.Modification, queries []AggregateQuery) (delta.Set, []AggregateReport, *NaiveStats, error) {
+	shared := s.shared()
+	stats := &NaiveStats{}
+	d, st, tip, err := s.e.naiveFrom(ctx, mods, stats, shared.snaps)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reps, err := s.e.aggregateReports(ctx, queries, d, tip, Options{}, shared)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, reps, st, nil
+}
+
+// EvalAggregates answers one binding plus attached aggregate queries
+// (see EvalAggregatesCtx).
+func (t *Template) EvalAggregates(binding map[string]types.Value, queries []AggregateQuery) (delta.Set, []AggregateReport, error) {
+	return t.EvalAggregatesCtx(context.Background(), binding, queries)
+}
+
+// EvalAggregatesCtx answers the template for one binding and evaluates
+// the attached aggregate queries against the artifact's pinned version:
+// the historical side is the state at the artifact's tip, the
+// hypothetical side is that state patched with the binding's delta.
+// Both the delta and the reports come from the same artifact, so a
+// concurrent append cannot split their frames of reference.
+func (t *Template) EvalAggregatesCtx(ctx context.Context, binding map[string]types.Value, queries []AggregateQuery) (delta.Set, []AggregateReport, error) {
+	art, err := t.artifact(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := t.evalArtifact(ctx, art, binding)
+	if err != nil {
+		return nil, nil, err
+	}
+	reps, err := t.artifactAggregates(ctx, art, d, queries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, reps, nil
+}
+
+// artifactAggregates evaluates attached queries against one pinned
+// artifact's tip state.
+func (t *Template) artifactAggregates(ctx context.Context, art *templateArtifact, d delta.Set, queries []AggregateQuery) ([]AggregateReport, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	var hist *storage.Database
+	var err error
+	if t.shared != nil && t.shared.snaps != nil {
+		hist, err = t.shared.snaps.SnapshotCtx(ctx, art.version)
+	} else {
+		hist, err = t.e.vdb.VersionCtx(ctx, art.version)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ec *evalCache
+	if t.shared != nil {
+		ec = t.shared.eval
+	}
+	ev := evaluator{ctx: ctx, ec: ec, ver: art.version, kind: normalizeExecutor(t.opts.Executor), vec: t.opts.Vec}
+	return computeAggregates(ctx, queries, d, hist, ev)
+}
+
+// TemplateAggResult is the outcome of one binding in an aggregate-
+// attached batch eval.
+type TemplateAggResult struct {
+	// Binding is the index into the submitted slice.
+	Binding int
+	// Delta is the substituted scenario's delta (nil when Err != nil).
+	Delta delta.Set
+	// Aggregates are the attached queries' reports, in query order.
+	Aggregates []AggregateReport
+	// Err is the binding's evaluation error, if any.
+	Err error
+}
+
+// EvalAggregatesBatchCtx evaluates many bindings with attached
+// aggregate queries over a worker pool (workers <= 0 uses GOMAXPROCS).
+// Results keep submission order; a failing binding never aborts its
+// siblings. All bindings answer against one artifact, refreshed once up
+// front.
+func (t *Template) EvalAggregatesBatchCtx(ctx context.Context, bindings []map[string]types.Value, queries []AggregateQuery, workers int) ([]TemplateAggResult, error) {
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("core: empty template binding batch")
+	}
+	art, err := t.artifact(ctx)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]TemplateAggResult, len(bindings))
+	runBatch(ctx, len(bindings), workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = TemplateAggResult{Binding: i, Err: err}
+			return
+		}
+		d, err := t.evalArtifact(ctx, art, bindings[i])
+		if err != nil {
+			results[i] = TemplateAggResult{Binding: i, Err: err}
+			return
+		}
+		reps, err := t.artifactAggregates(ctx, art, d, queries)
+		results[i] = TemplateAggResult{Binding: i, Delta: d, Aggregates: reps, Err: err}
+	})
+	return results, ctx.Err()
+}

@@ -261,6 +261,11 @@ type Scenario struct {
 	Label string
 	// Mods is the modification sequence M of the what-if query.
 	Mods []history.Modification
+	// Queries optionally attaches aggregate queries: each is evaluated
+	// over the historical and hypothetical states after the delta is
+	// computed, and the per-group comparisons land in the scenario's
+	// BatchResult.Aggregates.
+	Queries []AggregateQuery
 }
 
 // BatchOptions configures WhatIfBatch.
@@ -293,6 +298,9 @@ type BatchResult struct {
 	Delta delta.Set
 	// Stats is the per-scenario phase breakdown (nil when Err != nil).
 	Stats *Stats
+	// Aggregates holds the scenario's attached aggregate-query reports,
+	// in query order (nil when the scenario attached none).
+	Aggregates []AggregateReport
 	// Err is the scenario's evaluation error, if any.
 	Err error
 }
@@ -449,7 +457,13 @@ func (e *Engine) whatIfBatch(ctx context.Context, scenarios []Scenario, opts Bat
 					continue
 				}
 				d, st, err := e.whatIfPair(ctx, pairs[i], perScenario, shared)
-				results[i] = BatchResult{Scenario: i, Label: sc.Label, Delta: d, Stats: st, Err: err}
+				var reps []AggregateReport
+				if err == nil {
+					// The pairs were aligned against h, so len(h) is the
+					// tip every scenario's delta refers to.
+					reps, err = e.aggregateReports(ctx, sc.Queries, d, len(h), perScenario, shared)
+				}
+				results[i] = BatchResult{Scenario: i, Label: sc.Label, Delta: d, Stats: st, Aggregates: reps, Err: err}
 			}
 		}()
 	}

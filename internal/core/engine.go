@@ -330,18 +330,20 @@ func (e *Engine) Naive(mods []history.Modification) (delta.Set, *NaiveStats, err
 // time travel, between the statements of the hypothetical history, and
 // between per-relation delta computations.
 func (e *Engine) NaiveCtx(ctx context.Context, mods []history.Modification) (delta.Set, *NaiveStats, error) {
-	return e.naiveFrom(ctx, mods, &NaiveStats{}, nil)
+	d, st, _, err := e.naiveFrom(ctx, mods, &NaiveStats{}, nil)
+	return d, st, err
 }
 
 // naiveFrom is NaiveCtx over an optional shared snapshot cache
-// (Session routes through here). The explicit Clone of the algorithm's
+// (Session routes through here), also returning the history length the
+// delta was diffed against. The explicit Clone of the algorithm's
 // Copy(D) step doubles as the copy-on-write boundary that keeps a
 // shared snapshot read-only.
-func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, stats *NaiveStats, snaps *storage.SnapshotCache) (delta.Set, *NaiveStats, error) {
+func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, stats *NaiveStats, snaps *storage.SnapshotCache) (delta.Set, *NaiveStats, int, error) {
 	start := time.Now()
 	suffix, db, tip, err := e.prepare(ctx, mods, nil, snaps)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	// Creation: the copy of D. prepare already materialized a private
 	// copy via time travel; the explicit Clone here is the algorithm's
@@ -352,7 +354,7 @@ func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, sta
 
 	t0 = time.Now()
 	if err := suffix.Mod.ApplyCtx(ctx, work); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	stats.Execute = time.Since(t0)
 
@@ -366,27 +368,27 @@ func (e *Engine) naiveFrom(ctx context.Context, mods []history.Modification, sta
 	actual := e.vdb.Current()
 	if snaps != nil {
 		if actual, err = snaps.SnapshotCtx(ctx, tip); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
 	out := delta.Set{}
 	for rel := range relationUnion(suffix) {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		cur, err := actual.Relation(rel)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		modRel, err := work.Relation(rel)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		out[rel] = delta.Compute(cur, modRel)
 	}
 	stats.Delta = time.Since(t0)
 	stats.Total = time.Since(start)
-	return out, stats, nil
+	return out, stats, tip, nil
 }
 
 func relationUnion(pair *history.PaddedPair) map[string]bool {
@@ -414,15 +416,24 @@ func (e *Engine) WhatIfCtx(ctx context.Context, mods []history.Modification, opt
 // whatIf is WhatIfCtx with optional shared caches (snapshot, query
 // results) used by WhatIfBatch and Session.
 func (e *Engine) whatIf(ctx context.Context, mods []history.Modification, opts Options, shared *batchShared) (delta.Set, *Stats, error) {
+	d, st, _, err := e.whatIfTip(ctx, mods, opts, shared)
+	return d, st, err
+}
+
+// whatIfTip is whatIf, additionally returning the history length the
+// answer was evaluated against — the frame of reference callers need
+// to evaluate follow-up queries (aggregate reports) consistently.
+func (e *Engine) whatIfTip(ctx context.Context, mods []history.Modification, opts Options, shared *batchShared) (delta.Set, *Stats, int, error) {
 	h, err := e.History()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	pair, err := history.ApplyModifications(h, mods)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return e.whatIfPair(ctx, pair, opts, shared)
+	d, st, err := e.whatIfPair(ctx, pair, opts, shared)
+	return d, st, len(h), err
 }
 
 // whatIfPair answers an already-aligned query pair (WhatIfBatch

@@ -127,6 +127,11 @@ type SessionStats struct {
 	// SnapshotEvictions counts completed snapshots dropped by the
 	// retention bound; SnapshotResident is the count currently held.
 	SnapshotEvictions, SnapshotResident int
+	// SnapshotTipEvictions counts superseded tip-pinned snapshots
+	// (private full copies of a then-live state) dropped eagerly when a
+	// newer tip was frozen; SnapshotTipResident is the count currently
+	// held — bounded near 1 under append+query loops.
+	SnapshotTipEvictions, SnapshotTipResident int
 	// MemoHits/Misses report solver-outcome reuse across calls;
 	// MemoEvictions counts outcomes dropped by the memo's LRU bound.
 	MemoHits, MemoMisses int64
@@ -153,6 +158,8 @@ func (s *Session) Stats() SessionStats {
 	st.SnapshotHits, st.SnapshotMisses = s.caches.snaps.Stats()
 	st.SnapshotEvictions = s.caches.snaps.Evictions()
 	st.SnapshotResident = s.caches.snaps.Resident()
+	st.SnapshotTipEvictions = s.caches.snaps.TipEvictions()
+	st.SnapshotTipResident = s.caches.snaps.TipResident()
 	st.MemoHits, st.MemoMisses = s.caches.memo.Stats()
 	st.MemoEvictions = s.caches.memo.Evictions()
 	st.QueryHits, st.QueryMisses = s.caches.eval.stats()
@@ -197,7 +204,8 @@ func (s *Session) NaiveCtx(ctx context.Context, mods []history.Modification) (de
 	// Same body as Engine.NaiveCtx but time-traveling through the
 	// session's snapshot cache; the explicit Clone below is the
 	// copy-on-write boundary that keeps the shared snapshot read-only.
-	return s.e.naiveFrom(ctx, mods, stats, shared.snaps)
+	d, st, _, err := s.e.naiveFrom(ctx, mods, stats, shared.snaps)
+	return d, st, err
 }
 
 // WhatIfBatch evaluates a scenario batch through the session's caches.

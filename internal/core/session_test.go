@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/mahif/mahif/internal/delta"
+	"github.com/mahif/mahif/internal/history"
 	"github.com/mahif/mahif/internal/workload"
 )
 
@@ -88,6 +89,50 @@ func TestSessionConcurrentStress(t *testing.T) {
 	}
 	if st := sess.Stats(); st.SnapshotHits == 0 || st.QueryHits == 0 {
 		t.Errorf("concurrent session shared no work: %+v", st)
+	}
+}
+
+// TestSessionTipSnapshotBound pins tip-snapshot accumulation under the
+// append+naive loop: each NaiveCtx after an append freezes a private
+// clone of the new tip for the "actual" side of its diff. Eager tip
+// eviction keeps at most one resident, counts the superseded ones, and
+// surfaces both in SessionStats.
+func TestSessionTipSnapshotBound(t *testing.T) {
+	ds := workload.Taxi(300, 2)
+	w, err := workload.Generate(ds, workload.Config{
+		Updates: 6, Mods: 1, DependentPct: 20, AffectedPct: 10, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdb, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := New(vdb)
+	sess := engine.NewSession()
+	ctx := context.Background()
+	stmt := w.Mods[0].(history.Replace).Stmt
+	for i := 0; i < 8; i++ {
+		if _, _, err := sess.NaiveCtx(ctx, w.Mods); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if st := sess.Stats(); st.SnapshotTipResident > 1 {
+			t.Fatalf("round %d: SnapshotTipResident = %d, want at most 1", i, st.SnapshotTipResident)
+		}
+		if _, err := engine.Append(stmt); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, _, err := sess.NaiveCtx(ctx, w.Mods); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.SnapshotTipResident > 1 {
+		t.Errorf("SnapshotTipResident = %d, want at most 1", st.SnapshotTipResident)
+	}
+	if st.SnapshotTipEvictions == 0 {
+		t.Errorf("no superseded tips evicted: %+v", st)
 	}
 }
 

@@ -47,9 +47,13 @@ import (
 //
 // Per binding, Eval substitutes the constants into the retained
 // modified-side query skeleton, evaluates it over the pinned snapshot,
-// and diffs against the materialized original side. Data slicing is
-// disabled during template compilation (its filters would bake the
-// first binding's constants into the plan); since every variant
+// and diffs against the materialized original side. Data slicing
+// survives compilation when every $slot sits in value position (UPDATE
+// SET expressions, INSERT values): conditions are then concrete, so
+// the slicing filters are binding-invariant and bake into the pinned
+// plan soundly. A slot inside a condition (UPDATE/DELETE WHERE,
+// INSERT … SELECT) would parameterize the filters themselves, so data
+// slicing is disabled for those templates; since every variant
 // produces identical deltas, this changes speed, never results.
 //
 // Templates are safe for concurrent use. When the engine's history
@@ -156,6 +160,11 @@ type TemplateStats struct {
 	// SolverTests/SolverNodes report the one-time slicing effort.
 	SolverTests int
 	SolverNodes int
+	// DataSlicing reports whether the artifact was compiled with data
+	// slicing filters baked into the reenactment plans — possible only
+	// when every $slot sits in value (SET) position, so the filters are
+	// binding-invariant.
+	DataSlicing bool
 	// StaticRelations' deltas are fully precomputed;
 	// DynamicRelations are re-evaluated per binding;
 	// SkippedRelations were pruned by taint analysis.
@@ -189,14 +198,81 @@ func (e *Engine) compileTemplate(ctx context.Context, mods []history.Modificatio
 	if len(mods) == 0 {
 		return nil, fmt.Errorf("core: empty template modification sequence")
 	}
-	// Data slicing would push binding-dependent filters into the pinned
-	// plan; disable it for the template (results are variant-invariant).
-	opts.DataSlicing = false
+	// Data slicing filters derive from statement conditions. A $slot in
+	// a condition would parameterize the filters and bake one binding's
+	// constants into the pinned plan, so slicing stays off for such
+	// templates (results are variant-invariant). SET-only slots leave
+	// every condition concrete and the filters binding-invariant, so
+	// slicing survives compilation; compile() still guards against the
+	// one leak path (push-down substitution through a parameterized SET
+	// vector).
+	if !setOnlyParams(mods) {
+		opts.DataSlicing = false
+	}
 	t := &Template{e: e, opts: opts, mods: mods, shared: shared}
 	if _, err := t.artifact(ctx); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// setOnlyParams reports whether every $slot of the modification
+// sequence appears only in value position: UPDATE SET expressions and
+// INSERT … VALUES rows. Conditions (UPDATE/DELETE WHERE, the query of
+// INSERT … SELECT) must be slot-free. Such templates describe "what if
+// the written values had been different" scenarios whose affected-row
+// sets are binding-invariant, which is exactly the property data
+// slicing needs to stay sound across bindings.
+func setOnlyParams(mods []history.Modification) bool {
+	for _, m := range mods {
+		var st history.Statement
+		switch x := m.(type) {
+		case history.Replace:
+			st = x.Stmt
+		case history.InsertStmt:
+			st = x.Stmt
+		default:
+			continue
+		}
+		switch x := st.(type) {
+		case *history.Update:
+			if len(expr.Params(x.Where)) > 0 {
+				return false
+			}
+		case *history.Delete:
+			if len(expr.Params(x.Where)) > 0 {
+				return false
+			}
+		case *history.InsertQuery:
+			if len(algebra.Params(x.Query)) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dropParamFilters widens away any slicing filter that captured a
+// $slot. With SET-only slots the base conditions are concrete, but the
+// backward push-down substitutes SET vectors of earlier statements
+// into later conditions, and a parameterized SET expression can leak
+// its slot into the pushed filter. Filters are an optimization, so
+// widening to "scan everything" is always sound; both sides of a
+// relation go together because the delta relies on the two
+// reenactments agreeing on which base tuples are in scope.
+func dropParamFilters(filters *dataslice.Conditions) {
+	for rel, f := range filters.H {
+		if len(expr.Params(f)) > 0 {
+			delete(filters.H, rel)
+			delete(filters.M, rel)
+		}
+	}
+	for rel, f := range filters.M {
+		if len(expr.Params(f)) > 0 {
+			delete(filters.H, rel)
+			delete(filters.M, rel)
+		}
+	}
 }
 
 // Params returns the template's parameter slots and their inferred
@@ -304,6 +380,20 @@ func (t *Template) compile(ctx context.Context) (*templateArtifact, map[string]p
 	art.stats.TotalStatements = len(suffix.Orig)
 	ev := evaluator{ctx: ctx, ver: tip, kind: normalizeExecutor(opts.Executor), vec: opts.Vec}
 
+	// Data slicing (§6): with SET-only slots the filters are
+	// binding-invariant (compileTemplate disabled slicing otherwise),
+	// so they compile once into the pinned plans like any other
+	// artifact component. dropParamFilters catches the push-down leak.
+	filters := &dataslice.Conditions{H: reenact.Filters{}, M: reenact.Filters{}}
+	if opts.DataSlicing {
+		filters, err = dataslice.Compute(suffix, db, opts.DataSlice)
+		if err != nil {
+			return nil, nil, err
+		}
+		dropParamFilters(filters)
+		art.stats.DataSlicing = true
+	}
+
 	rels := relationUnion(suffix)
 	tainted := dataslice.TaintedRelations(suffix)
 	targets := make([]string, 0, len(rels))
@@ -320,7 +410,7 @@ func (t *Template) compile(ctx context.Context) (*templateArtifact, map[string]p
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		if err := t.compileRelation(ctx, suffix, db, rel, opts, ev, art); err != nil {
+		if err := t.compileRelation(ctx, suffix, db, rel, filters, opts, ev, art); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -333,7 +423,7 @@ func (t *Template) compile(ctx context.Context) (*templateArtifact, map[string]p
 // insert-free pair once (with $slots as free solver variables),
 // materialize the original side, and either precompute the delta
 // (modified side closed) or retain the open query skeleton.
-func (t *Template) compileRelation(ctx context.Context, suffix *history.PaddedPair, db *storage.Database, rel string, opts Options, ev evaluator, art *templateArtifact) error {
+func (t *Template) compileRelation(ctx context.Context, suffix *history.PaddedPair, db *storage.Database, rel string, filters *dataslice.Conditions, opts Options, ev evaluator, art *templateArtifact) error {
 	relPair, _ := suffix.RestrictToRelation(rel)
 	noInsPair, modified := stripInsertPair(relPair)
 
@@ -374,12 +464,11 @@ func (t *Template) compileRelation(ctx context.Context, suffix *history.PaddedPa
 		}
 	}
 
-	noFilter := reenact.Filters{}
-	qo, err := reenact.QueryForRelation(noInsPair.Orig.Restrict(keep), rel, db, noFilter)
+	qo, err := reenact.QueryForRelation(noInsPair.Orig.Restrict(keep), rel, db, filters.H)
 	if err != nil {
 		return err
 	}
-	qm, err := reenact.QueryForRelation(noInsPair.Mod.Restrict(keep), rel, db, noFilter)
+	qm, err := reenact.QueryForRelation(noInsPair.Mod.Restrict(keep), rel, db, filters.M)
 	if err != nil {
 		return err
 	}
@@ -436,6 +525,13 @@ func (t *Template) EvalCtx(ctx context.Context, binding map[string]types.Value) 
 	if err != nil {
 		return nil, err
 	}
+	return t.evalArtifact(ctx, art, binding)
+}
+
+// evalArtifact answers one binding against a specific artifact (callers
+// that pair the delta with follow-up work — aggregate reports — pin the
+// artifact once so a concurrent append cannot split their frames).
+func (t *Template) evalArtifact(ctx context.Context, art *templateArtifact, binding map[string]types.Value) (delta.Set, error) {
 	if err := t.ValidateBinding(binding); err != nil {
 		return nil, err
 	}
@@ -487,16 +583,31 @@ func (t *Template) EvalBatchCtx(ctx context.Context, bindings []map[string]types
 	}
 	// Refresh once up front so concurrent workers don't race to
 	// recompile the artifact after an append.
-	if _, err := t.artifact(ctx); err != nil {
+	art, err := t.artifact(ctx)
+	if err != nil {
 		return nil, err
 	}
+	results := make([]TemplateEvalResult, len(bindings))
+	runBatch(ctx, len(bindings), workers, func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = TemplateEvalResult{Binding: i, Err: err}
+			return
+		}
+		d, err := t.evalArtifact(ctx, art, bindings[i])
+		results[i] = TemplateEvalResult{Binding: i, Delta: d, Err: err}
+	})
+	return results, ctx.Err()
+}
+
+// runBatch runs fn(i) for i in [0, n) over a worker pool (workers <= 0
+// uses GOMAXPROCS; the pool never exceeds n).
+func runBatch(ctx context.Context, n, workers int, fn func(int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(bindings) {
-		workers = len(bindings)
+	if workers > n {
+		workers = n
 	}
-	results := make([]TemplateEvalResult, len(bindings))
 	var wg sync.WaitGroup
 	idxCh := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -504,21 +615,15 @@ func (t *Template) EvalBatchCtx(ctx context.Context, bindings []map[string]types
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				if err := ctx.Err(); err != nil {
-					results[i] = TemplateEvalResult{Binding: i, Err: err}
-					continue
-				}
-				d, err := t.EvalCtx(ctx, bindings[i])
-				results[i] = TemplateEvalResult{Binding: i, Delta: d, Err: err}
+				fn(i)
 			}
 		}()
 	}
-	for i := range bindings {
+	for i := 0; i < n; i++ {
 		idxCh <- i
 	}
 	close(idxCh)
 	wg.Wait()
-	return results, ctx.Err()
 }
 
 // ValidateBinding checks a binding against the template's parameters
@@ -700,6 +805,25 @@ func (in *inferrer) query(q algebra.Query, db *storage.Database) error {
 				return err
 			}
 			return walk(x.R)
+		case *algebra.Aggregate:
+			for _, ne := range x.GroupBy {
+				if err := in.val(ne.E, classAny, kindOf); err != nil {
+					return err
+				}
+			}
+			for _, a := range x.Aggs {
+				if a.Arg == nil {
+					continue
+				}
+				want := classAny
+				if a.Fn == algebra.AggSum || a.Fn == algebra.AggAvg {
+					want = classNumeric
+				}
+				if err := in.val(a.Arg, want, kindOf); err != nil {
+					return err
+				}
+			}
+			return walk(x.In)
 		}
 		return nil
 	}
@@ -808,7 +932,12 @@ func (s *Session) CompileTemplate(mods []history.Modification, opts Options) (*T
 // caches, including on transparent recompiles.
 func (s *Session) CompileTemplateCtx(ctx context.Context, mods []history.Modification, opts Options) (*Template, error) {
 	shared := s.shared()
-	opts.DataSlicing = false
+	// Mirror compileTemplate's slicing decision before keying, so the
+	// cache key's ds flag reflects the compiled artifact (a SET-only
+	// template compiled with and without slicing must not conflate).
+	if !setOnlyParams(mods) {
+		opts.DataSlicing = false
+	}
 	key := templateKey(s.e.Version(), mods, opts)
 	if cached, ok := shared.templates.Lookup(key); ok {
 		return cached.(*Template), nil
@@ -829,10 +958,10 @@ func (s *Session) CompileTemplateCtx(ctx context.Context, mods []history.Modific
 // property the solver memo key relies on).
 func templateKey(version int, mods []history.Modification, opts Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v%d|%s|ps=%t,dep=%t,is=%t,skip=%t,nc=%t|",
+	fmt.Fprintf(&b, "v%d|%s|ps=%t,ds=%t,dep=%t,is=%t,skip=%t,nc=%t|",
 		version, normalizeExecutor(opts.Executor),
-		opts.ProgramSlicing, opts.UseDependency, opts.InsertSplit, opts.SkipUntainted,
-		opts.Vec.NoColumnar)
+		opts.ProgramSlicing, opts.DataSlicing, opts.UseDependency, opts.InsertSplit,
+		opts.SkipUntainted, opts.Vec.NoColumnar)
 	for _, m := range mods {
 		switch x := m.(type) {
 		case history.Replace:

@@ -210,6 +210,87 @@ func TestTemplateRandomizedDifferential(t *testing.T) {
 	}
 }
 
+// TestTemplateDataSlicing pins the SET-only fast path (ROADMAP 4a):
+// a template whose slots all sit in SET position keeps data slicing
+// active through compilation (conditions are concrete, so the filters
+// are binding-invariant), a condition slot turns it off, and the
+// sliced per-binding deltas still equal a fresh fully-sliced WhatIf.
+func TestTemplateDataSlicing(t *testing.T) {
+	w, e := templateWorkload(t, 900, 10, 7)
+	base := w.Mods[0].(history.Replace)
+	upd := base.Stmt.(*history.Update)
+	payload := w.Dataset.Payload[0]
+	opts := OptionsFor(VariantRFull)
+
+	setMods := []history.Modification{history.Replace{Pos: base.Pos, Stmt: &history.Update{
+		Rel: upd.Rel,
+		Set: []history.SetClause{{
+			Col: payload,
+			E:   expr.Add(expr.Column(payload), expr.Parameter("v")),
+		}},
+		Where: upd.Where,
+	}}}
+	tpl, err := e.CompileTemplate(setMods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.Stats().DataSlicing {
+		t.Fatal("SET-only template compiled without data slicing")
+	}
+	for _, v := range []types.Value{types.Int(0), types.Int(17), types.Float(-3.5)} {
+		binding := map[string]types.Value{"v": v}
+		got, err := tpl.Eval(binding)
+		if err != nil {
+			t.Fatalf("binding %s: %v", v, err)
+		}
+		want, _, err := e.WhatIf(tpl.SubstitutedMods(binding), opts)
+		if err != nil {
+			t.Fatalf("fresh what-if, binding %s: %v", v, err)
+		}
+		requireSetsEqual(t, fmt.Sprintf("set-only binding %s", v), got, want)
+	}
+
+	// A slot in a condition parameterizes the filters themselves: data
+	// slicing must stay off.
+	cond, err := e.CompileTemplate(paramMods(w), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond.Stats().DataSlicing {
+		t.Fatal("condition-slot template compiled with data slicing")
+	}
+
+	// Leak path: a later statement's condition reads the column the
+	// parameterized SET writes, so push-down substitutes $v into the
+	// modified-side filter; dropParamFilters widens it away and the
+	// deltas still match.
+	leakMods := append(append([]history.Modification{}, setMods...),
+		history.InsertStmt{Pos: base.Pos + 1, Stmt: &history.Update{
+			Rel:   upd.Rel,
+			Set:   upd.Set,
+			Where: expr.Ge(expr.Column(payload), expr.IntConst(100)),
+		}})
+	leak, err := e.CompileTemplate(leakMods, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !leak.Stats().DataSlicing {
+		t.Fatal("leak-path template compiled without data slicing")
+	}
+	for _, v := range []types.Value{types.Int(5), types.Int(250)} {
+		binding := map[string]types.Value{"v": v}
+		got, err := leak.Eval(binding)
+		if err != nil {
+			t.Fatalf("leak binding %s: %v", v, err)
+		}
+		want, _, err := e.WhatIf(leak.SubstitutedMods(binding), opts)
+		if err != nil {
+			t.Fatalf("fresh what-if, leak binding %s: %v", v, err)
+		}
+		requireSetsEqual(t, fmt.Sprintf("leak binding %s", v), got, want)
+	}
+}
+
 // TestTemplateParamFree pins the degenerate case: a template without
 // slots precomputes everything, and Eval with an empty binding returns
 // the static delta.

@@ -914,6 +914,9 @@ func compileVecNode(q algebra.Query, db *storage.Database, cfg vecConfig) (vecNo
 
 	case *algebra.Singleton:
 		return &vsingletonNode{tuples: x.Tuples, arity: x.Sch.Arity(), kinds: colKinds(x.Sch, cfg), cfg: cfg}, x.Sch, nil
+
+	case *algebra.Aggregate:
+		return compileVecAggregate(x, db, cfg)
 	}
 	return nil, nil, fmt.Errorf("exec: unknown query node %T", q)
 }

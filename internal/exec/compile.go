@@ -97,6 +97,9 @@ func compileNode(q algebra.Query, db *storage.Database) (node, *schema.Schema, e
 
 	case *algebra.Singleton:
 		return &singletonNode{tuples: x.Tuples}, x.Sch, nil
+
+	case *algebra.Aggregate:
+		return compileAggregate(x, db)
 	}
 	return nil, nil, fmt.Errorf("exec: unknown query node %T", q)
 }

@@ -1,0 +1,237 @@
+package howto
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/mahif/mahif/internal/core"
+	"github.com/mahif/mahif/internal/history"
+	"github.com/mahif/mahif/internal/schema"
+	"github.com/mahif/mahif/internal/sql"
+	"github.com/mahif/mahif/internal/storage"
+	"github.com/mahif/mahif/internal/types"
+)
+
+func mustStmt(t testing.TB, src string) history.Statement {
+	t.Helper()
+	st, err := sql.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return st
+}
+
+// linearEngine has no threshold interactions: every SET-style boost
+// moves aggregates linearly.
+//
+//	v1: INSERT (1,east,10) (2,east,20) (3,west,30) (4,north,5)
+//	v2: UPDATE east amounts += 5      → tip 15, 25, 30, 5
+func linearEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	db := storage.NewDatabase()
+	db.AddRelation(storage.NewRelation(schema.New("orders",
+		schema.Col("id", types.KindInt),
+		schema.Col("region", types.KindString),
+		schema.Col("amount", types.KindInt),
+	)))
+	e := core.New(storage.NewVersioned(db))
+	if _, err := e.Append(
+		mustStmt(t, "INSERT INTO orders VALUES (1, 'east', 10), (2, 'east', 20), (3, 'west', 30), (4, 'north', 5)"),
+		mustStmt(t, "UPDATE orders SET amount = amount + 5 WHERE region = 'east'"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// thresholdEngine appends a DELETE amount > 30, so a boost scenario's
+// effect on COUNT is a step function — not linear.
+func thresholdEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	e := linearEngine(t)
+	if _, err := e.Append(mustStmt(t, "DELETE FROM orders WHERE amount > 30")); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func boostMods(t testing.TB) []history.Modification {
+	t.Helper()
+	return []history.Modification{history.Replace{Pos: 1,
+		Stmt: mustStmt(t, "UPDATE orders SET amount = amount + $boost WHERE region = 'east'")}}
+}
+
+func requireCertified(t *testing.T, res *Result) {
+	t.Helper()
+	c := res.Certificate
+	if !c.Certified || !c.Holds {
+		t.Fatalf("answer not certified: %+v", c)
+	}
+	if cmp, err := c.Claimed.Compare(c.Reproduced); err != nil || cmp != 0 {
+		t.Fatalf("claimed %v != reproduced %v (err %v)", c.Claimed, c.Reproduced, err)
+	}
+}
+
+// TestSearchLinear pins the MILP path: east SUM delta is 2·boost − 10
+// (the $boost replaces the historical +5 on two east rows), so pushing
+// the delta to ≤ −20 needs boost ≤ −5, and the minimal magnitude is
+// exactly 5.
+func TestSearchLinear(t *testing.T) {
+	e := linearEngine(t)
+	res, err := Search(context.Background(), e, boostMods(t), Target{
+		Query:  "SELECT region, SUM(amount) AS s FROM orders GROUP BY region",
+		Group:  []types.Value{types.String("east")},
+		Column: "s",
+		Op:     "<=",
+		Value:  -20,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "milp" {
+		t.Fatalf("method: got %q want milp", res.Method)
+	}
+	if got := res.Binding["boost"]; got.AsFloat() != -5 {
+		t.Fatalf("boost: got %v want -5", got)
+	}
+	if res.Magnitude != 5 {
+		t.Fatalf("magnitude: got %v want 5", res.Magnitude)
+	}
+	if res.Delta.AsFloat() != -20 {
+		t.Fatalf("delta: got %v want -20", res.Delta)
+	}
+	requireCertified(t, res)
+}
+
+// TestSearchLinearMultiParam pins minimal-L1 selection across slots:
+// the global SUM delta is 2·a + b − 10, so reaching +10 costs |a|=10
+// via the east slot but |b|=20 via the west slot — the solver must
+// spend the cheaper coefficient.
+func TestSearchLinearMultiParam(t *testing.T) {
+	e := linearEngine(t)
+	mods := []history.Modification{
+		history.Replace{Pos: 1,
+			Stmt: mustStmt(t, "UPDATE orders SET amount = amount + $a WHERE region = 'east'")},
+		history.InsertStmt{Pos: 2,
+			Stmt: mustStmt(t, "UPDATE orders SET amount = amount + $b WHERE region = 'west'")},
+	}
+	res, err := Search(context.Background(), e, mods, Target{
+		Query:  "SELECT SUM(amount) AS s FROM orders",
+		Column: "s",
+		Op:     "==",
+		Value:  10,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "milp" {
+		t.Fatalf("method: got %q want milp", res.Method)
+	}
+	if a := res.Binding["a"].AsFloat(); a != 10 {
+		t.Fatalf("a: got %v want 10", a)
+	}
+	if b := res.Binding["b"].AsFloat(); b != 0 {
+		t.Fatalf("b: got %v want 0", b)
+	}
+	if res.Magnitude != 10 {
+		t.Fatalf("magnitude: got %v want 10", res.Magnitude)
+	}
+	requireCertified(t, res)
+}
+
+// TestSearchGrid pins the non-linear fallback: with the DELETE
+// amount > 30 downstream, boosting east changes the east COUNT delta as
+// a step function — −1 exactly when 10 < boost ≤ 20 (one row pushed
+// over the threshold). The grid finds the region, bisection walks the
+// magnitude down to the b = 10 boundary.
+func TestSearchGrid(t *testing.T) {
+	e := thresholdEngine(t)
+	res, err := Search(context.Background(), e, boostMods(t), Target{
+		Query:  "SELECT region, COUNT(*) AS n FROM orders GROUP BY region",
+		Group:  []types.Value{types.String("east")},
+		Column: "n",
+		Op:     "<=",
+		Value:  -1,
+	}, Options{Bounds: map[string]Range{"boost": {Lo: 0, Hi: 32}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "grid" {
+		t.Fatalf("method: got %q want grid", res.Method)
+	}
+	// Bisection localizes the b = 10 boundary to the engine's resolution
+	// quantum and snaps outward: the minimal certified boost is 10.001.
+	b := res.Binding["boost"].AsFloat()
+	if b != 10.001 {
+		t.Fatalf("boost: got %v want 10.001", b)
+	}
+	if res.Delta.AsFloat() != -1 {
+		t.Fatalf("delta: got %v want -1", res.Delta)
+	}
+	if math.Abs(res.Magnitude-b) > 1e-12 {
+		t.Fatalf("magnitude %v != |boost| %v", res.Magnitude, b)
+	}
+	requireCertified(t, res)
+}
+
+// TestSearchUnreachable: a target outside the reachable range must
+// error rather than return an uncertified best effort.
+func TestSearchUnreachable(t *testing.T) {
+	e := linearEngine(t)
+	_, err := Search(context.Background(), e, boostMods(t), Target{
+		Query:  "SELECT region, SUM(amount) AS s FROM orders GROUP BY region",
+		Group:  []types.Value{types.String("east")},
+		Column: "s",
+		Op:     ">=",
+		Value:  1000,
+	}, Options{Bounds: map[string]Range{"boost": {Lo: -10, Hi: 10}}})
+	if err == nil || !strings.Contains(err.Error(), "no satisfying binding") {
+		t.Fatalf("want no-satisfying-binding error, got %v", err)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	e := linearEngine(t)
+	cases := []struct {
+		name   string
+		target Target
+		opts   Options
+		want   string
+	}{
+		{"bad op",
+			Target{Query: "SELECT COUNT(*) AS n FROM orders", Column: "n", Op: "<"},
+			Options{}, "unsupported op"},
+		{"non-aggregate query",
+			Target{Query: "SELECT id FROM orders", Column: "id", Op: "<="},
+			Options{}, "aggregate"},
+		{"unknown column",
+			Target{Query: "SELECT COUNT(*) AS n FROM orders", Column: "bogus", Op: "<=", Value: -1},
+			Options{}, "target column"},
+		{"bad bounds",
+			Target{Query: "SELECT COUNT(*) AS n FROM orders", Column: "n", Op: "<=", Value: -1},
+			Options{Bounds: map[string]Range{"boost": {Lo: 5, Hi: 5}}}, "bad bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Search(context.Background(), e, boostMods(t), tc.target, tc.opts)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestSearchNoParams: a fully concrete scenario has nothing to search.
+func TestSearchNoParams(t *testing.T) {
+	e := linearEngine(t)
+	mods := []history.Modification{history.Replace{Pos: 1,
+		Stmt: mustStmt(t, "UPDATE orders SET amount = amount + 7 WHERE region = 'east'")}}
+	_, err := Search(context.Background(), e, mods, Target{
+		Query: "SELECT COUNT(*) AS n FROM orders", Column: "n", Op: "<=", Value: 0,
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "no $parameters") {
+		t.Fatalf("want no-parameters error, got %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/mahif/mahif/internal/howto"
+)
+
+// TestHowtoEndpoint runs a linear how-to over the fee history: the
+// hypothetical surcharge $x reaches the cheap rows (price < 40, five of
+// them, historically +1 each), so the SUM(fee) delta is 5x − 5 and
+// pushing it to exactly +10 needs x = 3.
+func TestHowtoEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	w := postJSON(t, srv.Handler(), "/v1/howto", HowtoRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 2,
+			Statement: `UPDATE orders SET fee = fee + $x WHERE price < 40`}},
+		Target: howto.Target{
+			Query:  `SELECT SUM(fee) AS s FROM orders`,
+			Column: "s",
+			Op:     "==",
+			Value:  10,
+		},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp HowtoResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Result
+	if res == nil {
+		t.Fatalf("no result: %s", w.Body)
+	}
+	if res.Method != "milp" {
+		t.Errorf("method %q, want milp: %s", res.Method, w.Body)
+	}
+	if got := res.Binding["x"].AsFloat(); got != 3 {
+		t.Errorf("binding x = %v, want 3: %s", got, w.Body)
+	}
+	if !res.Certificate.Certified {
+		t.Errorf("answer not certified: %s", w.Body)
+	}
+}
+
+// TestHowtoBadRequests: validation failures and unreachable targets are
+// 400s with the detail in the error body.
+func TestHowtoBadRequests(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+	mods := []Modification{{Op: "replace", Pos: 2,
+		Statement: `UPDATE orders SET fee = fee + $x WHERE price < 40`}}
+	cases := []struct {
+		name string
+		body HowtoRequest
+		want string
+	}{
+		{"no modifications", HowtoRequest{Target: howto.Target{Query: `SELECT SUM(fee) AS s FROM orders`, Column: "s", Op: "<="}}, "no modifications"},
+		{"bad op", HowtoRequest{Modifications: mods, Target: howto.Target{Query: `SELECT SUM(fee) AS s FROM orders`, Column: "s", Op: "<"}}, "unsupported op"},
+		{"non-aggregate", HowtoRequest{Modifications: mods, Target: howto.Target{Query: `SELECT id FROM orders`, Column: "id", Op: "<="}}, "aggregate"},
+		{"unreachable", HowtoRequest{Modifications: mods, Target: howto.Target{Query: `SELECT SUM(fee) AS s FROM orders`, Column: "s", Op: ">=", Value: 1e9},
+			Bounds: map[string]howto.Range{"x": {Lo: -10, Hi: 10}}}, "no satisfying binding"},
+		{"bad variant", HowtoRequest{Modifications: mods, Variant: "R+XX", Target: howto.Target{Query: `SELECT SUM(fee) AS s FROM orders`, Column: "s", Op: "<="}}, "unknown variant"},
+	}
+	for _, c := range cases {
+		w := postJSON(t, h, "/v1/howto", c.body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", c.name, w.Code, w.Body)
+			continue
+		}
+		if !strings.Contains(w.Body.String(), c.want) {
+			t.Errorf("%s: body %s does not mention %q", c.name, w.Body, c.want)
+		}
+	}
+}
+
+// TestWhatIfQueries: attaching aggregate queries to /v1/whatif returns
+// per-group historical/hypothetical/delta reports alongside the delta.
+func TestWhatIfQueries(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	w := postJSON(t, srv.Handler(), "/v1/whatif", WhatIfRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 2,
+			Statement: `UPDATE orders SET fee = fee + 3 WHERE price < 40`}},
+		Queries: []string{`SELECT SUM(fee) AS s, COUNT(*) AS n FROM orders`},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp WhatIfResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Aggregates) != 1 || len(resp.Aggregates[0].Rows) != 1 {
+		t.Fatalf("want one report with one row, got %s", w.Body)
+	}
+	row := resp.Aggregates[0].Rows[0]
+	// Five rows historically at +1 move to +3: the SUM delta is +10,
+	// the COUNT delta 0.
+	if got := row.Delta[0].AsFloat(); got != 10 {
+		t.Errorf("sum delta = %v, want 10: %s", got, w.Body)
+	}
+	if got := row.Delta[1].AsFloat(); got != 0 {
+		t.Errorf("count delta = %v, want 0: %s", got, w.Body)
+	}
+
+	// A bad aggregate query is a 400, not a silent omission.
+	w = postJSON(t, srv.Handler(), "/v1/whatif", WhatIfRequest{
+		Modifications: []Modification{{Op: "delete", Pos: 2}},
+		Queries:       []string{`SELECT id FROM orders`},
+	})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("non-aggregate query: status %d (want 400): %s", w.Code, w.Body)
+	}
+}
+
+// TestBatchQueries: scenario-attached aggregate queries come back per
+// scenario; scenarios without queries omit the field.
+func TestBatchQueries(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	w := postJSON(t, srv.Handler(), "/v1/batch", BatchRequest{
+		Scenarios: []Scenario{
+			{Label: "plain", Modifications: []Modification{{Op: "delete", Pos: 2}}},
+			{Label: "with-queries",
+				Modifications: []Modification{{Op: "replace", Pos: 2,
+					Statement: `UPDATE orders SET fee = fee + 3 WHERE price < 40`}},
+				Queries: []string{`SELECT SUM(fee) AS s FROM orders`}},
+		},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("want 2 results: %s", w.Body)
+	}
+	if resp.Results[0].Aggregates != nil {
+		t.Errorf("scenario without queries has aggregates: %s", w.Body)
+	}
+	if len(resp.Results[1].Aggregates) != 1 || len(resp.Results[1].Aggregates[0].Rows) != 1 {
+		t.Fatalf("scenario with queries: want one report with one row: %s", w.Body)
+	}
+	if got := resp.Results[1].Aggregates[0].Rows[0].Delta[0].AsFloat(); got != 10 {
+		t.Errorf("sum delta = %v, want 10: %s", got, w.Body)
+	}
+}
+
+// TestTemplateEvalQueries: aggregate queries ride along template evals,
+// both single-binding and sweep forms.
+func TestTemplateEvalQueries(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	h := srv.Handler()
+	w := postJSON(t, h, "/v1/template", TemplateRequest{
+		Modifications: []Modification{{Op: "replace", Pos: 2,
+			Statement: `UPDATE orders SET fee = fee + $x WHERE price < 40`}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("template create: status %d: %s", w.Code, w.Body)
+	}
+	var created TemplateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	w = postJSON(t, h, "/v1/template/"+created.ID+"/eval", map[string]any{
+		"binding": map[string]any{"x": 3},
+		"queries": []string{`SELECT SUM(fee) AS s FROM orders`},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("single eval: status %d: %s", w.Code, w.Body)
+	}
+	var single TemplateEvalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Aggregates) != 1 || len(single.Aggregates[0].Rows) != 1 {
+		t.Fatalf("single eval: want one report with one row: %s", w.Body)
+	}
+	if got := single.Aggregates[0].Rows[0].Delta[0].AsFloat(); got != 10 {
+		t.Errorf("single eval sum delta = %v, want 10: %s", got, w.Body)
+	}
+
+	w = postJSON(t, h, "/v1/template/"+created.ID+"/eval", map[string]any{
+		"bindings": []map[string]any{{"x": 1}, {"x": 3}},
+		"queries":  []string{`SELECT SUM(fee) AS s FROM orders`},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep eval: status %d: %s", w.Code, w.Body)
+	}
+	var sweep TemplateEvalResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 2 {
+		t.Fatalf("sweep eval: want 2 results: %s", w.Body)
+	}
+	// Delta SUM is 5x − 5: binding 1 is a no-op, binding 3 moves +10.
+	for i, want := range []float64{0, 10} {
+		reps := sweep.Results[i].Aggregates
+		if len(reps) != 1 || len(reps[0].Rows) != 1 {
+			t.Fatalf("sweep binding %d: want one report with one row: %s", i+1, w.Body)
+		}
+		if got := reps[0].Rows[0].Delta[0].AsFloat(); got != want {
+			t.Errorf("sweep binding %d sum delta = %v, want %v", i+1, got, want)
+		}
+	}
+}

@@ -27,6 +27,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m("mahif_session_snapshot_misses_total", "Time-travel snapshot cache misses per session.", "counter")
 	m("mahif_session_snapshot_evictions_total", "Completed snapshots dropped by the retention bound per session.", "counter")
 	m("mahif_session_snapshot_resident", "Completed snapshots currently held per session.", "gauge")
+	m("mahif_session_snapshot_tip_evictions_total", "Superseded tip-pinned snapshots eagerly dropped per session.", "counter")
+	m("mahif_session_snapshot_tip_resident", "Tip-pinned snapshots (private full copies) currently held per session.", "gauge")
 	m("mahif_session_memo_hits_total", "Solver-outcome memo hits per session.", "counter")
 	m("mahif_session_memo_misses_total", "Solver-outcome memo misses per session.", "counter")
 	m("mahif_session_memo_evictions_total", "Solver outcomes dropped by the memo LRU bound per session.", "counter")
@@ -47,6 +49,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "mahif_session_snapshot_misses_total%s %d\n", l, st.SnapshotMisses)
 		fmt.Fprintf(&b, "mahif_session_snapshot_evictions_total%s %d\n", l, st.SnapshotEvictions)
 		fmt.Fprintf(&b, "mahif_session_snapshot_resident%s %d\n", l, st.SnapshotResident)
+		fmt.Fprintf(&b, "mahif_session_snapshot_tip_evictions_total%s %d\n", l, st.SnapshotTipEvictions)
+		fmt.Fprintf(&b, "mahif_session_snapshot_tip_resident%s %d\n", l, st.SnapshotTipResident)
 		fmt.Fprintf(&b, "mahif_session_memo_hits_total%s %d\n", l, st.MemoHits)
 		fmt.Fprintf(&b, "mahif_session_memo_misses_total%s %d\n", l, st.MemoMisses)
 		fmt.Fprintf(&b, "mahif_session_memo_evictions_total%s %d\n", l, st.MemoEvictions)

@@ -144,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/template", s.handleTemplateCreate)
 	mux.HandleFunc("POST /v1/template/{id}/eval", s.handleTemplateEval)
+	mux.HandleFunc("POST /v1/howto", s.handleHowto)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
 	mux.HandleFunc("POST /v1/history", s.handleAppend)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
@@ -272,6 +273,11 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	queries, err := DecodeAggregateQueries(req.Queries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
 	if err := s.waitMinVersion(ctx, req.MinVersion); err != nil {
@@ -281,12 +287,12 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	sess := s.session()
 
 	if req.Variant == string(core.VariantNaive) {
-		d, stats, err := sess.NaiveCtx(ctx, mods)
+		d, reps, stats, err := sess.NaiveAggregatesCtx(ctx, mods, queries)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		resp := WhatIfResponse{Delta: d}
+		resp := WhatIfResponse{Delta: d, Aggregates: reps}
 		if req.Stats {
 			resp.NaiveStats = stats
 		}
@@ -299,12 +305,12 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown variant %q (want N, R, R+PS, R+DS, R+PS+DS)", req.Variant))
 		return
 	}
-	d, stats, err := sess.WhatIfCtx(ctx, mods, opts)
+	d, reps, stats, err := sess.WhatIfAggregatesCtx(ctx, mods, queries, opts)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	resp := WhatIfResponse{Delta: d}
+	resp := WhatIfResponse{Delta: d, Aggregates: reps}
 	if req.Stats {
 		resp.Stats = stats
 	}
@@ -352,7 +358,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Results: make([]BatchScenarioResult, len(results))}
 	for i, res := range results {
-		out := BatchScenarioResult{Scenario: res.Scenario + 1, Label: res.Label, Delta: res.Delta}
+		out := BatchScenarioResult{Scenario: res.Scenario + 1, Label: res.Label, Delta: res.Delta, Aggregates: res.Aggregates}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
 		}

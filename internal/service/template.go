@@ -60,22 +60,27 @@ type TemplateEvalRequest struct {
 	// Templates recompile transparently when the history advances, so
 	// a bounded eval answers against a version ≥ the bound.
 	MinVersion int `json:"min_version,omitempty"`
+	// Queries attaches aggregate queries evaluated per binding over the
+	// historical and hypothetical states (see WhatIfRequest.Queries).
+	Queries []string `json:"queries,omitempty"`
 }
 
 // TemplateBindingResult is one binding's outcome in a sweep. Exactly
 // one of Delta and Error is meaningful.
 type TemplateBindingResult struct {
 	// Binding is the 1-based index into the request's bindings array.
-	Binding int       `json:"binding"`
-	Delta   delta.Set `json:"delta,omitempty"`
-	Error   string    `json:"error,omitempty"`
+	Binding    int                    `json:"binding"`
+	Delta      delta.Set              `json:"delta,omitempty"`
+	Aggregates []core.AggregateReport `json:"aggregates,omitempty"`
+	Error      string                 `json:"error,omitempty"`
 }
 
 // TemplateEvalResponse is the body of a successful eval: Delta for a
 // single binding, Results for a sweep.
 type TemplateEvalResponse struct {
-	Delta   delta.Set               `json:"delta,omitempty"`
-	Results []TemplateBindingResult `json:"results,omitempty"`
+	Delta      delta.Set               `json:"delta,omitempty"`
+	Aggregates []core.AggregateReport  `json:"aggregates,omitempty"`
+	Results    []TemplateBindingResult `json:"results,omitempty"`
 }
 
 // handleTemplateCreate compiles a parameterized scenario and registers
@@ -156,6 +161,11 @@ func (s *Server) handleTemplateEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("exactly one of binding and bindings must be set"))
 		return
 	}
+	queries, err := DecodeAggregateQueries(req.Queries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
 	if err := s.waitMinVersion(ctx, req.MinVersion); err != nil {
@@ -164,17 +174,17 @@ func (s *Server) handleTemplateEval(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Binding != nil {
-		d, err := tpl.EvalCtx(ctx, req.Binding)
+		d, reps, err := tpl.EvalAggregatesCtx(ctx, req.Binding, queries)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
 		s.templateEvals.Add(1)
-		writeJSON(w, http.StatusOK, TemplateEvalResponse{Delta: d})
+		writeJSON(w, http.StatusOK, TemplateEvalResponse{Delta: d, Aggregates: reps})
 		return
 	}
 
-	results, err := tpl.EvalBatchCtx(ctx, req.Bindings, req.Workers)
+	results, err := tpl.EvalAggregatesBatchCtx(ctx, req.Bindings, queries, req.Workers)
 	if err != nil && results == nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -188,7 +198,7 @@ func (s *Server) handleTemplateEval(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := TemplateEvalResponse{Results: make([]TemplateBindingResult, len(results))}
 	for i, res := range results {
-		out := TemplateBindingResult{Binding: res.Binding + 1, Delta: res.Delta}
+		out := TemplateBindingResult{Binding: res.Binding + 1, Delta: res.Delta, Aggregates: res.Aggregates}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
 		}

@@ -72,10 +72,35 @@ func DecodeModifications(ms []Modification) ([]history.Modification, error) {
 	return out, nil
 }
 
+// DecodeAggregateQueries parses attached aggregate queries: each must
+// aggregate at the top level (GROUP BY or an aggregate select list) and
+// carry no $param slots.
+func DecodeAggregateQueries(qs []string) ([]core.AggregateQuery, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	out := make([]core.AggregateQuery, len(qs))
+	for i, src := range qs {
+		q, err := sql.ParseQuery(src)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		aq, err := core.NewAggregateQuery(src, q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i+1, err)
+		}
+		out[i] = aq
+	}
+	return out, nil
+}
+
 // Scenario is one labelled modification set of a batch request.
 type Scenario struct {
 	Label         string         `json:"label,omitempty"`
 	Modifications []Modification `json:"modifications"`
+	// Queries optionally attaches aggregate queries evaluated over the
+	// historical and hypothetical states (see WhatIfRequest.Queries).
+	Queries []string `json:"queries,omitempty"`
 }
 
 // DecodeScenarios converts wire scenarios to engine scenarios.
@@ -89,7 +114,11 @@ func DecodeScenarios(scs []Scenario) ([]core.Scenario, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario %d (%q): %w", i+1, sc.Label, err)
 		}
-		out[i] = core.Scenario{Label: sc.Label, Mods: mods}
+		queries, err := DecodeAggregateQueries(sc.Queries)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d (%q): %w", i+1, sc.Label, err)
+		}
+		out[i] = core.Scenario{Label: sc.Label, Mods: mods, Queries: queries}
 	}
 	return out, nil
 }
@@ -111,11 +140,19 @@ type WhatIfRequest struct {
 	// and reads back with min_version=v never silently sees a stale
 	// replica. 0 means no bound.
 	MinVersion int `json:"min_version,omitempty"`
+	// Queries attaches aggregate queries (SQL with GROUP BY or an
+	// aggregate select list): each is evaluated over the historical
+	// state and the hypothetical state, and the per-group comparisons
+	// come back in WhatIfResponse.Aggregates.
+	Queries []string `json:"queries,omitempty"`
 }
 
 // WhatIfResponse is the body of a successful POST /v1/whatif.
 type WhatIfResponse struct {
 	Delta delta.Set `json:"delta"`
+	// Aggregates holds the attached aggregate-query reports, in query
+	// order (absent when the request attached none).
+	Aggregates []core.AggregateReport `json:"aggregates,omitempty"`
 	// Stats is set for reenactment variants when requested.
 	Stats *core.Stats `json:"stats,omitempty"`
 	// NaiveStats is set for variant N when requested.
@@ -136,11 +173,12 @@ type BatchRequest struct {
 // BatchScenarioResult is one scenario's outcome on the wire. Exactly
 // one of Delta and Error is meaningful.
 type BatchScenarioResult struct {
-	Scenario int         `json:"scenario"`
-	Label    string      `json:"label,omitempty"`
-	Delta    delta.Set   `json:"delta,omitempty"`
-	Stats    *core.Stats `json:"stats,omitempty"`
-	Error    string      `json:"error,omitempty"`
+	Scenario   int                    `json:"scenario"`
+	Label      string                 `json:"label,omitempty"`
+	Delta      delta.Set              `json:"delta,omitempty"`
+	Aggregates []core.AggregateReport `json:"aggregates,omitempty"`
+	Stats      *core.Stats            `json:"stats,omitempty"`
+	Error      string                 `json:"error,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /v1/batch.

@@ -38,7 +38,7 @@ var keywords = map[string]bool{
 	"JOIN": true, "ON": true, "UNION": true, "AND": true, "OR": true,
 	"NOT": true, "TRUE": true, "FALSE": true, "NULL": true, "IS": true,
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
-	"ALL": true, "BETWEEN": true, "IN": true,
+	"ALL": true, "BETWEEN": true, "IN": true, "GROUP": true, "BY": true,
 }
 
 type lexer struct {

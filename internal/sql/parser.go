@@ -314,33 +314,80 @@ func (p *parser) parseSelect() (algebra.Query, error) {
 	return q, nil
 }
 
+// aggFuncs maps aggregate function names to algebra functions. They are
+// matched case-insensitively as plain identifiers in select-item
+// position (an identifier immediately followed by "("), not reserved as
+// keywords, so columns named "count" or "min" stay valid everywhere.
+var aggFuncs = map[string]algebra.AggFunc{
+	"COUNT": algebra.AggCount, "SUM": algebra.AggSum, "AVG": algebra.AggAvg,
+	"MIN": algebra.AggMin, "MAX": algebra.AggMax,
+}
+
+// peekAggFunc reports whether the cursor sits on an aggregate call head.
+func (p *parser) peekAggFunc() (algebra.AggFunc, bool) {
+	t := p.cur()
+	if t.kind != tokIdent || p.pos+1 >= len(p.toks) {
+		return 0, false
+	}
+	fn, ok := aggFuncs[strings.ToUpper(t.text)]
+	if !ok {
+		return 0, false
+	}
+	nt := p.toks[p.pos+1]
+	return fn, nt.kind == tokOp && nt.text == "("
+}
+
 func (p *parser) parseSelectCore() (algebra.Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
 	type outCol struct {
 		name string
-		e    expr.Expr
+		e    expr.Expr // non-aggregate item (nil when agg)
+		agg  bool
+		fn   algebra.AggFunc
+		arg  expr.Expr // aggregate argument; nil for COUNT(*)
 	}
 	var cols []outCol
 	star := false
+	hasAgg := false
 	if p.acceptOp("*") {
 		star = true
 	} else {
 		for {
-			e, err := p.parseExpr()
-			if err != nil {
-				return nil, err
-			}
-			name := ""
-			if p.acceptKeyword("AS") {
-				if name, err = p.expectIdent(); err != nil {
+			var c outCol
+			if fn, ok := p.peekAggFunc(); ok {
+				p.next() // function name
+				p.next() // "("
+				c.agg, c.fn = true, fn
+				hasAgg = true
+				if !(fn == algebra.AggCount && p.acceptOp("*")) {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					c.arg = arg
+				}
+				if err := p.expectOp(")"); err != nil {
 					return nil, err
 				}
-			} else if c, ok := e.(*expr.Col); ok {
-				name = c.Name
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.e = e
 			}
-			cols = append(cols, outCol{name: name, e: e})
+			if p.acceptKeyword("AS") {
+				name, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				c.name = name
+			} else if col, ok := c.e.(*expr.Col); ok {
+				c.name = col.Name
+			}
+			cols = append(cols, c)
 			if !p.acceptOp(",") {
 				break
 			}
@@ -361,18 +408,96 @@ func (p *parser) parseSelectCore() (algebra.Query, error) {
 		}
 		q = &algebra.Select{Cond: cond, In: q}
 	}
-	if star {
-		return q, nil
+	var groupExprs []expr.Expr
+	hasGroupBy := false
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		hasGroupBy = true
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			groupExprs = append(groupExprs, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
 	}
-	exprs := make([]algebra.NamedExpr, len(cols))
+	if !hasAgg && !hasGroupBy {
+		if star {
+			return q, nil
+		}
+		exprs := make([]algebra.NamedExpr, len(cols))
+		for i, c := range cols {
+			name := c.name
+			if name == "" {
+				name = "col" + strconv.Itoa(i+1)
+			}
+			exprs[i] = algebra.NamedExpr{Name: name, E: c.e}
+		}
+		return &algebra.Project{Exprs: exprs, In: q}, nil
+	}
+	// Aggregate query. The grammar keeps the γ node's column layout
+	// directly expressible: grouping items first, aggregate items after
+	// (so output columns are groups then aggregates), and the GROUP BY
+	// list must name exactly the non-aggregate select items.
+	if star {
+		return nil, p.errf("SELECT * cannot be combined with aggregates or GROUP BY")
+	}
+	var groups []algebra.NamedExpr
+	var aggs []algebra.AggExpr
 	for i, c := range cols {
 		name := c.name
 		if name == "" {
 			name = "col" + strconv.Itoa(i+1)
 		}
-		exprs[i] = algebra.NamedExpr{Name: name, E: c.e}
+		if c.agg {
+			aggs = append(aggs, algebra.AggExpr{Name: name, Fn: c.fn, Arg: c.arg})
+			continue
+		}
+		if len(aggs) > 0 {
+			return nil, p.errf("grouping columns must precede aggregate columns in the select list")
+		}
+		groups = append(groups, algebra.NamedExpr{Name: name, E: c.e})
 	}
-	return &algebra.Project{Exprs: exprs, In: q}, nil
+	if !hasGroupBy && len(groups) > 0 {
+		return nil, p.errf("non-aggregate select item %s requires a GROUP BY clause", groups[0].E)
+	}
+	if hasGroupBy {
+		used := make([]bool, len(groupExprs))
+		for _, g := range groups {
+			found := false
+			for j, ge := range groupExprs {
+				if !used[j] && expr.Equal(g.E, ge) {
+					used[j] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, p.errf("select item %s is not in the GROUP BY clause", g.E)
+			}
+		}
+		for j, ge := range groupExprs {
+			if used[j] {
+				continue
+			}
+			dup := false
+			for _, g := range groups {
+				if expr.Equal(g.E, ge) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				return nil, p.errf("GROUP BY expression %s does not appear in the select list", ge)
+			}
+		}
+	}
+	return &algebra.Aggregate{GroupBy: groups, Aggs: aggs, In: q}, nil
 }
 
 func (p *parser) parseFrom() (algebra.Query, error) {

@@ -44,7 +44,61 @@ func RenderQuery(q algebra.Query) (string, error) {
 		}
 		return l + " UNION ALL " + r, nil
 	}
+	if a, ok := q.(*algebra.Aggregate); ok {
+		return renderAggregate(a)
+	}
 	return renderSelectCore(q)
+}
+
+// renderAggregate renders a γ node the way the parser reads it back:
+// grouping items first, aggregate calls after (always with AS — the
+// default "col<i>" names are positional, so re-parsing must not have to
+// re-derive them), then FROM/WHERE from the input, then GROUP BY.
+func renderAggregate(q *algebra.Aggregate) (string, error) {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, ne := range q.GroupBy {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c, ok := ne.E.(*expr.Col); ok && strings.EqualFold(c.Name, ne.Name) {
+			b.WriteString(ne.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "%s AS %s", ne.E, ne.Name)
+	}
+	for i, a := range q.Aggs {
+		if i > 0 || len(q.GroupBy) > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s AS %s", a.CallString(), a.Name)
+	}
+	in := q.In
+	var where expr.Expr
+	if sel, ok := in.(*algebra.Select); ok {
+		where = sel.Cond
+		in = sel.In
+	}
+	from, err := renderFrom(in)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(from)
+	if where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, ne := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ne.E.String())
+		}
+	}
+	return b.String(), nil
 }
 
 func renderSelectCore(q algebra.Query) (string, error) {

@@ -38,15 +38,17 @@ import (
 type SnapshotCache struct {
 	vdb *VersionedDatabase
 
-	mu      sync.Mutex
-	limit   int // max completed snapshots retained; 0 = unbounded
-	entries map[int]*snapshotEntry
-	ready   map[int]*Database // completed snapshots, for prefix reuse
-	lastUse map[int]int64     // version → tick of last touch (LRU order)
-	tick    int64
-	hits    int
-	misses  int
-	evicted int
+	mu         sync.Mutex
+	limit      int // max completed snapshots retained; 0 = unbounded
+	entries    map[int]*snapshotEntry
+	ready      map[int]*Database // completed snapshots, for prefix reuse
+	lastUse    map[int]int64     // version → tick of last touch (LRU order)
+	tips       map[int]bool      // versions frozen from the live tip (private full copies)
+	tick       int64
+	hits       int
+	misses     int
+	evicted    int
+	tipEvicted int
 }
 
 // snapshotEntry builds one version exactly once: the caller that
@@ -74,6 +76,7 @@ func NewSnapshotCache(vdb *VersionedDatabase) *SnapshotCache {
 		entries: map[int]*snapshotEntry{},
 		ready:   map[int]*Database{},
 		lastUse: map[int]int64{},
+		tips:    map[int]bool{},
 	}
 }
 
@@ -109,7 +112,33 @@ func (c *SnapshotCache) evictLocked() {
 		delete(c.ready, victim)
 		delete(c.lastUse, victim)
 		delete(c.entries, victim)
+		delete(c.tips, victim)
 		c.evicted++
+	}
+}
+
+// evictTipsLocked eagerly drops tip-pinned snapshots superseded by a
+// newer tip build. Tip snapshots are private full copies of the live
+// state — the most expensive entries the cache holds — and an
+// append+query session touches each tip version exactly once, so LRU
+// recency never retires them before the bound fills with dead weight.
+// A superseded tip that is requested again is simply rebuilt by
+// replay. Entries not yet installed in ready (a concurrent build
+// between marking and installing) keep their marker and are reaped by
+// the next tip build.
+func (c *SnapshotCache) evictTipsLocked(latest int) {
+	for v := range c.tips {
+		if v >= latest {
+			continue
+		}
+		if _, ok := c.ready[v]; !ok {
+			continue
+		}
+		delete(c.ready, v)
+		delete(c.lastUse, v)
+		delete(c.entries, v)
+		delete(c.tips, v)
+		c.tipEvicted++
 	}
 }
 
@@ -195,6 +224,12 @@ func (c *SnapshotCache) build(ctx context.Context, i int) (*Database, error) {
 	if private {
 		// The requested version was the tip: replayPlan froze a private
 		// copy of the live state, so the shared snapshot cannot alias it.
+		// Mark it so a later tip build evicts it eagerly once the history
+		// has moved past it.
+		c.mu.Lock()
+		c.tips[i] = true
+		c.evictTipsLocked(i)
+		c.mu.Unlock()
 		return db, nil
 	}
 	c.mu.Lock()
@@ -237,4 +272,27 @@ func (c *SnapshotCache) Resident() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.ready)
+}
+
+// TipEvictions reports how many superseded tip-pinned snapshots were
+// eagerly dropped (distinct from the LRU bound's Evictions).
+func (c *SnapshotCache) TipEvictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tipEvicted
+}
+
+// TipResident reports how many tip-pinned snapshots (private full
+// copies of a then-live state) are currently held. Under eager
+// eviction this stays at most 1 plus any in-flight builds.
+func (c *SnapshotCache) TipResident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for v := range c.tips {
+		if _, ok := c.ready[v]; ok {
+			n++
+		}
+	}
+	return n
 }

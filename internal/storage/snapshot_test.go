@@ -167,6 +167,41 @@ func TestSnapshotConcurrent(t *testing.T) {
 // forever. The bound must hold throughout, evicted versions must
 // rebuild correctly on re-demand, and recently used versions must
 // survive over stale ones.
+// TestSnapshotTipEviction pins the append+query loop: each round
+// appends one statement and snapshots the new tip. Tip snapshots are
+// private full copies of the live state, touched exactly once each, so
+// without eager eviction they would pile up to the LRU bound as dead
+// weight; with it, at most one stays resident and superseded ones are
+// rebuilt by replay if ever re-demanded.
+func TestSnapshotTipEviction(t *testing.T) {
+	v := newBumpStore(t, 1)
+	c := NewSnapshotCache(v)
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Snapshot(v.NumVersions()); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.TipResident(); got > 1 {
+			t.Fatalf("round %d: TipResident = %d, want at most 1", i, got)
+		}
+		if err := v.Apply(bump{rel: "t", by: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.TipEvictions(); got != rounds-1 {
+		t.Errorf("TipEvictions = %d, want %d", got, rounds-1)
+	}
+	// A superseded tip re-demanded is rebuilt by replay, correctly.
+	db, err := c.Snapshot(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Relation("t")
+	if got := r.Tuples[0][0].AsInt(); got != 103 {
+		t.Errorf("rebuilt superseded tip Snapshot(3) = %d, want 103", got)
+	}
+}
+
 func TestSnapshotEvictionBound(t *testing.T) {
 	v := newBumpStore(t, 20)
 	c := NewSnapshotCache(v)

@@ -195,6 +195,15 @@ type (
 	TemplateStats = core.TemplateStats
 	// TemplateEvalResult is one binding's outcome in Template.EvalBatch.
 	TemplateEvalResult = core.TemplateEvalResult
+	// AggregateQuery is a validated GROUP BY/aggregate query attached
+	// to a what-if (see Engine.WhatIfAggregates and
+	// Template.EvalAggregates).
+	AggregateQuery = core.AggregateQuery
+	// AggregateReport is one attached query's per-group
+	// historical/hypothetical/delta rows.
+	AggregateReport = core.AggregateReport
+	// AggregateRow is one group's values in an AggregateReport.
+	AggregateRow = core.AggregateRow
 	// Delta is the annotated symmetric difference for one relation.
 	Delta = delta.Result
 	// DeltaSet maps relation names to their deltas.
@@ -301,6 +310,17 @@ func ParseStatements(src string) (History, error) { return sql.ParseStatements(s
 
 // ParseCondition parses a standalone SQL condition.
 func ParseCondition(src string) (Expr, error) { return sql.ParseCondition(src) }
+
+// ParseAggregateQuery parses and validates a SQL aggregate query
+// (SELECT [group cols,] aggs FROM rel [WHERE …] [GROUP BY cols]) for
+// attachment to a what-if.
+func ParseAggregateQuery(src string) (AggregateQuery, error) {
+	q, err := sql.ParseQuery(src)
+	if err != nil {
+		return AggregateQuery{}, err
+	}
+	return core.NewAggregateQuery(src, q)
+}
 
 // ReplaceSQL builds a Replace modification from SQL (zero-based
 // position).
